@@ -1,0 +1,27 @@
+"""Scale knobs shared by all benchmarks (see conftest docstring)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.stencil.suite import suite_names
+
+#: Default subset: both grid sizes, low/high FLOPs, star/box/multi.
+DEFAULT_STENCILS = ("j3d7pt", "helmholtz", "cheby", "rhs4center")
+
+
+def bench_stencils() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_STENCILS", "")
+    if raw.strip().lower() == "all":
+        return suite_names()
+    if raw.strip():
+        return [s.strip() for s in raw.split(",") if s.strip()]
+    return list(DEFAULT_STENCILS)
+
+
+def bench_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def bench_samples() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "1500"))

@@ -1,0 +1,63 @@
+"""Ablation — approximation early-stop on vs. off.
+
+Isolates the CV_top-n criterion (DESIGN.md §4): with approximation off
+(threshold 0), each group's GA runs to its generation cap. The paper's
+claim is that approximation saves evaluations at negligible quality
+cost — reproduce both sides of that trade-off.
+"""
+
+from dataclasses import replace
+
+from _scale import bench_stencils
+from repro.core import Budget, CsTuner, CsTunerConfig, Evaluator
+from repro.core.genetic import EvolutionarySearch, GAConfig
+from repro.experiments import format_table
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space import build_space
+from repro.stencil.suite import get_stencil
+
+BUDGET_S = 80.0
+
+
+def _run(sampled, space, pattern, ga):
+    sim = GpuSimulator(device=A100, seed=0)
+    ev = Evaluator(sim, pattern, Budget(max_cost_s=BUDGET_S))
+    EvolutionarySearch(
+        sampled=sampled, space=space, evaluator=ev, config=ga, seed=0
+    ).run()
+    return ev.best_time_s * 1e3, ev.evaluations, ev.cost_s
+
+
+def test_ablation_approximation(benchmark, report):
+    names = bench_stencils()[:3]
+
+    def run():
+        rows = []
+        for name in names:
+            pattern = get_stencil(name)
+            sim = GpuSimulator(device=A100, seed=0)
+            space = build_space(pattern, A100)
+            tuner = CsTuner(sim, CsTunerConfig(seed=0))
+            dataset = tuner.collect_dataset(pattern, space)
+            pre = tuner.preprocess(pattern, space, dataset)
+
+            on = _run(pre.sampled, space, pattern, GAConfig())
+            off = _run(
+                pre.sampled, space, pattern,
+                replace(GAConfig(), cv_threshold=0.0),
+            )
+            rows.append([name, on[0], on[2], off[0], off[2]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(
+        ["stencil", "approx best(ms)", "approx cost(s)",
+         "no-approx best(ms)", "no-approx cost(s)"],
+        rows,
+        title="Ablation — CV_top-n approximation early stop",
+    ))
+    for r in rows:
+        # Approximation must not cost more search time than exhausting
+        # every group's generation budget.
+        assert r[2] <= r[4] * 1.05

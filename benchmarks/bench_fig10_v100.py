@@ -1,0 +1,53 @@
+"""Fig 10 — iso-time performance normalized to Garvey on V100.
+
+The generality experiment: the dataset is re-collected on the V100
+model and the identical pipeline re-run. The paper reports csTuner at
+an average 1.7x over Garvey and ~1.2x over OpenTuner and Artemis; the
+shape to reproduce is csTuner >= OpenTuner/Artemis >= Garvey (= 1.0).
+"""
+
+import numpy as np
+
+from _scale import bench_reps, bench_stencils
+from repro.core import Budget
+from repro.experiments import TUNER_NAMES, compare_stencil, format_table, normalized_to_garvey
+from repro.gpusim.device import V100
+from repro.stencil.suite import get_stencil
+
+BUDGET_S = 100.0
+
+
+def test_fig10_v100_normalized(benchmark, report):
+    names = bench_stencils()
+    reps = bench_reps()
+
+    def run():
+        out = {}
+        for name in names:
+            results = compare_stencil(
+                get_stencil(name),
+                V100,
+                Budget(max_cost_s=BUDGET_S),
+                repetitions=reps,
+                seed=0,
+            )
+            out[name] = normalized_to_garvey(results)
+        return out
+
+    norms = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name] + [n[t] for t in TUNER_NAMES] for name, n in norms.items()]
+    avg = ["AVERAGE"] + [
+        float(np.mean([n[t] for n in norms.values()])) for t in TUNER_NAMES
+    ]
+    report(format_table(
+        ["stencil"] + list(TUNER_NAMES),
+        rows + [avg],
+        title="Fig 10 — iso-time performance normalized to Garvey on "
+              "V100 (paper avg: csTuner 1.7x, OpenTuner/Artemis ~1.4x)",
+        float_fmt="{:.2f}",
+    ))
+
+    cs_avg = float(np.mean([n["csTuner"] for n in norms.values()]))
+    garvey_avg = float(np.mean([n["Garvey"] for n in norms.values()]))
+    assert cs_avg >= garvey_avg  # csTuner beats Garvey on average

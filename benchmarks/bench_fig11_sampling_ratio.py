@@ -1,0 +1,51 @@
+"""Fig 11 — iso-time performance of csTuner per sampling ratio.
+
+Sweeps the sampling ratio from 5 % to 50 % with a 5 % stride. Shape to
+reproduce: 5 % is frequently the worst (coverage too thin), the middle
+range (15-40 %) is stable, and 50 % still performs well because the
+constrained valid space is small enough to stay searchable.
+"""
+
+from _scale import bench_stencils
+from repro.core import Budget
+from repro.experiments import format_table, sampling_ratio_sweep
+from repro.experiments.sensitivity import DEFAULT_RATIOS
+from repro.gpusim.device import A100
+from repro.stencil.suite import get_stencil
+
+BUDGET_S = 60.0
+
+
+def test_fig11_sampling_ratio(benchmark, report):
+    names = bench_stencils()[:2]  # csTuner-only sweep; 10 ratios each
+
+    def run():
+        return {
+            name: sampling_ratio_sweep(
+                get_stencil(name),
+                A100,
+                Budget(max_cost_s=BUDGET_S),
+                ratios=DEFAULT_RATIOS,
+                repetitions=1,
+                seed=0,
+            )
+            for name in names
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, sweep in sweeps.items():
+        rows.append([name] + [v for v in sweep["relative"]])
+    report(format_table(
+        ["stencil"] + [f"{int(r * 100)}%" for r in DEFAULT_RATIOS],
+        rows,
+        title=f"Fig 11 — best time per sampling ratio, normalized to "
+              f"each stencil's best ratio ({BUDGET_S:.0f}s budget)",
+        float_fmt="{:.2f}",
+    ))
+
+    for sweep in sweeps.values():
+        rel = sweep["relative"]
+        # Stability of the middle range: no catastrophic ratio there.
+        assert max(rel[2:8]) < 2.0

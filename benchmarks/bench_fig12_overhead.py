@@ -1,0 +1,55 @@
+"""Fig 12 — csTuner pre-processing overhead breakdown.
+
+Pre-processing (parameter grouping, search-space sampling, code
+generation) is normalized to the search process. The paper reports an
+average of 0.76 % with code generation growing with stencil
+complexity. Unit note: pre-processing is host wall-clock (directly
+comparable); the search denominator is the simulated tuning cost —
+see EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from _scale import bench_stencils
+from repro.core import Budget
+from repro.experiments import format_table, overhead_breakdown
+from repro.experiments.overhead import PHASES
+from repro.gpusim.device import A100
+from repro.stencil.suite import get_stencil
+
+BUDGET_S = 100.0
+
+
+def test_fig12_overhead_breakdown(benchmark, report):
+    names = bench_stencils()
+
+    def run():
+        return {
+            name: overhead_breakdown(
+                get_stencil(name), A100, Budget(max_cost_s=BUDGET_S), seed=0
+            )
+            for name in names
+        }
+
+    breakdowns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, b in breakdowns.items():
+        rows.append(
+            [name]
+            + [b["phase_seconds"][p] for p in PHASES]
+            + [b["search_s"], b["preprocessing_pct_of_search"]]
+        )
+    avg_pct = float(
+        np.mean([b["preprocessing_pct_of_search"] for b in breakdowns.values()])
+    )
+    report(format_table(
+        ["stencil"] + [f"{p}(s)" for p in PHASES] + ["search(s)", "pre/search %"],
+        rows,
+        title=f"Fig 12 — pre-processing vs search "
+              f"(avg {avg_pct:.2f}%; paper avg 0.76%)",
+    ))
+
+    for b in breakdowns.values():
+        # Pre-processing must be a small fraction of the search.
+        assert b["preprocessing_pct_of_search"] < 25.0

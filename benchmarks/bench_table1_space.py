@@ -1,0 +1,40 @@
+"""Table I — the parameterized optimization space.
+
+Regenerates the parameter/range table and measures the cost of
+constraint-aware sampling from the >100M-setting space.
+"""
+
+import numpy as np
+
+from _scale import bench_stencils
+from repro.experiments import format_table
+from repro.gpusim.device import A100
+from repro.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+def test_table1_parameterized_space(benchmark, report):
+    pattern = get_stencil(bench_stencils()[0])
+    space = build_space(pattern, A100)
+
+    def sample_100():
+        rng = np.random.default_rng(0)
+        return space.sample(rng, 100)
+
+    settings = benchmark(sample_100)
+    assert len(settings) == 100
+
+    rows = [
+        [p.name, p.kind.value, p.values[0], p.values[-1], p.cardinality]
+        for p in space.parameters
+    ]
+    table = format_table(
+        ["parameter", "kind", "min", "max", "|domain|"],
+        rows,
+        title=(
+            f"Table I — optimization space for {pattern.name} "
+            f"({space.nominal_size():.3g} nominal settings)"
+        ),
+        float_fmt="{:.0f}",
+    )
+    report(table)

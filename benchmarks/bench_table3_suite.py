@@ -1,0 +1,38 @@
+"""Table III — the stencil suite.
+
+Regenerates the suite metadata and measures one reference sweep of
+each stencil on a reduced grid (the paper's table is static metadata;
+the sweep validates that every stencil is executable).
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.stencil.suite import STENCIL_SUITE, get_executor
+
+
+def test_table3_stencil_suite(benchmark, report):
+    def sweep_all():
+        rng = np.random.default_rng(0)
+        out = {}
+        for p in STENCIL_SUITE:
+            ex = get_executor(p.name)
+            grid = (4 * p.halo + 8,) * 3
+            arrays = ex.make_inputs(rng, grid=grid)
+            out[p.name] = ex.run(arrays)
+        return out
+
+    results = benchmark(sweep_all)
+    assert len(results) == 8
+
+    rows = [
+        [p.name, "x".join(map(str, p.grid)), p.order, p.flops, p.io_arrays,
+         p.shape.value, f"{p.arithmetic_intensity():.2f}"]
+        for p in STENCIL_SUITE
+    ]
+    report(format_table(
+        ["stencil", "input grid", "order", "#FLOPs", "#I/O arrays",
+         "shape", "FLOP/byte"],
+        rows,
+        title="Table III — stencils used for evaluation",
+    ))

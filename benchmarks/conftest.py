@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and writes
+its reproduced rows/series to ``benchmarks/results/<name>.txt`` (also
+printed; visible with ``pytest -s``). Scale knobs (see ``_scale.py``):
+
+``REPRO_BENCH_STENCILS``
+    Comma-separated stencil names, or ``all`` (default: a 4-stencil
+    subset covering both grids and the FLOP range). The paper's full
+    Table III run is ``all``.
+``REPRO_BENCH_REPS``
+    Repetitions per method (default 2; paper: 10).
+``REPRO_BENCH_SAMPLES``
+    Samples for the motivation studies (default 1500; paper: >20000).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Write + print a reproduced table for the current benchmark."""
+
+    def _write(text: str) -> None:
+        name = request.node.name.replace("/", "_")
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write

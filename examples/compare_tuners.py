@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Head-to-head tuner comparison (the Fig 9 scenario, scaled down).
+
+Runs csTuner, Garvey, OpenTuner and Artemis on a subset of the Table
+III suite under the paper's 100-second iso-time budget and prints both
+the convergence series and the final normalized comparison.
+
+Usage::
+
+    python examples/compare_tuners.py [stencil ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import A100, Budget, get_stencil
+from repro.experiments import (
+    compare_stencil,
+    format_series,
+    format_table,
+    iso_time_best,
+    normalized_to_garvey,
+)
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["j3d7pt", "helmholtz", "cheby"]
+    budget = Budget(max_cost_s=100.0)
+    checkpoints = [10.0, 25.0, 50.0, 75.0, 100.0]
+
+    rows = []
+    for name in names:
+        pattern = get_stencil(name)
+        print(f"\n=== {pattern.describe()} ===")
+        results = compare_stencil(
+            pattern, A100, budget, repetitions=2, seed=0
+        )
+        series = iso_time_best(results, checkpoints)
+        print(
+            format_series(
+                series,
+                x_label="cost(s)",
+                x_values=checkpoints,
+                title="best-so-far (ms) vs tuning cost",
+            )
+        )
+        norm = normalized_to_garvey(results)
+        rows.append([name] + [norm[t] for t in ("csTuner", "Garvey", "OpenTuner", "Artemis")])
+
+    print("\n" + format_table(
+        ["stencil", "csTuner", "Garvey", "OpenTuner", "Artemis"],
+        rows,
+        title="final quality normalized to Garvey (higher is better)",
+        float_fmt="{:.2f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

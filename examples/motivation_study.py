@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reproduce the motivation observations (Section III, Figs 2-4).
+
+Samples the valid optimization space of one stencil and prints the
+three distributions the paper builds its design on.
+
+Usage::
+
+    python examples/motivation_study.py [stencil-name] [n-samples]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import A100, GpuSimulator, get_stencil
+from repro.experiments import (
+    format_table,
+    parameter_pair_distribution,
+    speedup_distribution,
+    topn_speedups,
+)
+from repro.space import build_space
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "j3d7pt"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    pattern = get_stencil(name)
+    simulator = GpuSimulator(device=A100, seed=0)
+    space = build_space(pattern, A100)
+    print(f"{pattern.describe()}; sampling {n} valid settings\n")
+
+    fig2 = speedup_distribution(simulator, pattern, space, n_samples=n)
+    labels = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"]
+    print(format_table(
+        ["speedup bin"] + labels,
+        [["fraction"] + list(fig2["fractions"])],
+        title="Fig 2 — speedup distribution over the optimum",
+    ))
+    print(f"  within 20% of optimum: {fig2['within_20pct']:.1%}"
+          f"   slower than 5x: {fig2['slower_than_5x']:.1%}\n")
+
+    fig3 = parameter_pair_distribution(
+        simulator, pattern, space, n_samples=min(n, 1000), probe_limit=4
+    )
+    print(format_table(
+        ["mismatch bin"] + labels,
+        [["fraction"] + list(fig3["fractions"])],
+        title="Fig 3 — parameter-pair mismatch distribution",
+    ))
+    print(f"  pairs missing joint optimum: {fig3['pairs_nonzero']:.1%}"
+          f"   pairs off by >40%: {fig3['pairs_over_40pct']:.1%}\n")
+
+    fig4 = topn_speedups(simulator, pattern, space, n_samples=n)
+    print(format_table(
+        ["n", "speedup of nth best"],
+        [[k, v] for k, v in fig4["speedups"].items()],
+        title="Fig 4 — top-n approximation quality",
+    ))
+    print("\nConclusion: the space is biased towards slow settings, "
+          "parameters interact, and top-n settings are close —\n"
+          "exactly the three observations csTuner's design exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so editable installs must go through ``setup.py develop`` rather than
+PEP 660. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

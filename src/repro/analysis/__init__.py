@@ -1,0 +1,16 @@
+"""Post-hoc analysis: explain settings, diff them, chart convergence."""
+
+from repro.analysis.explain import explain_setting, SettingReport
+from repro.analysis.diff import compare_settings, setting_diff
+from repro.analysis.charts import sparkline, convergence_chart
+from repro.analysis.summary import dataset_summary
+
+__all__ = [
+    "explain_setting",
+    "SettingReport",
+    "compare_settings",
+    "setting_diff",
+    "sparkline",
+    "convergence_chart",
+    "dataset_summary",
+]

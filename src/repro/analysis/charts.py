@@ -1,0 +1,64 @@
+"""Terminal charts: sparklines and convergence plots.
+
+The experiment drivers print tables; these helpers add a quick visual
+for interactive use without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.result import TuningResult
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (NaN/inf render as spaces)."""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_BARS[0])
+        else:
+            idx = int((v - lo) / span * (len(_BARS) - 1))
+            out.append(_BARS[idx])
+    return "".join(out)
+
+
+def convergence_chart(
+    result: TuningResult, *, width: int = 40, by: str = "iteration"
+) -> str:
+    """Best-so-far convergence as a one-line sparkline plus endpoints.
+
+    ``by`` selects the x-axis: "iteration" or "cost".
+    """
+    if by not in ("iteration", "cost"):
+        raise ValueError(f"by must be 'iteration' or 'cost', got {by!r}")
+    if not result.trace:
+        return f"[{result.tuner}] (no trace)"
+    if by == "iteration":
+        xs = [
+            max(1, round(i * result.iterations / width))
+            for i in range(1, width + 1)
+        ]
+        series = [result.best_at_iteration(x) for x in xs]
+    else:
+        total = result.cost_s
+        series = [
+            result.best_at_cost(total * i / width) for i in range(1, width + 1)
+        ]
+    finite = [v for v in series if math.isfinite(v)]
+    head = finite[0] * 1e3 if finite else float("nan")
+    tail = finite[-1] * 1e3 if finite else float("nan")
+    return (
+        f"[{result.tuner}] {head:8.3f} ms {sparkline(series)} "
+        f"{tail:8.3f} ms ({by})"
+    )

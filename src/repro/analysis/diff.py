@@ -1,0 +1,56 @@
+"""Setting comparison: which parameters changed and what it cost."""
+
+from __future__ import annotations
+
+from repro.analysis.explain import explain_setting
+from repro.gpusim.device import DeviceSpec
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern
+
+
+def setting_diff(a: Setting, b: Setting) -> dict[str, tuple[int, int]]:
+    """Parameters whose value differs, in canonical order."""
+    out: dict[str, tuple[int, int]] = {}
+    names = [n for n in PARAMETER_ORDER if n in a and n in b]
+    names += sorted((set(a) & set(b)) - set(names))
+    for name in names:
+        if a[name] != b[name]:
+            out[name] = (a[name], b[name])
+    return out
+
+
+def compare_settings(
+    pattern: StencilPattern,
+    a: Setting,
+    b: Setting,
+    device: DeviceSpec,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Render a side-by-side comparison of two settings.
+
+    Shows the parameter diff plus the simulator's view of each —
+    useful for understanding what a tuner actually changed and why the
+    change pays.
+    """
+    ra = explain_setting(pattern, a, device)
+    rb = explain_setting(pattern, b, device)
+    lines = [
+        f"comparing settings for {pattern.name} on {device.name}:",
+        f"  [{label_a}] {ra.time_ms:.3f} ms ({ra.bound}-bound, "
+        f"occ {ra.occupancy:.2f})",
+        f"  [{label_b}] {rb.time_ms:.3f} ms ({rb.bound}-bound, "
+        f"occ {rb.occupancy:.2f})",
+    ]
+    diff = setting_diff(a, b)
+    if not diff:
+        lines.append("  settings are identical")
+    else:
+        lines.append("  changed parameters:")
+        for name, (va, vb) in diff.items():
+            lines.append(f"    {name}: {va} -> {vb}")
+    ratio = ra.time_ms / rb.time_ms if rb.time_ms else float("inf")
+    lines.append(f"  [{label_b}] is {ratio:.2f}x the speed of [{label_a}]")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Dataset summaries: per-metric statistics and time distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.stats import pearson_correlation
+from repro.profiler.dataset import PerformanceDataset
+
+
+def dataset_summary(dataset: PerformanceDataset) -> dict[str, object]:
+    """Descriptive statistics of a performance dataset.
+
+    Returns time quartiles and, per metric, (mean, std, |PCC with
+    time|) — the quantities the metric-combination stage reasons about.
+    """
+    times = dataset.times()
+    if times.size == 0:
+        return {
+            "stencil": dataset.stencil,
+            "device": dataset.device,
+            "n": 0,
+            "time_ms": {},
+            "metrics": {},
+        }
+    q = np.quantile(times, [0.0, 0.25, 0.5, 0.75, 1.0]) * 1e3
+    metrics: dict[str, dict[str, float]] = {}
+    for name in dataset.metric_names():
+        col = dataset.metric_column(name)
+        metrics[name] = {
+            "mean": float(col.mean()),
+            "std": float(col.std()),
+            "abs_pcc_time": abs(pearson_correlation(col, times)),
+        }
+    return {
+        "stencil": dataset.stencil,
+        "device": dataset.device,
+        "n": len(dataset),
+        "time_ms": {
+            "min": float(q[0]),
+            "q25": float(q[1]),
+            "median": float(q[2]),
+            "q75": float(q[3]),
+            "max": float(q[4]),
+        },
+        "metrics": metrics,
+    }
+
+
+def render_summary(summary: dict[str, object]) -> str:
+    """Human-readable rendering of :func:`dataset_summary`."""
+    t = summary["time_ms"]
+    lines = [
+        f"dataset: {summary['stencil']} on {summary['device']} "
+        f"({summary['n']} settings)",
+    ]
+    if t:
+        lines.append(
+            f"  time (ms): min {t['min']:.3f}  median {t['median']:.3f}  "
+            f"max {t['max']:.3f}"
+        )
+        ranked = sorted(
+            summary["metrics"].items(),
+            key=lambda kv: -kv[1]["abs_pcc_time"],
+        )
+        lines.append("  metrics most correlated with time:")
+        for name, st in ranked[:5]:
+            lines.append(f"    {name}: |PCC|={st['abs_pcc_time']:.2f}")
+    return "\n".join(lines)

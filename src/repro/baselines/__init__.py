@@ -1,0 +1,35 @@
+"""Baseline auto-tuners the paper compares against (Section V-A2).
+
+* :class:`GarveyTuner` — random-forest memory-type prediction,
+  by-dimension parameter grouping, random 10 % sampling, per-group
+  exhaustive search (Garvey & Abdelrahman, ICPP'15).
+* :class:`OpenTunerGA` — OpenTuner configured with its global genetic
+  algorithm over the full space (Ansel et al., PACT'14); the
+  differential-evolution and hill-climber techniques of the OpenTuner
+  ensemble are provided as well.
+* :class:`ArtemisTuner` — hierarchical auto-tuning ordered by expert
+  impact, carrying a few high-performance candidates between levels
+  (Rawat et al., IPDPS'19).
+* :class:`RandomSearchTuner` — uniform random sampling reference.
+"""
+
+from repro.baselines.base import BaselineTuner, batch_iterations
+from repro.baselines.random_search import RandomSearchTuner
+from repro.baselines.opentuner import (
+    OpenTunerGA,
+    DifferentialEvolutionTuner,
+    HillClimberTuner,
+)
+from repro.baselines.garvey import GarveyTuner
+from repro.baselines.artemis import ArtemisTuner
+
+__all__ = [
+    "BaselineTuner",
+    "batch_iterations",
+    "RandomSearchTuner",
+    "OpenTunerGA",
+    "DifferentialEvolutionTuner",
+    "HillClimberTuner",
+    "GarveyTuner",
+    "ArtemisTuner",
+]

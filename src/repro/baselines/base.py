@@ -1,0 +1,102 @@
+"""Shared scaffolding for baseline tuners.
+
+All tuners — csTuner and baselines — consume the same
+:class:`~repro.core.budget.Evaluator`, so iso-iteration and iso-time
+comparisons charge everyone identically. To keep iteration counts
+comparable, every baseline evaluates at most one population's worth of
+settings per iteration (Section V-A2: "the number of parameter
+settings evaluated during one iteration is set to be the same as the
+population size of the genetic algorithms").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.budget import Budget, Evaluator
+from repro.core.result import TuningResult
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.dataset import PerformanceDataset
+from repro.space.setting import Setting
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern
+from repro.utils.rng import rng_from_seed
+
+#: Settings evaluated per iteration across all tuners (2 sub-populations
+#: of 16 individuals in the paper's csTuner configuration).
+ITERATION_BATCH = 32
+
+
+def batch_iterations(
+    settings: Iterable[Setting], batch: int = ITERATION_BATCH
+) -> Iterator[list[Setting]]:
+    """Chunk a stream of candidates into iteration-sized batches."""
+    chunk: list[Setting] = []
+    for s in settings:
+        chunk.append(s)
+        if len(chunk) == batch:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class BaselineTuner(ABC):
+    """Common driver: budget handling, batching, result assembly."""
+
+    name: str = "baseline"
+    #: Whether invalid candidates cost compile time. Stencil-specific
+    #: tuners validate before generating code; general-purpose ones
+    #: (OpenTuner) discover invalidity at compile time.
+    charge_invalid: bool = False
+
+    def __init__(self, simulator: GpuSimulator, *, seed: int = 0) -> None:
+        self.simulator = simulator
+        self.seed = seed
+
+    def tune(
+        self,
+        pattern: StencilPattern,
+        budget: Budget,
+        *,
+        space: SearchSpace | None = None,
+        dataset: PerformanceDataset | None = None,
+        seed: int | None = None,
+    ) -> TuningResult:
+        """Run the tuner under ``budget`` and return its result.
+
+        ``dataset`` is the shared offline stencil dataset; tuners that
+        do not use one (OpenTuner, random search) ignore it.
+        """
+        space = space or build_space(pattern, self.simulator.device)
+        evaluator = Evaluator(
+            self.simulator, pattern, budget, charge_invalid=self.charge_invalid
+        )
+        rng = rng_from_seed(self.seed if seed is None else seed)
+        meta = self._search(pattern, space, evaluator, rng, dataset) or {}
+        return evaluator.result(self.name, meta=meta)
+
+    @abstractmethod
+    def _search(
+        self,
+        pattern: StencilPattern,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        rng: np.random.Generator,
+        dataset: PerformanceDataset | None,
+    ) -> dict[str, object] | None:
+        """Tuner-specific search loop; must respect ``evaluator.exhausted``."""
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def evaluate_batch(
+        evaluator: Evaluator, settings: Sequence[Setting]
+    ) -> list[float | None]:
+        """Evaluate one iteration's batch and mark the boundary."""
+        out = [evaluator.evaluate(s) for s in settings]
+        evaluator.end_iteration()
+        return out

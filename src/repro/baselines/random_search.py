@@ -1,0 +1,48 @@
+"""Uniform random search — the sanity-check baseline.
+
+Not one of the paper's comparison methods, but the natural reference
+point for the motivation analysis (random sampling rarely hits the
+thin high-performance region, Section III-A) and for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ITERATION_BATCH, BaselineTuner
+from repro.core.budget import Evaluator
+from repro.errors import SearchError
+from repro.profiler.dataset import PerformanceDataset
+from repro.space.space import SearchSpace
+from repro.stencil.pattern import StencilPattern
+
+
+class RandomSearchTuner(BaselineTuner):
+    """Draw valid settings uniformly until the budget runs out."""
+
+    name = "Random"
+
+    def _search(
+        self,
+        pattern: StencilPattern,
+        space: SearchSpace,
+        evaluator: Evaluator,
+        rng: np.random.Generator,
+        dataset: PerformanceDataset | None,
+    ) -> dict[str, object] | None:
+        seen: set = set()
+        while not evaluator.exhausted:
+            batch = []
+            for _ in range(ITERATION_BATCH):
+                try:
+                    s = space.random_setting(rng)
+                except SearchError:
+                    break
+                if s in seen:
+                    continue
+                seen.add(s)
+                batch.append(s)
+            if not batch:
+                break
+            self.evaluate_batch(evaluator, batch)
+        return {"distinct_settings": len(seen)}

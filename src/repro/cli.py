@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the common workflows:
+
+``suite``
+    Print the Table III stencil suite.
+``space``
+    Print the Table I optimization space for a stencil.
+``dataset``
+    Collect (and optionally save) the offline performance dataset.
+``tune``
+    Run csTuner (or a baseline) on one stencil under a budget.
+``motivation``
+    Print the Fig 2-4 distributions for a stencil.
+``compare``
+    Iso-time comparison of all four tuners on one stencil.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import Budget, CsTuner, CsTunerConfig
+from repro.experiments import (
+    compare_stencil,
+    format_series,
+    format_table,
+    iso_time_best,
+    normalized_to_garvey,
+    parameter_pair_distribution,
+    speedup_distribution,
+    topn_speedups,
+)
+from repro.experiments.comparison import TUNER_NAMES, run_tuner
+from repro.gpusim.device import get_device
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import STENCIL_SUITE, get_stencil
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("stencil", help="stencil name (see `repro suite`)")
+    p.add_argument("--device", default="A100", choices=["A100", "V100"])
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    rows = [
+        [p.name, "x".join(map(str, p.grid)), p.order, p.flops, p.io_arrays,
+         p.shape.value]
+        for p in STENCIL_SUITE
+    ]
+    print(format_table(
+        ["stencil", "grid", "order", "#FLOPs", "#I/O", "shape"],
+        rows, title="Table III — stencil suite",
+    ))
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    pattern = get_stencil(args.stencil)
+    device = get_device(args.device)
+    space = build_space(pattern, device)
+    rows = [
+        [p.name, p.kind.value, p.values[0], p.values[-1], p.cardinality]
+        for p in space.parameters
+    ]
+    print(format_table(
+        ["parameter", "kind", "min", "max", "|domain|"],
+        rows,
+        title=(f"Table I — space for {pattern.name} on {device.name} "
+               f"({space.nominal_size():.3g} nominal settings)"),
+        float_fmt="{:.0f}",
+    ))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    pattern = get_stencil(args.stencil)
+    device = get_device(args.device)
+    simulator = GpuSimulator(device=device, seed=args.seed)
+    space = build_space(pattern, device)
+    tuner = CsTuner(
+        simulator, CsTunerConfig(seed=args.seed, dataset_size=args.size)
+    )
+    dataset = tuner.collect_dataset(pattern, space)
+    print(f"collected {len(dataset)} profiled settings for "
+          f"{pattern.name} on {device.name}; best "
+          f"{dataset.best().time_s * 1e3:.3f} ms")
+    if args.out:
+        dataset.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    pattern = get_stencil(args.stencil)
+    device = get_device(args.device)
+    simulator = GpuSimulator(device=device, seed=args.seed)
+    space = build_space(pattern, device)
+    budget = (
+        Budget(max_iterations=args.iterations)
+        if args.iterations
+        else Budget(max_cost_s=args.budget)
+    )
+    result = run_tuner(
+        args.tuner,
+        simulator,
+        pattern,
+        space,
+        budget,
+        dataset=None if args.tuner in ("OpenTuner", "Artemis") else CsTuner(
+            simulator, CsTunerConfig(seed=args.seed)
+        ).collect_dataset(pattern, space),
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"best setting: {result.best_setting!r}")
+    return 0
+
+
+def _cmd_motivation(args: argparse.Namespace) -> int:
+    pattern = get_stencil(args.stencil)
+    device = get_device(args.device)
+    simulator = GpuSimulator(device=device, seed=args.seed)
+    space = build_space(pattern, device)
+    fig2 = speedup_distribution(
+        simulator, pattern, space, n_samples=args.samples, seed=args.seed
+    )
+    fig4 = topn_speedups(
+        simulator, pattern, space, n_samples=args.samples, seed=args.seed
+    )
+    fig3 = parameter_pair_distribution(
+        simulator, pattern, space, n_samples=min(args.samples, 500),
+        probe_limit=4, seed=args.seed,
+        parameters=["TBx", "TBy", "UFx", "UFy", "BMx", "useShared"],
+    )
+    labels = ["[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)", "[.8,1]"]
+    print(format_table(["bin"] + labels,
+                       [["Fig2 fraction"] + list(fig2["fractions"]),
+                        ["Fig3 fraction"] + list(fig3["fractions"])],
+                       title=f"motivation — {pattern.name} on {device.name}"))
+    print(format_table(
+        ["n", "top-n speedup"],
+        [[k, v] for k, v in fig4["speedups"].items()],
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    pattern = get_stencil(args.stencil)
+    device = get_device(args.device)
+    results = compare_stencil(
+        pattern,
+        device,
+        Budget(max_cost_s=args.budget),
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    checkpoints = [args.budget * f for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
+    print(format_series(
+        iso_time_best(results, checkpoints),
+        x_label="cost(s)",
+        x_values=[f"{c:.0f}" for c in checkpoints],
+        title=f"iso-time comparison — {pattern.name} on {device.name} (ms)",
+    ))
+    norm = normalized_to_garvey(results)
+    print(format_table(
+        list(TUNER_NAMES),
+        [[norm[t] for t in TUNER_NAMES]],
+        title="final quality normalized to Garvey",
+        float_fmt="{:.2f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="csTuner reproduction — stencil auto-tuning on simulated GPUs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="print the Table III stencil suite")
+
+    p = sub.add_parser("space", help="print the optimization space")
+    _add_common(p)
+
+    p = sub.add_parser("dataset", help="collect the offline dataset")
+    _add_common(p)
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--out", help="save the dataset JSON here")
+
+    p = sub.add_parser("tune", help="run a tuner on one stencil")
+    _add_common(p)
+    p.add_argument("--tuner", default="csTuner", choices=list(TUNER_NAMES))
+    p.add_argument("--budget", type=float, default=100.0,
+                   help="tuning-cost budget in seconds (iso-time)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="iteration budget instead of time")
+
+    p = sub.add_parser("motivation", help="print the Fig 2-4 distributions")
+    _add_common(p)
+    p.add_argument("--samples", type=int, default=1500)
+
+    p = sub.add_parser("compare", help="iso-time tuner comparison")
+    _add_common(p)
+    p.add_argument("--budget", type=float, default=100.0)
+    p.add_argument("--reps", type=int, default=2)
+
+    return parser
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "space": _cmd_space,
+    "dataset": _cmd_dataset,
+    "tune": _cmd_tune,
+    "motivation": _cmd_motivation,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Kernel planning and CUDA-C source generation.
+
+A :class:`KernelPlan` turns a (stencil, setting) pair into the resource
+and work-distribution quantities the GPU simulator consumes — threads
+per block, points per thread, register and shared-memory footprints,
+launch geometry. :func:`resource_violation` implements the paper's
+implicit constraints (register spill, shared-memory overflow), and
+:func:`generate_cuda` emits the CUDA kernel text the paper's code
+generation stage writes before auto-tuning (Fig 12's "codegen" phase).
+"""
+
+from repro.codegen.plan import KernelPlan, build_plan, resource_violation
+from repro.codegen.registers import estimate_registers, estimate_shared_memory
+from repro.codegen.cuda import generate_cuda
+
+__all__ = [
+    "KernelPlan",
+    "build_plan",
+    "resource_violation",
+    "estimate_registers",
+    "estimate_shared_memory",
+    "generate_cuda",
+]

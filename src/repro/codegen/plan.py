@@ -1,0 +1,148 @@
+"""Kernel plans: the bridge from a parameter setting to launchable work.
+
+The plan captures everything the simulator needs about the generated
+kernel — launch geometry, per-thread work, resource footprints and the
+memory-access descriptors (coalescing stride, staging mode) the
+memory model uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.codegen.registers import (
+    MAX_REGISTERS_PER_THREAD,
+    estimate_registers,
+    estimate_shared_memory,
+)
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern
+
+_SUFFIX = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Resolved execution plan for one (stencil, setting) pair.
+
+    All quantities are device-independent; the simulator combines them
+    with a :class:`~repro.gpusim.device.DeviceSpec` to produce timings.
+    """
+
+    pattern: StencilPattern
+    setting: Setting
+    threads_per_block: int
+    points_per_thread: int
+    blocks: tuple[int, int, int]
+    stream_iters: int
+    registers_per_thread: int
+    shared_memory_per_block: int
+    #: Innermost-dimension block-merging factor; values > 1 disrupt
+    #: memory coalescing (Section II-B2).
+    coalescing_stride: int
+    streaming: bool
+    streaming_dim: int | None
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks[0] * self.blocks[1] * self.blocks[2]
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_blocks * self.threads_per_block
+
+    @property
+    def flops_per_thread(self) -> float:
+        """FLOPs one thread performs across all its stream iterations."""
+        return float(
+            self.pattern.flops * self.points_per_thread * self.stream_iters
+        )
+
+    @property
+    def sync_points(self) -> int:
+        """Block-wide barriers executed per thread (streaming shifts)."""
+        if not (self.streaming and self.setting.enabled("useShared")):
+            return 1 if self.setting.enabled("useShared") else 0
+        return self.stream_iters
+
+    def covered_points(self) -> int:
+        """Output points the whole launch updates (>= pattern.points())."""
+        return self.total_threads * self.points_per_thread * self.stream_iters
+
+
+def build_plan(pattern: StencilPattern, setting: Setting) -> KernelPlan:
+    """Resolve launch geometry and resource footprints for a setting.
+
+    The setting is assumed to satisfy the explicit constraints; the plan
+    is still constructed for resource-violating settings so the
+    violation can be *reported* (and so Fig 12's codegen phase can be
+    timed on arbitrary candidates).
+    """
+    tpb = setting["TBx"] * setting["TBy"] * setting["TBz"]
+    ppt = 1
+    for s in _SUFFIX:
+        ppt *= setting[f"UF{s}"] * setting[f"CM{s}"] * setting[f"BM{s}"]
+
+    streaming = setting.enabled("useStreaming")
+    sd = setting["SD"] if streaming else None
+    sb = setting["SB"]
+
+    blocks = [1, 1, 1]
+    stream_iters = 1
+    for dim in (1, 2, 3):
+        s = _SUFFIX[dim - 1]
+        extent = pattern.grid[dim - 1]
+        per_thread = (
+            setting[f"UF{s}"] * setting[f"CM{s}"] * setting[f"BM{s}"]
+        )
+        tile = setting[f"TB{s}"] * per_thread
+        if streaming and dim == sd:
+            blocks[dim - 1] = sb
+            planes = max(1, extent // sb)
+            stream_iters = math.ceil(planes / per_thread)
+        else:
+            blocks[dim - 1] = math.ceil(extent / tile)
+
+    return KernelPlan(
+        pattern=pattern,
+        setting=setting,
+        threads_per_block=tpb,
+        points_per_thread=ppt,
+        blocks=(blocks[0], blocks[1], blocks[2]),
+        stream_iters=stream_iters,
+        registers_per_thread=estimate_registers(pattern, setting),
+        shared_memory_per_block=estimate_shared_memory(pattern, setting),
+        coalescing_stride=setting["BMx"],
+        streaming=streaming,
+        streaming_dim=sd,
+    )
+
+
+def resource_violation(
+    pattern: StencilPattern, setting: Setting, device: "object"
+) -> str | None:
+    """Implicit (resource) constraint check — Section IV-B.
+
+    ``device`` is a :class:`repro.gpusim.device.DeviceSpec`; typed as
+    object to keep this layer import-light. Returns the first violated
+    resource rule or ``None``.
+    """
+    plan = build_plan(pattern, setting)
+    max_regs = min(MAX_REGISTERS_PER_THREAD, device.max_regs_per_thread)
+    if plan.registers_per_thread > max_regs:
+        return (
+            f"register spill: {plan.registers_per_thread} regs/thread "
+            f"exceeds {max_regs}"
+        )
+    if plan.registers_per_thread * plan.threads_per_block > device.regs_per_sm:
+        return (
+            f"block needs {plan.registers_per_thread * plan.threads_per_block}"
+            f" registers, SM has {device.regs_per_sm}"
+        )
+    if plan.shared_memory_per_block > device.max_smem_per_block:
+        return (
+            f"shared memory {plan.shared_memory_per_block} B/block exceeds "
+            f"{device.max_smem_per_block} B"
+        )
+    return None

@@ -1,0 +1,117 @@
+"""Register and shared-memory footprint estimation.
+
+These models stand in for the compiler's resource allocation (the paper
+reads real figures out of NVCC/Nsight). They are calibrated to produce
+the qualitative behaviour the paper's Section II-B describes:
+
+* merging/unrolling multiplies live accumulators and can spill;
+* prefetching double-buffers the streaming window and *adds* registers;
+* retiming homogenizes accesses and *relieves* pressure for high-order
+  stencils while adding a small constant overhead for low-order ones;
+* shared-memory tiling moves neighbour staging out of registers but
+  costs a per-block tile whose halo grows with the stencil order.
+"""
+
+from __future__ import annotations
+
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+#: Baseline registers any generated stencil kernel consumes (indexing,
+#: loop counters, base pointers).
+_BASE_REGISTERS = 22
+
+#: Architectural ceiling before the compiler must spill to local memory.
+MAX_REGISTERS_PER_THREAD = 255
+
+
+def _points_per_thread(setting: Setting) -> int:
+    ppt = 1
+    for s in ("x", "y", "z"):
+        ppt *= setting[f"UF{s}"] * setting[f"CM{s}"] * setting[f"BM{s}"]
+    return ppt
+
+
+def estimate_registers(pattern: StencilPattern, setting: Setting) -> int:
+    """Estimated registers per thread for the generated kernel.
+
+    Deliberately integer-valued and monotone in the merge/unroll factors
+    so the induced implicit constraint carves a realistic feasible
+    region out of the Table I space.
+    """
+    ppt = _points_per_thread(setting)
+    order = pattern.order
+    use_shared = setting.enabled("useShared")
+
+    # Live accumulators: one partial sum (plus address arithmetic) per
+    # merged output point and output array.
+    accumulators = 2 * ppt * pattern.outputs + ppt
+
+    # Neighbour staging: reading taps through shared memory needs only a
+    # couple of registers; register-resident staging holds a halo's
+    # worth of values per input actually kept live.
+    staged_inputs = min(pattern.inputs, 4)
+    if use_shared:
+        staging = 2 * staged_inputs + order
+    else:
+        width = 2 * order + 1
+        if pattern.shape is StencilShape.BOX:
+            width = width * width  # a full plane of the box is kept live
+        staging = width * staged_inputs
+
+    # Streaming keeps a sliding window of planes in registers when shared
+    # memory is off; unrolling the stream loop lengthens the window.
+    extra = 0
+    if setting.enabled("useStreaming"):
+        sd = setting["SD"]
+        uf_sd = setting[f"UF{'xyz'[sd - 1]}"]
+        window = 2 * order + uf_sd
+        extra += 2 * window if not use_shared else window
+        if setting.enabled("usePrefetching"):
+            # Double-buffered loads for the next plane.
+            extra += order * 3 + staged_inputs
+
+    if setting.enabled("useRetiming"):
+        if order >= 2:
+            # Homogenized accesses: decomposition reuses registers.
+            staging = max(4, staging * 2 // 3)
+            extra += 2
+        else:
+            extra += 6  # bookkeeping with nothing to reuse
+
+    if setting.enabled("useConstant"):
+        extra += 2  # coefficient indexing through constant bank
+
+    return _BASE_REGISTERS + accumulators + staging + extra
+
+
+def estimate_shared_memory(pattern: StencilPattern, setting: Setting) -> int:
+    """Estimated shared-memory bytes per thread block.
+
+    Zero when the shared-memory switch is off. The tile covers the
+    block's work footprint plus a halo of ``order`` on each face; under
+    streaming only a ``2*order + 1``-plane sliding window is resident.
+    """
+    if not setting.enabled("useShared"):
+        return 0
+    order = pattern.order
+    streaming = setting.enabled("useStreaming")
+    sd = setting["SD"] if streaming else None
+
+    extents = []
+    for dim, s in ((1, "x"), (2, "y"), (3, "z")):
+        footprint = (
+            setting[f"TB{s}"]
+            * setting[f"UF{s}"]
+            * setting[f"CM{s}"]
+            * setting[f"BM{s}"]
+        )
+        if streaming and dim == sd:
+            extents.append(2 * order + 1)  # sliding window of planes
+        else:
+            extents.append(footprint + 2 * order)
+    tile_elems = extents[0] * extents[1] * extents[2]
+    staged_arrays = 1 if pattern.shape is not StencilShape.MULTI else min(
+        2, pattern.inputs
+    )
+    return tile_elems * staged_arrays * pattern.dtype_bytes

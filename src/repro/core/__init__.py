@@ -1,0 +1,54 @@
+"""csTuner core: the paper's contribution.
+
+Parameter grouping (Algorithm 1), metric combination (Algorithm 2),
+PMNF-guided search-space sampling, group re-indexing (Fig 7) and the
+multi-population genetic search with approximation, assembled by the
+:class:`CsTuner` facade.
+"""
+
+from repro.core.result import TracePoint, TuningResult
+from repro.core.budget import Budget, Evaluator
+from repro.core.grouping import (
+    best_response_values,
+    pairwise_cv,
+    group_parameters,
+)
+from repro.core.metricsel import (
+    metric_pccs,
+    combine_metrics,
+    select_representatives,
+)
+from repro.core.reindex import GroupIndex, build_group_indexes
+from repro.core.sampling import SamplingConfig, SampledSpace, sample_search_space
+from repro.core.genetic import GAConfig, Individual, EvolutionarySearch
+from repro.core.tuner import CsTuner, CsTunerConfig, Preprocessed, make_cstuner
+from repro.core.io import save_result, load_result, result_to_dict, result_from_dict
+
+__all__ = [
+    "TracePoint",
+    "TuningResult",
+    "Budget",
+    "Evaluator",
+    "best_response_values",
+    "pairwise_cv",
+    "group_parameters",
+    "metric_pccs",
+    "combine_metrics",
+    "select_representatives",
+    "GroupIndex",
+    "build_group_indexes",
+    "SamplingConfig",
+    "SampledSpace",
+    "sample_search_space",
+    "GAConfig",
+    "Individual",
+    "EvolutionarySearch",
+    "CsTuner",
+    "CsTunerConfig",
+    "Preprocessed",
+    "make_cstuner",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+]

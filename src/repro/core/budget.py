@@ -1,0 +1,144 @@
+"""Budgeted evaluation: the shared currency of tuner comparisons.
+
+Both comparison modes of the paper are expressed as budgets: a fixed
+number of iterations (iso-iteration) or a fixed wall-clock search time
+(iso-time — 100 seconds in Section V-C, charged as compile time plus
+timed kernel trials per distinct candidate). All tuners evaluate
+through one :class:`Evaluator`, which enforces the budget, caches
+duplicate candidates (re-running a compiled kernel variant is free on
+real hardware too, relative to the cache granularity used here), and
+records the best-so-far trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import TracePoint, TuningResult
+from repro.errors import InvalidSettingError
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Stopping criterion: iterations, tuning cost, or both (first hit)."""
+
+    max_iterations: int | None = None
+    max_cost_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is None and self.max_cost_s is None:
+            raise ValueError("budget needs max_iterations and/or max_cost_s")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1: {self.max_iterations}")
+        if self.max_cost_s is not None and self.max_cost_s <= 0:
+            raise ValueError(f"max_cost_s must be > 0: {self.max_cost_s}")
+
+
+class Evaluator:
+    """Budget-enforcing, caching evaluation front-end to the simulator."""
+
+    def __init__(
+        self,
+        simulator: GpuSimulator,
+        pattern: StencilPattern,
+        budget: Budget,
+        *,
+        charge_invalid: bool = False,
+    ) -> None:
+        self.simulator = simulator
+        self.pattern = pattern
+        self.budget = budget
+        #: Charge compile time for constraint-violating candidates.
+        #: csTuner, Garvey and Artemis validate candidates before code
+        #: generation (stencil-specific knowledge); a general-purpose
+        #: tuner like OpenTuner only discovers invalidity when the
+        #: compiled variant fails, paying the compile cost.
+        self.charge_invalid = charge_invalid
+        self.evaluations = 0
+        self.iteration = 0
+        self.cost_s = 0.0
+        self.best_setting: Setting | None = None
+        self.best_time_s = np.inf
+        self.trace: list[TracePoint] = []
+        self._cache: dict[Setting, float] = {}
+        simulator.reset_cost_accounting()
+
+    # -- budget ------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        b = self.budget
+        if b.max_iterations is not None and self.iteration >= b.max_iterations:
+            return True
+        if b.max_cost_s is not None and self.cost_s >= b.max_cost_s:
+            return True
+        return False
+
+    def end_iteration(self) -> None:
+        """Mark an iteration boundary (one GA generation, one batch…)."""
+        self.iteration += 1
+        self.trace.append(
+            TracePoint(self.evaluations, self.iteration, self.cost_s, self.best_time_s)
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, setting: Setting) -> float | None:
+        """Measured time for ``setting``; ``None`` if it violates constraints.
+
+        Invalid settings cost nothing: csTuner (and the baselines, to
+        keep the comparison fair) check constraints *before* generating
+        and running search codes. Duplicate valid settings return the
+        cached measurement without additional cost.
+        """
+        cached = self._cache.get(setting)
+        if cached is not None:
+            return cached
+        if self.exhausted:
+            return None
+        try:
+            run = self.simulator.run(self.pattern, setting)
+        except InvalidSettingError:
+            if self.charge_invalid:
+                self.cost_s += self.simulator.compile_cost_s
+            return None
+        self.evaluations += 1
+        self.cost_s += run.tuning_cost_s
+        self._cache[setting] = run.time_s
+        if run.time_s < self.best_time_s:
+            self.best_time_s = run.time_s
+            self.best_setting = setting
+            self.trace.append(
+                TracePoint(
+                    self.evaluations, self.iteration, self.cost_s, self.best_time_s
+                )
+            )
+        return run.time_s
+
+    # -- result assembly ------------------------------------------------------
+
+    def result(
+        self,
+        tuner: str,
+        *,
+        phase_seconds: dict[str, float] | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> TuningResult:
+        return TuningResult(
+            stencil=self.pattern.name,
+            device=self.simulator.device.name,
+            tuner=tuner,
+            best_setting=self.best_setting,
+            best_time_s=float(self.best_time_s),
+            evaluations=self.evaluations,
+            iterations=self.iteration,
+            cost_s=self.cost_s,
+            trace=list(self.trace),
+            phase_seconds=dict(phase_seconds or {}),
+            meta=dict(meta or {}),
+        )

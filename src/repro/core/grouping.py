@@ -1,0 +1,175 @@
+"""Parameter grouping (Section IV-C, Algorithm 1).
+
+Correlation between two parameters is quantified as the coefficient of
+variation of the *best-response* values: fix all other parameters at
+the optimal setting from the performance dataset, sweep parameter
+``a``, and for each value of ``a`` record which value of ``b`` performs
+best. The CVs of these best-response sequences (in log2 space so the
+power-of-two domains become continuous) are pushed into a double-ended
+queue in ascending order; Algorithm 1 then pops alternately from both
+ends, merging strongly-correlated (low-CV) pairs into groups and
+splitting weakly-correlated (high-CV) pairs into singleton groups.
+
+Note on Algorithm 1 as printed: the paper's pseudocode swaps the
+merge/singleton branches between the left and right pops, which would
+group the *least* correlated pairs — contradicting the stated principle
+("put strongly correlated parameters in a group"). We implement the
+stated principle: left pops (strong correlation) merge, right pops
+(weak correlation) create singletons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+
+import math
+
+from repro.gpusim.simulator import GpuSimulator
+from repro.errors import InvalidSettingError
+from repro.ml.stats import coefficient_of_variation
+from repro.space.setting import Setting
+from repro.space.space import SearchSpace
+from repro.stencil.pattern import StencilPattern
+
+
+def _probe_values(domain: Sequence[int], limit: int) -> list[int]:
+    """Evenly thinned probe subset of a parameter domain."""
+    if limit >= len(domain) or limit <= 0:
+        return list(domain)
+    idx = [round(i * (len(domain) - 1) / (limit - 1)) for i in range(limit)]
+    return [domain[i] for i in sorted(set(idx))]
+
+
+def best_response_values(
+    simulator: GpuSimulator,
+    pattern: StencilPattern,
+    space: SearchSpace,
+    base: Setting,
+    a: str,
+    b: str,
+    *,
+    probe_limit: int = 6,
+) -> list[float]:
+    """Best value of ``b`` (log2) for each probed value of ``a``.
+
+    All other parameters are pinned to ``base`` (the dataset optimum).
+    Combinations violating any constraint are skipped — the paper skips
+    settings "not existing" in the evaluated space; an ``a`` value with
+    no feasible ``b`` contributes nothing.
+    """
+    dom_a = _probe_values(space.param(a).values, probe_limit)
+    dom_b = space.param(b).values
+    responses: list[float] = []
+    base_dict = base.to_dict()
+    for va in dom_a:
+        best_time = math.inf
+        best_vb: int | None = None
+        for vb in dom_b:
+            values = dict(base_dict)
+            values[a] = va
+            values[b] = vb
+            setting = Setting(values)
+            if not space.is_valid(setting):
+                continue
+            try:
+                t = simulator.true_time(pattern, setting)
+            except InvalidSettingError:
+                continue
+            if t < best_time:
+                best_time, best_vb = t, vb
+        if best_vb is not None:
+            responses.append(math.log2(best_vb))
+    return responses
+
+
+def pairwise_cv(
+    simulator: GpuSimulator,
+    pattern: StencilPattern,
+    space: SearchSpace,
+    base: Setting,
+    *,
+    probe_limit: int = 6,
+    parameters: Sequence[str] | None = None,
+) -> dict[tuple[str, str], float]:
+    """CV of the best-response sequence for every ordered parameter pair.
+
+    Ordered pairs — ``CV(a, b)`` sweeps ``a`` and tracks ``b`` — giving
+    the paper's :math:`A_N^{N-1}` correlation values. Pairs with fewer
+    than two feasible probes get CV ``inf`` (nothing observable, treated
+    as uncorrelated).
+    """
+    names = list(parameters) if parameters is not None else list(space.names)
+    out: dict[tuple[str, str], float] = {}
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            vs = best_response_values(
+                simulator, pattern, space, base, a, b, probe_limit=probe_limit
+            )
+            if len(vs) < 2:
+                out[(a, b)] = math.inf
+            else:
+                # log2(1) = 0 can zero the mean; shift by +1 so the CV
+                # stays finite and comparable across pairs.
+                out[(a, b)] = coefficient_of_variation([v + 1.0 for v in vs])
+    return out
+
+
+def group_parameters(
+    cv_pairs: Mapping[tuple[str, str], float],
+    *,
+    max_group_size: int | None = None,
+) -> list[list[str]]:
+    """Algorithm 1: deque-driven grouping from pairwise CVs.
+
+    Pairs are sorted ascending by CV (ties broken by name for
+    determinism). Alternating pops: the left end (strong correlation)
+    merges pairs into groups; the right end (weak correlation) ensures
+    parameters exist as singletons. Every parameter mentioned in any
+    pair ends up in exactly one group.
+
+    ``max_group_size`` optionally caps merges (an extension knob used by
+    the ablation benchmarks; ``None`` reproduces the paper).
+    """
+    ordered = sorted(cv_pairs.items(), key=lambda kv: (kv[1], kv[0]))
+    dq: deque[tuple[str, str]] = deque(pair for pair, _ in ordered)
+
+    groups: list[list[str]] = []
+
+    def find(name: str) -> int | None:
+        for i, g in enumerate(groups):
+            if name in g:
+                return i
+        return None
+
+    que_size = len(dq)
+    for i in range(que_size):
+        if i % 2 == 0:
+            # Left pop: strongly correlated — merge into one group.
+            a, b = dq.popleft()
+            ia, ib = find(a), find(b)
+            if ia is None and ib is None:
+                groups.append([a, b])
+            elif ia is not None and ib is not None:
+                continue
+            elif ia is not None:
+                if max_group_size is None or len(groups[ia]) < max_group_size:
+                    groups[ia].append(b)
+                else:
+                    groups.append([b])
+            else:
+                assert ib is not None
+                if max_group_size is None or len(groups[ib]) < max_group_size:
+                    groups[ib].append(a)
+                else:
+                    groups.append([a])
+        else:
+            # Right pop: weakly correlated — keep apart as singletons.
+            a, b = dq.pop()
+            if find(a) is None:
+                groups.append([a])
+            if find(b) is None:
+                groups.append([b])
+    return groups

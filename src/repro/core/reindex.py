@@ -1,0 +1,73 @@
+"""Group value re-indexing (Fig 7).
+
+After sampling, the surviving values of each parameter group are no
+longer contiguous — a gene initialised or mutated over the raw domain
+would constantly land outside the sampled space. csTuner therefore
+re-indexes each group's available value *tuples*: the observed tuples
+are sorted ascending and mapped onto ``0 .. n-1``, and each gene's
+valid range becomes the dense integer interval ``[0, n-1]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SearchError
+from repro.space.setting import Setting
+
+
+class GroupIndex:
+    """Dense index over one parameter group's sampled value tuples."""
+
+    def __init__(
+        self, group: Sequence[str], tuples: Iterable[tuple[int, ...]]
+    ) -> None:
+        self.group: tuple[str, ...] = tuple(group)
+        uniq = sorted(set(tuples))
+        if not uniq:
+            raise SearchError(
+                f"group {self.group} has no values in the sampled space"
+            )
+        for t in uniq:
+            if len(t) != len(self.group):
+                raise SearchError(
+                    f"tuple {t} does not match group arity {len(self.group)}"
+                )
+        self.tuples: tuple[tuple[int, ...], ...] = tuple(uniq)
+        self._index = {t: i for i, t in enumerate(self.tuples)}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def bits(self) -> int:
+        """Bits needed to store a gene over this index (for mutation)."""
+        return max(1, (len(self.tuples) - 1).bit_length())
+
+    def decode(self, index: int) -> dict[str, int]:
+        """Gene value → parameter assignments for this group."""
+        if not 0 <= index < len(self.tuples):
+            raise SearchError(
+                f"gene {index} outside [0, {len(self.tuples) - 1}] for {self.group}"
+            )
+        return dict(zip(self.group, self.tuples[index]))
+
+    def index_of(self, setting: Setting) -> int | None:
+        """Index of the group's value tuple in ``setting`` (None if absent)."""
+        return self._index.get(tuple(setting[name] for name in self.group))
+
+
+def build_group_indexes(
+    groups: Sequence[Sequence[str]],
+    settings: Sequence[Setting],
+) -> list[GroupIndex]:
+    """One :class:`GroupIndex` per group from the sampled settings."""
+    if not settings:
+        raise SearchError("cannot index an empty sampled space")
+    out: list[GroupIndex] = []
+    for group in groups:
+        tuples = {
+            tuple(s[name] for name in group) for s in settings
+        }
+        out.append(GroupIndex(group, tuples))
+    return out

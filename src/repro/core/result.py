@@ -1,0 +1,74 @@
+"""Tuning results and search traces.
+
+Every tuner (csTuner and all baselines) returns a
+:class:`TuningResult` containing the best setting found, the budget it
+consumed and a trace of best-so-far execution time against both
+iteration count and accumulated tuning cost — the raw material of the
+paper's iso-iteration (Fig 8) and iso-time (Fig 9/10) comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.space.setting import Setting
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Best-so-far snapshot after one evaluation or iteration boundary."""
+
+    evaluations: int
+    iteration: int
+    cost_s: float
+    best_time_s: float
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one auto-tuning run."""
+
+    stencil: str
+    device: str
+    tuner: str
+    best_setting: Setting | None
+    best_time_s: float
+    evaluations: int
+    iterations: int
+    cost_s: float
+    trace: list[TracePoint] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def best_at_iteration(self, iteration: int) -> float:
+        """Best time found within the first ``iteration`` iterations.
+
+        ``inf`` when nothing had been evaluated yet — the iso-iteration
+        plots show such points as missing, like the paper's Fig 8.
+        """
+        best = math.inf
+        for pt in self.trace:
+            if pt.iteration <= iteration:
+                best = min(best, pt.best_time_s)
+        return best
+
+    def best_at_cost(self, cost_s: float) -> float:
+        """Best time found within a tuning-cost budget (iso-time)."""
+        best = math.inf
+        for pt in self.trace:
+            if pt.cost_s <= cost_s:
+                best = min(best, pt.best_time_s)
+        return best
+
+    def iteration_series(self, max_iterations: int) -> list[float]:
+        """Best-so-far per iteration, 1-based, for plotting Fig 8 rows."""
+        return [self.best_at_iteration(i) for i in range(1, max_iterations + 1)]
+
+    def summary(self) -> str:
+        ms = self.best_time_s * 1e3
+        return (
+            f"[{self.tuner}] {self.stencil}@{self.device}: best {ms:.3f} ms "
+            f"after {self.evaluations} evaluations "
+            f"({self.iterations} iterations, {self.cost_s:.1f}s tuning cost)"
+        )

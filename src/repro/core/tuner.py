@@ -1,0 +1,179 @@
+"""The csTuner facade: the full auto-tuning pipeline of Fig 5.
+
+``CsTuner.tune`` wires the stages together:
+
+1. *Offline*: collect (or accept) the stencil performance dataset —
+   128 randomly-sampled profiled settings by default. Excluded from
+   the online overhead accounting, as in Section V-F.
+2. *Pre-processing* (timed per phase for Fig 12):
+   - parameter grouping — pairwise best-response CVs + Algorithm 1;
+   - search-space sampling — metric combination (Algorithm 2), PMNF
+     model fitting, pool filtering and group re-indexing (Fig 7);
+   - code generation — CUDA kernels for every sampled setting.
+3. *Search*: the multi-population genetic algorithm with
+   per-group approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.codegen.cuda import generate_cuda
+from repro.core.budget import Budget, Evaluator
+from repro.core.genetic import EvolutionarySearch, GAConfig
+from repro.core.grouping import group_parameters, pairwise_cv
+from repro.core.result import TuningResult
+from repro.core.sampling import SampledSpace, SamplingConfig, sample_search_space
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.dataset import PerformanceDataset
+from repro.profiler.nsight import NsightCollector
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class CsTunerConfig:
+    """End-to-end csTuner configuration (defaults from Section V-A2)."""
+
+    dataset_size: int = 128
+    probe_limit: int = 6
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    ga: GAConfig = field(default_factory=GAConfig)
+    seed: int = 0
+
+    def with_ratio(self, ratio: float) -> "CsTunerConfig":
+        """Copy with a different sampling ratio (Fig 11 sweeps this)."""
+        return replace(self, sampling=replace(self.sampling, ratio=ratio))
+
+
+@dataclass
+class Preprocessed:
+    """Pre-processing artefacts, reusable across budgets/runs."""
+
+    groups: list[list[str]]
+    sampled: SampledSpace
+    kernels: dict[int, str]
+    watch: Stopwatch
+
+
+class CsTuner:
+    """Scalable auto-tuning for complex stencil computations."""
+
+    name = "csTuner"
+
+    def __init__(
+        self, simulator: GpuSimulator, config: CsTunerConfig | None = None
+    ) -> None:
+        self.simulator = simulator
+        self.config = config or CsTunerConfig()
+
+    # -- offline --------------------------------------------------------------
+
+    def collect_dataset(
+        self, pattern: StencilPattern, space: SearchSpace
+    ) -> PerformanceDataset:
+        """Offline stencil dataset (profiled once, amortised forever)."""
+        collector = NsightCollector(self.simulator)
+        return collector.collect_dataset(
+            pattern, space, n=self.config.dataset_size, seed=self.config.seed
+        )
+
+    # -- pre-processing --------------------------------------------------------
+
+    def preprocess(
+        self,
+        pattern: StencilPattern,
+        space: SearchSpace,
+        dataset: PerformanceDataset,
+    ) -> Preprocessed:
+        """Grouping, sampling and code generation, individually timed."""
+        watch = Stopwatch()
+        with watch.phase("grouping"):
+            cvs = pairwise_cv(
+                self.simulator,
+                pattern,
+                space,
+                dataset.best().setting,
+                probe_limit=self.config.probe_limit,
+            )
+            groups = group_parameters(cvs)
+        with watch.phase("sampling"):
+            sampled = sample_search_space(
+                space,
+                dataset,
+                groups,
+                config=self.config.sampling,
+                seed=self.config.seed + 1,
+            )
+        with watch.phase("codegen"):
+            # Kernel emission is stencil-specific; other domains (e.g.
+            # the GEMM extension) bring their own code generators and
+            # skip this phase.
+            if isinstance(pattern, StencilPattern):
+                kernels = {
+                    i: generate_cuda(pattern, s)
+                    for i, s in enumerate(sampled.settings)
+                }
+            else:
+                kernels = {}
+        return Preprocessed(groups=groups, sampled=sampled, kernels=kernels, watch=watch)
+
+    # -- full pipeline ---------------------------------------------------------
+
+    def tune(
+        self,
+        pattern: StencilPattern,
+        budget: Budget,
+        *,
+        space: SearchSpace | None = None,
+        dataset: PerformanceDataset | None = None,
+        preprocessed: Preprocessed | None = None,
+        seed: int | None = None,
+    ) -> TuningResult:
+        """Run the whole pipeline and return the tuning result.
+
+        ``dataset`` and ``preprocessed`` may be supplied to reuse the
+        offline stage across repeated runs (e.g. the 10 repetitions the
+        paper averages over); the online budget covers only the search.
+        """
+        space = space or build_space(pattern, self.simulator.device)
+        if preprocessed is None:
+            if dataset is None:
+                dataset = self.collect_dataset(pattern, space)
+            preprocessed = self.preprocess(pattern, space, dataset)
+
+        evaluator = Evaluator(self.simulator, pattern, budget)
+        watch = Stopwatch()
+        with watch.phase("search"):
+            search = EvolutionarySearch(
+                sampled=preprocessed.sampled,
+                space=space,
+                evaluator=evaluator,
+                config=self.config.ga,
+                seed=self.config.seed if seed is None else seed,
+            )
+            search.run()
+
+        phases = dict(preprocessed.watch.totals)
+        phases["search"] = watch.totals.get("search", 0.0)
+        return evaluator.result(
+            self.name,
+            phase_seconds=phases,
+            meta={
+                "groups": [list(g) for g in preprocessed.groups],
+                "sampled_size": len(preprocessed.sampled),
+                "representative_metrics": list(
+                    preprocessed.sampled.representatives
+                ),
+                "generations": search.generations,
+                "search_cost_s": evaluator.cost_s,
+            },
+        )
+
+
+def make_cstuner(
+    simulator: GpuSimulator, config: CsTunerConfig | None = None
+) -> CsTuner:
+    """Convenience constructor mirroring the baseline factories."""
+    return CsTuner(simulator, config)

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each ``run_*`` function returns structured results and can print the
+same rows/series the paper reports; the ``benchmarks/`` directory wires
+one pytest-benchmark per table/figure to these drivers. Scaled-down
+defaults keep a full regeneration within CI time; paper-scale settings
+are documented in EXPERIMENTS.md.
+"""
+
+from repro.experiments.motivation import (
+    speedup_distribution,
+    parameter_pair_distribution,
+    topn_speedups,
+)
+from repro.experiments.comparison import (
+    TUNER_NAMES,
+    run_tuner,
+    compare_stencil,
+    iso_iteration_series,
+    iso_time_best,
+    normalized_to_garvey,
+)
+from repro.experiments.sensitivity import sampling_ratio_sweep
+from repro.experiments.overhead import overhead_breakdown
+from repro.experiments.reporting import format_table, format_series
+
+__all__ = [
+    "speedup_distribution",
+    "parameter_pair_distribution",
+    "topn_speedups",
+    "TUNER_NAMES",
+    "run_tuner",
+    "compare_stencil",
+    "iso_iteration_series",
+    "iso_time_best",
+    "normalized_to_garvey",
+    "sampling_ratio_sweep",
+    "overhead_breakdown",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,141 @@
+"""Tuner comparisons (Figs 8, 9 and 10).
+
+Runs csTuner and the three baselines on the same stencil/space/budget
+and extracts iso-iteration series (Fig 8), iso-time bests (Fig 9) and
+V100 results normalized to Garvey (Fig 10). Every method is repeated
+``repetitions`` times with different seeds and averaged — the paper
+uses 10 repetitions to isolate randomness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines import ArtemisTuner, GarveyTuner, OpenTunerGA
+from repro.core import Budget, CsTuner, CsTunerConfig, TuningResult
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.dataset import PerformanceDataset
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern
+
+#: Comparison methods, in the paper's plotting order.
+TUNER_NAMES: tuple[str, ...] = ("csTuner", "Garvey", "OpenTuner", "Artemis")
+
+
+def run_tuner(
+    name: str,
+    simulator: GpuSimulator,
+    pattern: StencilPattern,
+    space: SearchSpace,
+    budget: Budget,
+    *,
+    dataset: PerformanceDataset | None = None,
+    seed: int = 0,
+    cstuner_config: CsTunerConfig | None = None,
+) -> TuningResult:
+    """Run one named tuner under a budget."""
+    if name == "csTuner":
+        config = cstuner_config or CsTunerConfig(seed=seed)
+        tuner = CsTuner(simulator, config)
+        return tuner.tune(pattern, budget, space=space, dataset=dataset, seed=seed)
+    if name == "Garvey":
+        return GarveyTuner(simulator, seed=seed).tune(
+            pattern, budget, space=space, dataset=dataset, seed=seed
+        )
+    if name == "OpenTuner":
+        return OpenTunerGA(simulator, seed=seed).tune(
+            pattern, budget, space=space, seed=seed
+        )
+    if name == "Artemis":
+        return ArtemisTuner(simulator, seed=seed).tune(
+            pattern, budget, space=space, seed=seed
+        )
+    raise ValueError(f"unknown tuner {name!r}; known: {TUNER_NAMES}")
+
+
+def compare_stencil(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    budget: Budget,
+    *,
+    tuners: Sequence[str] = TUNER_NAMES,
+    repetitions: int = 3,
+    seed: int = 0,
+    dataset_size: int = 128,
+) -> dict[str, list[TuningResult]]:
+    """All tuners x repetitions on one stencil; shared offline dataset."""
+    simulator = GpuSimulator(device=device, seed=seed)
+    space = build_space(pattern, device)
+    config = CsTunerConfig(seed=seed, dataset_size=dataset_size)
+    dataset = CsTuner(simulator, config).collect_dataset(pattern, space)
+    out: dict[str, list[TuningResult]] = {name: [] for name in tuners}
+    for name in tuners:
+        for rep in range(repetitions):
+            out[name].append(
+                run_tuner(
+                    name,
+                    simulator,
+                    pattern,
+                    space,
+                    budget,
+                    dataset=dataset,
+                    seed=seed + 1000 * rep,
+                    cstuner_config=config,
+                )
+            )
+    return out
+
+
+def iso_iteration_series(
+    results: dict[str, list[TuningResult]], iterations: int
+) -> dict[str, list[float]]:
+    """Fig 8 rows: mean best-so-far time (ms) per elapsed iteration.
+
+    Iterations no tuner reached appear as ``inf`` (the paper's missing
+    points mean the method finished enumerating its settings earlier).
+    """
+    out: dict[str, list[float]] = {}
+    for name, runs in results.items():
+        series = np.array([r.iteration_series(iterations) for r in runs])
+        with np.errstate(invalid="ignore"):
+            out[name] = [
+                float(np.mean(series[:, i])) * 1e3 for i in range(iterations)
+            ]
+    return out
+
+
+def iso_time_best(
+    results: dict[str, list[TuningResult]],
+    checkpoints: Sequence[float],
+) -> dict[str, list[float]]:
+    """Fig 9 rows: mean best-so-far time (ms) at tuning-cost checkpoints."""
+    out: dict[str, list[float]] = {}
+    for name, runs in results.items():
+        cols = []
+        for c in checkpoints:
+            vals = [r.best_at_cost(c) for r in runs]
+            cols.append(float(np.mean(vals)) * 1e3)
+        out[name] = cols
+    return out
+
+
+def normalized_to_garvey(
+    results: dict[str, list[TuningResult]],
+) -> dict[str, float]:
+    """Fig 10 bars: Garvey's mean best time divided by each tuner's.
+
+    Values > 1 mean the tuner beats Garvey; the paper reports csTuner
+    at 1.7x, OpenTuner and Artemis at ~1.4x (csTuner leads both by
+    ~1.2x) on the V100 platform.
+    """
+    if "Garvey" not in results:
+        raise ValueError("normalization requires Garvey results")
+    garvey = float(np.mean([r.best_time_s for r in results["Garvey"]]))
+    out = {}
+    for name, runs in results.items():
+        mean_best = float(np.mean([r.best_time_s for r in runs]))
+        out[name] = garvey / mean_best
+    return out

@@ -1,0 +1,63 @@
+"""Plain-text rendering of result tables and series.
+
+The paper communicates through bar charts and line plots; the harness
+prints the same data as aligned ASCII tables so every figure can be
+inspected from a terminal (and diffed between runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    table = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in table)) if table else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    x_values: Sequence[object] | None = None,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render named series (one column per series) against an x column."""
+    names = list(series)
+    if not names:
+        raise ValueError("no series to format")
+    length = len(series[names[0]])
+    for n in names:
+        if len(series[n]) != length:
+            raise ValueError(f"series {n!r} has mismatched length")
+    xs = list(x_values) if x_values is not None else list(range(1, length + 1))
+    rows = [
+        [xs[i]] + [series[n][i] for n in names]
+        for i in range(length)
+    ]
+    return format_table([x_label] + names, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,219 @@
+"""One-command regeneration of every paper artifact.
+
+``python -m repro.experiments.runner --out results/`` runs the full
+evaluation — motivation studies, the four-way tuner comparisons on both
+devices, the sampling-ratio sweep and the overhead breakdown — and
+writes one text report per artifact (plus a combined summary). The
+pytest benchmarks wrap the same drivers individually; this runner is
+the batteries-included path for someone who just wants the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Budget
+from repro.experiments.comparison import (
+    TUNER_NAMES,
+    compare_stencil,
+    iso_iteration_series,
+    iso_time_best,
+    normalized_to_garvey,
+)
+from repro.experiments.motivation import (
+    parameter_pair_distribution,
+    speedup_distribution,
+    topn_speedups,
+)
+from repro.experiments.overhead import PHASES, overhead_breakdown
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.sensitivity import DEFAULT_RATIOS, sampling_ratio_sweep
+from repro.gpusim.device import A100, V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil, suite_names
+
+_BIN_LABELS = ["[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)", "[.8,1]"]
+
+
+class ExperimentRunner:
+    """Drives all artifacts with shared scale knobs."""
+
+    def __init__(
+        self,
+        out_dir: str | Path,
+        *,
+        stencils: Sequence[str] | None = None,
+        samples: int = 1500,
+        repetitions: int = 2,
+        budget_s: float = 100.0,
+        seed: int = 0,
+    ) -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self.stencils = list(stencils) if stencils else suite_names()
+        self.samples = samples
+        self.repetitions = repetitions
+        self.budget_s = budget_s
+        self.seed = seed
+        self.reports: dict[str, str] = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def _write(self, name: str, text: str) -> None:
+        self.reports[name] = text
+        (self.out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    def _sim_space(self, stencil: str, device):
+        pattern = get_stencil(stencil)
+        return pattern, GpuSimulator(device=device, seed=self.seed), build_space(
+            pattern, device
+        )
+
+    # -- artifacts ------------------------------------------------------------
+
+    def run_motivation(self) -> None:
+        """Figs 2, 3 and 4."""
+        fig2_rows, fig3_rows, fig4_rows = [], [], []
+        for name in self.stencils:
+            pattern, sim, space = self._sim_space(name, A100)
+            d2 = speedup_distribution(
+                sim, pattern, space, n_samples=self.samples, seed=self.seed
+            )
+            fig2_rows.append([name] + list(d2["fractions"]))
+            d3 = parameter_pair_distribution(
+                sim, pattern, space,
+                n_samples=min(self.samples, 500), probe_limit=4, seed=self.seed,
+                parameters=["TBx", "TBy", "TBz", "UFx", "UFy", "BMx",
+                            "CMy", "useShared"],
+            )
+            fig3_rows.append([name] + list(d3["fractions"]))
+            d4 = topn_speedups(
+                sim, pattern, space, n_samples=self.samples, seed=self.seed
+            )
+            fig4_rows.append([name] + list(d4["speedups"].values()))
+        self._write("fig02", format_table(
+            ["stencil"] + _BIN_LABELS, fig2_rows,
+            title="Fig 2 — speedup distribution over the optimum",
+        ))
+        self._write("fig03", format_table(
+            ["stencil"] + _BIN_LABELS, fig3_rows,
+            title="Fig 3 — parameter-pair mismatch distribution",
+        ))
+        self._write("fig04", format_table(
+            ["stencil", "top-10", "top-50", "top-100"], fig4_rows,
+            title="Fig 4 — top-n speedup over the optimum",
+        ))
+
+    def run_comparisons(self, device=A100, tag: str = "") -> dict[str, dict]:
+        """Figs 8 and 9 (A100) or the Fig 10 inputs (V100)."""
+        all_results = {}
+        fig8_blocks, fig9_blocks, norm_rows = [], [], []
+        for name in self.stencils:
+            pattern = get_stencil(name)
+            results = compare_stencil(
+                pattern, device, Budget(max_cost_s=self.budget_s),
+                repetitions=self.repetitions, seed=self.seed,
+            )
+            all_results[name] = results
+            fig8_blocks.append(format_series(
+                iso_iteration_series(results, 10),
+                x_label="iter", title=f"[{name}] best ms per iteration",
+            ))
+            checkpoints = [self.budget_s * f for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
+            fig9_blocks.append(format_series(
+                iso_time_best(results, checkpoints),
+                x_label="cost(s)", x_values=checkpoints,
+                title=f"[{name}] best ms vs tuning cost",
+            ))
+            norm = normalized_to_garvey(results)
+            norm_rows.append([name] + [norm[t] for t in TUNER_NAMES])
+        suffix = tag or device.name
+        self._write(f"fig08_{suffix}", "\n\n".join(fig8_blocks))
+        self._write(f"fig09_{suffix}", "\n\n".join(fig9_blocks))
+        avg = ["AVERAGE"] + [
+            float(np.mean([r[i + 1] for r in norm_rows]))
+            for i in range(len(TUNER_NAMES))
+        ]
+        self._write(f"fig10_{suffix}", format_table(
+            ["stencil"] + list(TUNER_NAMES), norm_rows + [avg],
+            title=f"normalized to Garvey on {device.name}", float_fmt="{:.2f}",
+        ))
+        return all_results
+
+    def run_sensitivity(self) -> None:
+        """Fig 11 (csTuner only; first two stencils by default)."""
+        rows = []
+        for name in self.stencils[:2]:
+            sweep = sampling_ratio_sweep(
+                get_stencil(name), A100, Budget(max_cost_s=self.budget_s * 0.6),
+                ratios=DEFAULT_RATIOS, repetitions=1, seed=self.seed,
+            )
+            rows.append([name] + list(sweep["relative"]))
+        self._write("fig11", format_table(
+            ["stencil"] + [f"{int(r * 100)}%" for r in DEFAULT_RATIOS], rows,
+            title="Fig 11 — normalized best per sampling ratio",
+            float_fmt="{:.2f}",
+        ))
+
+    def run_overhead(self) -> None:
+        """Fig 12."""
+        rows = []
+        for name in self.stencils:
+            b = overhead_breakdown(
+                get_stencil(name), A100, Budget(max_cost_s=self.budget_s),
+                seed=self.seed,
+            )
+            rows.append(
+                [name] + [b["phase_seconds"][p] for p in PHASES]
+                + [b["search_s"], b["preprocessing_pct_of_search"]]
+            )
+        self._write("fig12", format_table(
+            ["stencil"] + [f"{p}(s)" for p in PHASES]
+            + ["search(s)", "pre/search %"],
+            rows, title="Fig 12 — pre-processing overhead breakdown",
+        ))
+
+    def run_all(self) -> dict[str, str]:
+        t0 = time.perf_counter()
+        self.run_motivation()
+        self.run_comparisons(A100)
+        self.run_comparisons(V100)
+        self.run_sensitivity()
+        self.run_overhead()
+        summary = "\n\n".join(
+            self.reports[k] for k in sorted(self.reports)
+        ) + f"\n\ntotal wall time: {time.perf_counter() - t0:.0f}s"
+        self._write("summary", summary)
+        return dict(self.reports)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--stencils", nargs="*", default=None)
+    parser.add_argument("--samples", type=int, default=1500)
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--budget", type=float, default=100.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(
+        args.out,
+        stencils=args.stencils,
+        samples=args.samples,
+        repetitions=args.reps,
+        budget_s=args.budget,
+        seed=args.seed,
+    )
+    runner.run_all()
+    print(f"wrote {len(runner.reports)} reports to {runner.out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

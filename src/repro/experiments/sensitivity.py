@@ -1,0 +1,66 @@
+"""Sampling-ratio sensitivity (Fig 11).
+
+Sweeps csTuner's sampling ratio from 5 % to 50 % in 5 % strides and
+reports the iso-time best per ratio. The paper observes: 5 % is often
+worst (too little coverage), the middle of the range (15-40 %) is
+stable, and 50 % still performs well because the constrained space is
+small enough that even heavy sampling stays searchable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core import Budget, CsTuner, CsTunerConfig
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.pattern import StencilPattern
+
+#: The paper's ratio sweep: 5 % to 50 % with a 5 % stride.
+DEFAULT_RATIOS: tuple[float, ...] = tuple(r / 100 for r in range(5, 55, 5))
+
+
+def sampling_ratio_sweep(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    budget: Budget,
+    *,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    repetitions: int = 2,
+    seed: int = 0,
+    dataset_size: int = 128,
+) -> dict[str, object]:
+    """csTuner iso-time best (ms) per sampling ratio."""
+    simulator = GpuSimulator(device=device, seed=seed)
+    space = build_space(pattern, device)
+    base_config = CsTunerConfig(seed=seed, dataset_size=dataset_size)
+    dataset = CsTuner(simulator, base_config).collect_dataset(pattern, space)
+
+    best_ms: list[float] = []
+    for ratio in ratios:
+        config = base_config.with_ratio(ratio)
+        tuner = CsTuner(simulator, config)
+        pre = tuner.preprocess(pattern, space, dataset)
+        vals = []
+        for rep in range(repetitions):
+            res = tuner.tune(
+                pattern,
+                budget,
+                space=space,
+                preprocessed=pre,
+                seed=seed + 1000 * rep,
+            )
+            vals.append(res.best_time_s)
+        best_ms.append(float(np.mean(vals)) * 1e3)
+
+    arr = np.array(best_ms)
+    return {
+        "stencil": pattern.name,
+        "ratios": list(ratios),
+        "best_ms": best_ms,
+        "best_ratio": float(ratios[int(np.argmin(arr))]),
+        "relative": (arr / arr.min()).tolist(),
+    }

@@ -1,0 +1,12 @@
+"""Extensions beyond the paper's evaluated system.
+
+The paper's future work (Section VII) asks for "more optimization
+techniques for complex stencils"; :mod:`repro.ext.temporal` adds
+AN5D-style temporal blocking as a 20th tuning parameter, demonstrating
+that the pipeline "can be extended to incorporate more optimization
+parameters" (Section IV-A) without touching csTuner itself.
+"""
+
+from repro.ext.temporal import TemporalSpace, TemporalSimulator, TEMPORAL_PARAMETER
+
+__all__ = ["TemporalSpace", "TemporalSimulator", "TEMPORAL_PARAMETER"]

@@ -1,0 +1,17 @@
+"""GEMM tuning domain — csTuner beyond stencils.
+
+The paper argues csTuner's components are versatile enough to tune
+"more general GPU algorithms" and names tensor optimizations as future
+work (Sections IV-A and VII). This package realizes that claim: a
+dense double-precision GEMM kernel family (blocked, shared-memory
+staged, register-tiled, optionally split-K) with its own parameterized
+space and analytical performance model, exposed through the same
+protocol the stencil pipeline uses — so :class:`repro.core.CsTuner`
+and the baselines tune GEMM unchanged.
+"""
+
+from repro.gemm.problem import GemmProblem
+from repro.gemm.space import GemmSpace, GEMM_PARAMETER_ORDER
+from repro.gemm.simulator import GemmSimulator
+
+__all__ = ["GemmProblem", "GemmSpace", "GEMM_PARAMETER_ORDER", "GemmSimulator"]

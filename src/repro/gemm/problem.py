@@ -1,0 +1,49 @@
+"""GEMM problem description: C[m,n] += A[m,k] @ B[k,n]."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One dense matrix-multiplication instance.
+
+    Plays the role :class:`~repro.stencil.pattern.StencilPattern` plays
+    for stencils: immutable metadata the space and model consume. The
+    ``name`` keys caches and result tables.
+    """
+
+    m: int
+    n: int
+    k: int
+    dtype_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ValueError(f"GEMM dims must be positive: {self.m}x{self.n}x{self.k}")
+
+    @property
+    def name(self) -> str:
+        return f"dgemm_{self.m}x{self.n}x{self.k}"
+
+    def total_flops(self) -> int:
+        """Multiply-adds counted as 2 FLOPs each."""
+        return 2 * self.m * self.n * self.k
+
+    def compulsory_bytes(self) -> int:
+        """Each matrix touched once."""
+        return (self.m * self.k + self.k * self.n + self.m * self.n) * self.dtype_bytes
+
+    def arithmetic_intensity(self) -> float:
+        return self.total_flops() / self.compulsory_bytes()
+
+    def reference(
+        self, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Random operands plus the NumPy-computed product (for tests)."""
+        a = rng.random((self.m, self.k))
+        b = rng.random((self.k, self.n))
+        return a, b, a @ b

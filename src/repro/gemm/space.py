@@ -1,0 +1,262 @@
+"""The GEMM optimization space.
+
+Eight parameters cover the classic blocked-GEMM design space:
+
+====================  ============  =============================
+Optimization          Parameter     Range
+====================  ============  =============================
+Thread block          TBx, TBy      [1, 32] x [1, 32] (pow2)
+Register tiling       TM, TN        [1, 16] per-thread C tile
+K blocking            KB            [4, 64] shared k-tile depth
+Shared-memory staging useShared     {1, 2}
+Double buffering      useDB         {1, 2} (prefetch analog)
+Split-K               SPLITK        [1, 16] k-dimension parallelism
+====================  ============  =============================
+
+The class implements the same duck-typed protocol
+:class:`~repro.space.space.SearchSpace` offers (``param``/``names``/
+``sample``/``repair_full``/``is_valid``/``violation``/``nominal_size``),
+which is everything grouping, sampling, the GA and the budgeted
+evaluator require — csTuner tunes GEMM through the identical pipeline.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.errors import SearchError, UnknownParameterError
+from repro.gemm.problem import GemmProblem
+from repro.space.parameters import Parameter, ParameterKind
+from repro.space.setting import Setting
+from repro.utils.pow2 import powers_of_two_upto
+
+GEMM_PARAMETER_ORDER: tuple[str, ...] = (
+    "TBx", "TBy", "TM", "TN", "KB", "useShared", "useDB", "SPLITK",
+)
+
+#: Register budget mirror of the stencil model: accumulators dominate.
+_MAX_REGISTERS = 255
+
+
+def _registers(setting: Setting) -> int:
+    tm, tn = setting["TM"], setting["TN"]
+    regs = 30 + 2 * tm * tn + 2 * (tm + tn)
+    if setting["useDB"] == 2:
+        regs += tm + tn + 8  # staged next fragments
+    return regs
+
+
+def _shared_bytes(problem: GemmProblem, setting: Setting) -> int:
+    if setting["useShared"] != 2:
+        return 0
+    bm = setting["TBy"] * setting["TM"]
+    bn = setting["TBx"] * setting["TN"]
+    kb = setting["KB"]
+    tiles = (bm * kb + kb * bn) * problem.dtype_bytes
+    if setting["useDB"] == 2:
+        tiles *= 2
+    return tiles
+
+
+class GemmSpace:
+    """Constraint-aware optimization space for one GEMM problem."""
+
+    def __init__(self, problem: GemmProblem, device: "object") -> None:
+        self.problem = problem
+        self.device = device
+        self.parameters: tuple[Parameter, ...] = (
+            Parameter("TBx", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(32))),
+            Parameter("TBy", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(32))),
+            Parameter("TM", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(16))),
+            Parameter("TN", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(16))),
+            Parameter("KB", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(64, start=4))),
+            Parameter("useShared", ParameterKind.BOOL, (1, 2)),
+            Parameter("useDB", ParameterKind.BOOL, (1, 2)),
+            Parameter("SPLITK", ParameterKind.POW2,
+                      tuple(powers_of_two_upto(16))),
+        )
+        self._by_name = {p.name: p for p in self.parameters}
+
+    # -- protocol: lookup ------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return GEMM_PARAMETER_ORDER
+
+    def param(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownParameterError(f"unknown GEMM parameter {name!r}") from None
+
+    def nominal_size(self) -> int:
+        size = 1
+        for p in self.parameters:
+            size *= p.cardinality
+        return size
+
+    # -- protocol: validity ----------------------------------------------------
+
+    def violation(self, setting: Setting) -> str | None:
+        for p in self.parameters:
+            if not p.contains(setting[p.name]):
+                return f"{p.name}={setting[p.name]} outside domain"
+        tb = setting["TBx"] * setting["TBy"]
+        if tb > self.device.max_threads_per_block:
+            return f"thread block {tb} exceeds {self.device.max_threads_per_block}"
+        bm = setting["TBy"] * setting["TM"]
+        bn = setting["TBx"] * setting["TN"]
+        if bm > self.problem.m:
+            return f"block tile M {bm} exceeds problem m {self.problem.m}"
+        if bn > self.problem.n:
+            return f"block tile N {bn} exceeds problem n {self.problem.n}"
+        if setting["KB"] > self.problem.k:
+            return f"k tile {setting['KB']} exceeds problem k {self.problem.k}"
+        if setting["SPLITK"] * setting["KB"] > self.problem.k:
+            return "split-K slices shallower than one k tile"
+        if setting["useDB"] == 2 and setting["useShared"] != 2:
+            return "double buffering requires shared-memory staging"
+        regs = _registers(setting)
+        if regs > min(_MAX_REGISTERS, self.device.max_regs_per_thread):
+            return f"register spill: {regs} regs/thread"
+        # Warp-granular register allocation, as the occupancy calculator
+        # sees it: a block that cannot fit one SM's register file can
+        # never launch.
+        warps = (tb + 31) // 32
+        regs_per_block = ((regs * 32 + 255) // 256) * 256 * warps
+        if regs_per_block > self.device.regs_per_sm:
+            return (
+                f"block needs {regs_per_block} registers, "
+                f"SM has {self.device.regs_per_sm}"
+            )
+        smem = _shared_bytes(self.problem, setting)
+        if smem > self.device.max_smem_per_block:
+            return f"shared memory {smem} B exceeds block budget"
+        return None
+
+    def is_valid(self, setting: Setting) -> bool:
+        return self.violation(setting) is None
+
+    # -- protocol: repair -------------------------------------------------
+
+    def repair(self, values: dict[str, int]) -> Setting:
+        clipped = {n: self.param(n).clip(int(v)) for n, v in values.items()}
+        if clipped["useShared"] != 2:
+            clipped["useDB"] = 1
+        return Setting(clipped)
+
+    def repair_full(self, values: dict[str, int]) -> Setting:
+        setting = self.repair(values)
+        vals = setting.to_dict()
+        while vals["TBx"] * vals["TBy"] > self.device.max_threads_per_block:
+            big = "TBx" if vals["TBx"] >= vals["TBy"] else "TBy"
+            vals[big] //= 2
+        while vals["TBy"] * vals["TM"] > self.problem.m and vals["TM"] > 1:
+            vals["TM"] //= 2
+        while vals["TBy"] * vals["TM"] > self.problem.m:
+            vals["TBy"] //= 2
+        while vals["TBx"] * vals["TN"] > self.problem.n and vals["TN"] > 1:
+            vals["TN"] //= 2
+        while vals["TBx"] * vals["TN"] > self.problem.n:
+            vals["TBx"] //= 2
+        while vals["KB"] > self.problem.k:
+            vals["KB"] //= 2
+        while vals["SPLITK"] * vals["KB"] > self.problem.k and vals["SPLITK"] > 1:
+            vals["SPLITK"] //= 2
+        candidate = self.repair(vals)
+        while self.violation(candidate) is not None:
+            shrinkable = [n for n in ("TM", "TN", "KB", "TBx", "TBy")
+                          if candidate[n] > self.param(n).values[0]]
+            if not shrinkable:
+                break
+            name = max(shrinkable, key=lambda n: candidate[n])
+            vals = candidate.to_dict()
+            vals[name] //= 2
+            candidate = self.repair(vals)
+        return candidate
+
+    # -- protocol: sampling ----------------------------------------------------
+
+    def random_setting(
+        self, rng: np.random.Generator, *, max_tries: int = 300
+    ) -> Setting:
+        for _ in range(max_tries):
+            values = {
+                p.name: int(p.values[rng.integers(p.cardinality)])
+                for p in self.parameters
+            }
+            setting = self.repair_full(values)
+            if self.is_valid(setting):
+                return setting
+        raise SearchError("could not draw a valid GEMM setting")
+
+    def sample(
+        self, rng: np.random.Generator, n: int, *, unique: bool = True,
+        max_tries_factor: int = 50,
+    ) -> list[Setting]:
+        out: list[Setting] = []
+        seen: set[Setting] = set()
+        tries = 0
+        while len(out) < n and tries < n * max_tries_factor:
+            tries += 1
+            s = self.random_setting(rng)
+            if unique and s in seen:
+                continue
+            seen.add(s)
+            out.append(s)
+        if len(out) < n:
+            raise SearchError(f"only {len(out)} of {n} distinct GEMM settings")
+        return out
+
+    # -- protocol: encodings (used by the OpenTuner-style baselines) -----
+
+    def encode(self, setting: Setting) -> np.ndarray:
+        return np.array(
+            [self.param(n).index_of(setting[n]) for n in GEMM_PARAMETER_ORDER],
+            dtype=np.int64,
+        )
+
+    def decode(self, indices: np.ndarray) -> Setting:
+        if len(indices) != len(GEMM_PARAMETER_ORDER):
+            raise ValueError(
+                f"expected {len(GEMM_PARAMETER_ORDER)} indices, got {len(indices)}"
+            )
+        values = {}
+        for name, idx in zip(GEMM_PARAMETER_ORDER, indices):
+            p = self.param(name)
+            values[name] = p.values[int(np.clip(idx, 0, p.cardinality - 1))]
+        return self.repair(values)
+
+    def neighbors(self, setting: Setting) -> list[Setting]:
+        """Valid one-step domain-index moves (hill-climber support)."""
+        out: list[Setting] = []
+        for p in self.parameters:
+            idx = p.index_of(setting[p.name])
+            for step in (-1, 1):
+                j = idx + step
+                if 0 <= j < p.cardinality:
+                    cand = self.repair(
+                        {**setting.to_dict(), p.name: p.values[j]}
+                    )
+                    if cand != setting and self.is_valid(cand):
+                        out.append(cand)
+        return out
+
+    def enumerate_valid(self, *, limit: int | None = None):
+        """Lazily yield valid settings (small space: fully enumerable)."""
+        domains = [self.param(n).values for n in GEMM_PARAMETER_ORDER]
+        count = 0
+        for combo in product(*domains):
+            s = Setting(dict(zip(GEMM_PARAMETER_ORDER, combo)))
+            if self.is_valid(s):
+                yield s
+                count += 1
+                if limit is not None and count >= limit:
+                    return

@@ -1,0 +1,108 @@
+"""GPU device specifications.
+
+Numbers follow NVIDIA's published architecture whitepapers for the two
+platforms the paper evaluates (Tesla A100, Section V-A; Tesla V100,
+Section V-D). Only quantities the analytical model consumes are kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model.
+
+    Attributes mirror the CUDA occupancy-calculator inputs plus the
+    roofline ceilings (double-precision peak, DRAM bandwidth) and a few
+    fixed-cost latencies the timing model uses.
+    """
+
+    name: str
+    sm_count: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_threads_per_block: int
+    regs_per_sm: int
+    max_regs_per_thread: int
+    smem_per_sm: int
+    max_smem_per_block: int
+    l2_bytes: int
+    dram_bandwidth_gbs: float
+    fp64_tflops: float
+    clock_ghz: float
+    warp_size: int = 32
+    #: Warps an SM must keep resident to hide pipeline+memory latency.
+    latency_hiding_warps: int = 12
+    #: Fixed kernel-launch overhead, seconds.
+    launch_overhead_s: float = 3.0e-6
+    #: Cost of one block-wide barrier, seconds (per stream iteration).
+    sync_overhead_s: float = 0.4e-6
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1 or self.warp_size < 1:
+            raise ValueError(f"{self.name}: nonsensical device geometry")
+        if self.dram_bandwidth_gbs <= 0 or self.fp64_tflops <= 0:
+            raise ValueError(f"{self.name}: ceilings must be positive")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        """Peak double-precision FLOP/s."""
+        return self.fp64_tflops * 1e12
+
+    @property
+    def dram_bandwidth_bytes(self) -> float:
+        """Peak DRAM bandwidth in bytes/s."""
+        return self.dram_bandwidth_gbs * 1e9
+
+
+#: NVIDIA Tesla A100 (Ampere, GA100) — the paper's primary platform.
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    regs_per_sm=65536,
+    max_regs_per_thread=255,
+    smem_per_sm=167936,          # 164 KiB
+    max_smem_per_block=166912,   # 163 KiB opt-in
+    l2_bytes=40 * 1024 * 1024,
+    dram_bandwidth_gbs=1555.0,
+    fp64_tflops=9.7,
+    clock_ghz=1.41,
+)
+
+#: NVIDIA Tesla V100 (Volta, GV100) — the generality platform (Fig 10).
+V100 = DeviceSpec(
+    name="V100",
+    sm_count=80,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    regs_per_sm=65536,
+    max_regs_per_thread=255,
+    smem_per_sm=98304,           # 96 KiB
+    max_smem_per_block=98304,
+    l2_bytes=6 * 1024 * 1024,
+    dram_bandwidth_gbs=900.0,
+    fp64_tflops=7.8,
+    clock_ghz=1.53,
+)
+
+DEVICES: dict[str, DeviceSpec] = {d.name: d for d in (A100, V100)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look a device model up by name ("A100" or "V100")."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,182 @@
+"""Memory-hierarchy traffic model.
+
+Estimates the global-load/store volumes a kernel plan pushes through
+L1, L2 and DRAM, together with the coalescing efficiencies and hit
+rates Nsight would report. The model captures the qualitative effects
+the paper's Section II-B discusses:
+
+* shared-memory tiling replaces redundant neighbour loads with one
+  halo-padded tile load per block;
+* streaming reuses the sliding plane window along the streaming
+  dimension;
+* block merging in the innermost dimension strides warp accesses and
+  destroys coalescing, while cyclic merging preserves it;
+* tiny ``TBx`` leaves 32-byte sectors partially used;
+* constant memory removes coefficient traffic only while the
+  coefficient table fits the constant cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan
+from repro.gpusim.device import DeviceSpec
+from repro.stencil.pattern import StencilShape
+
+#: Doubles per 32-byte DRAM sector.
+_SECTOR_DOUBLES = 4
+
+#: Coefficient-table capacity of the constant cache (entries) under
+#: which useConstant pays off.
+_CONST_CACHE_ENTRIES = 64
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Traffic volumes (bytes per sweep) and memory-efficiency figures."""
+
+    dram_read_bytes: float
+    dram_write_bytes: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    gld_efficiency: float
+    gst_efficiency: float
+    shared_bytes: float
+    bank_conflict_factor: float
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, x))
+
+
+def _total_taps_per_point(plan: KernelPlan) -> float:
+    """Tap reads per output point summed over all input arrays."""
+    p = plan.pattern
+    if p.shape is StencilShape.MULTI:
+        # Array 0 carries a full star; remaining inputs one axis sweep.
+        star = 1 + 6 * p.order
+        axis = 2 * p.order
+        return star + (p.inputs - 1) * axis
+    return float(p.taps_per_point)
+
+
+def _coalescing(plan: KernelPlan) -> tuple[float, float]:
+    """(gld, gst) efficiency from warp access patterns."""
+    tbx = plan.setting["TBx"]
+    stride = plan.coalescing_stride  # BMx
+    eff = 1.0
+    if stride > 1:
+        eff /= min(stride, _SECTOR_DOUBLES)
+    if tbx < _SECTOR_DOUBLES:
+        eff *= tbx / _SECTOR_DOUBLES
+    # 32-byte sectors with 8-byte elements waste at most 4x.
+    eff = _clamp(eff, 1.0 / _SECTOR_DOUBLES, 1.0)
+    # Stores see the same pattern but no read-modify reuse.
+    return eff, eff
+
+
+def _tile_halo_overhead(plan: KernelPlan) -> float:
+    """Tile-with-halo vs. tile volume ratio for shared-memory staging."""
+    p = plan.pattern
+    r = p.order
+    overhead = 1.0
+    for dim, s in ((1, "x"), (2, "y"), (3, "z")):
+        if plan.streaming and dim == plan.streaming_dim:
+            continue  # sliding window: each plane is loaded once
+        tile = (
+            plan.setting[f"TB{s}"]
+            * plan.setting[f"UF{s}"]
+            * plan.setting[f"CM{s}"]
+            * plan.setting[f"BM{s}"]
+        )
+        overhead *= (tile + 2 * r) / tile
+    return overhead
+
+
+def compute_traffic(plan: KernelPlan, device: DeviceSpec) -> MemoryTraffic:
+    """Estimate per-sweep traffic for ``plan`` on ``device``."""
+    p = plan.pattern
+    setting = plan.setting
+    points = float(plan.covered_points())
+    elem = float(p.dtype_bytes)
+    use_shared = setting.enabled("useShared")
+    streaming = plan.streaming
+
+    total_taps = _total_taps_per_point(plan)
+    gld_eff, gst_eff = _coalescing(plan)
+
+    # --- L1 behaviour ----------------------------------------------------
+    if use_shared:
+        # Neighbour taps are served from shared memory; global loads are
+        # the halo-padded tile (staged arrays) plus cache-path reads for
+        # the remaining inputs.
+        staged = 1 if p.shape is not StencilShape.MULTI else min(2, p.inputs)
+        halo = _tile_halo_overhead(plan)
+        staged_loads = points * halo * staged
+        cache_taps = total_taps * max(0, p.inputs - staged) / max(1, p.inputs)
+        cache_loads = points * cache_taps
+        l1_hit = 0.35  # tile loads mostly stream through
+        shared_bytes = points * total_taps * elem
+    else:
+        staged_loads = 0.0
+        cache_loads = points * total_taps
+        # Caches capture most of the spatial neighbour reuse; higher
+        # order and box shapes blow the working set.
+        l1_hit = 0.80 - 0.06 * (p.order - 1)
+        if p.shape is StencilShape.BOX:
+            l1_hit -= 0.10
+        if streaming:
+            l1_hit += 0.06  # register window removes one dimension's misses
+        # Wider thread blocks reuse cache lines within the warp.
+        tbx = setting["TBx"]
+        l1_hit += 0.02 * min(5, max(0, tbx.bit_length() - 1))
+        l1_hit = _clamp(l1_hit, 0.20, 0.92)
+        shared_bytes = 0.0
+
+    l1_miss_loads = staged_loads + cache_loads * (1.0 - l1_hit)
+
+    # --- L2 behaviour ------------------------------------------------------
+    plane_bytes = p.grid[0] * p.grid[1] * elem * p.io_arrays
+    window = plane_bytes * (2 * p.order + 1)
+    fit = _clamp(device.l2_bytes / max(window, 1.0), 0.0, 1.0)
+    l2_hit = _clamp(0.25 + 0.55 * fit + (0.08 if streaming else 0.0), 0.05, 0.90)
+
+    dram_reads = l1_miss_loads * (1.0 - l2_hit) * elem
+
+    # Every input array is streamed from DRAM at least once.
+    compulsory_reads = float(p.points()) * p.inputs * elem
+    dram_reads = max(dram_reads, compulsory_reads)
+
+    # Coefficient traffic rides on top: through the regular cache path
+    # it costs a small fraction of the grid traffic; a fitting constant
+    # table eliminates it, an overflowing table thrashes the constant
+    # cache and costs more than the default path.
+    if setting.enabled("useConstant"):
+        coeff_factor = 0.0 if p.coefficients <= _CONST_CACHE_ENTRIES else 0.06
+    else:
+        coeff_factor = 0.02
+    dram_reads *= 1.0 + coeff_factor
+    dram_reads /= gld_eff
+    dram_writes = points * p.outputs * elem / gst_eff
+
+    # Shared-memory bank conflicts: block merging in x makes threads in a
+    # warp hit the same bank group.
+    bank = 1.0
+    if use_shared and plan.coalescing_stride > 1:
+        bank = float(min(plan.coalescing_stride, 4))
+
+    return MemoryTraffic(
+        dram_read_bytes=dram_reads,
+        dram_write_bytes=dram_writes,
+        l1_hit_rate=l1_hit,
+        l2_hit_rate=l2_hit,
+        gld_efficiency=gld_eff,
+        gst_efficiency=gst_eff,
+        shared_bytes=shared_bytes,
+        bank_conflict_factor=bank,
+    )

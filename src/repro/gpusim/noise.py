@@ -1,0 +1,53 @@
+"""Deterministic landscape roughness and measurement noise.
+
+Real kernels deviate from any analytical model: instruction scheduling,
+cache-replacement accidents and DVFS produce setting-specific effects.
+We model this as a *deterministic* multiplicative perturbation hashed
+from the (device, stencil, setting) triple — the same setting always
+gets the same perturbation, so the optimization landscape is rugged but
+reproducible — plus optional zero-mean measurement noise applied per
+run by the simulator.
+
+A handful of fixed parameter *pairs* contribute interaction terms the
+smooth model does not contain, which is what makes the paper's pairwise
+correlation analysis (Fig 3) non-degenerate.
+"""
+
+from __future__ import annotations
+
+from repro.space.setting import Setting
+from repro.utils.hashing import unit_hash
+
+#: Pairs carrying hash-based interaction effects (beyond the physical
+#: couplings already present in the occupancy/memory models).
+INTERACTION_PAIRS: tuple[tuple[str, str], ...] = (
+    ("TBx", "TBy"),
+    ("TBy", "TBz"),
+    ("useShared", "SD"),
+    ("UFx", "BMx"),
+    ("CMy", "UFy"),
+    ("useRetiming", "UFz"),
+    ("SB", "usePrefetching"),
+)
+
+#: Peak-to-peak magnitude of the single-setting roughness term.
+_SETTING_AMPLITUDE = 0.06
+
+#: Peak-to-peak magnitude of each pairwise interaction term.
+_PAIR_AMPLITUDE = 0.035
+
+
+def roughness_factor(device_name: str, stencil_name: str, setting: Setting) -> float:
+    """Multiplicative perturbation in roughly ``[0.85, 1.15]``.
+
+    Deterministic in all arguments; independent settings receive
+    independent perturbations (via BLAKE2 hashing).
+    """
+    factor = 1.0 + _SETTING_AMPLITUDE * (
+        unit_hash("setting", device_name, stencil_name, *setting.values_tuple())
+        - 0.5
+    )
+    for a, b in INTERACTION_PAIRS:
+        u = unit_hash("pair", device_name, stencil_name, a, setting[a], b, setting[b])
+        factor *= 1.0 + _PAIR_AMPLITUDE * (u - 0.5)
+    return factor

@@ -1,0 +1,77 @@
+"""CUDA occupancy calculation.
+
+Mirrors NVIDIA's occupancy calculator: resident blocks per SM are
+limited by the thread, block-slot, register-file and shared-memory
+budgets; whichever budget binds is reported as the limiting factor
+(useful both for metrics and for explaining tuning results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan
+from repro.gpusim.device import DeviceSpec
+
+#: Register allocation granularity (registers are allocated per warp in
+#: multiples of this many registers on Volta/Ampere).
+_REG_ALLOC_UNIT = 256
+
+#: Shared memory allocation granularity in bytes.
+_SMEM_ALLOC_UNIT = 1024
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy analysis for one kernel plan on one device."""
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+    @property
+    def active_threads_per_sm(self) -> int:
+        return self.active_warps_per_sm * 32
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+def compute_occupancy(plan: KernelPlan, device: DeviceSpec) -> Occupancy:
+    """Resident blocks/warps per SM and the binding resource.
+
+    A plan that cannot launch at all (zero resident blocks) yields
+    ``occupancy == 0`` with the binding limiter named; the simulator
+    treats such plans as invalid upstream, but this function stays
+    total so diagnostics can run on anything.
+    """
+    warps_per_block = (plan.threads_per_block + device.warp_size - 1) // device.warp_size
+
+    limits: dict[str, int] = {}
+    limits["threads"] = device.max_threads_per_sm // max(1, plan.threads_per_block)
+    limits["blocks"] = device.max_blocks_per_sm
+
+    regs_per_block = _round_up(
+        plan.registers_per_thread * device.warp_size, _REG_ALLOC_UNIT
+    ) * warps_per_block
+    limits["registers"] = (
+        device.regs_per_sm // regs_per_block if regs_per_block > 0 else limits["blocks"]
+    )
+
+    if plan.shared_memory_per_block > 0:
+        smem = _round_up(plan.shared_memory_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared_memory"] = device.smem_per_sm // smem
+    else:
+        limits["shared_memory"] = limits["blocks"]
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    warps = min(blocks * warps_per_block, device.max_warps_per_sm)
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=warps,
+        occupancy=warps / device.max_warps_per_sm,
+        limiter=limiter,
+    )

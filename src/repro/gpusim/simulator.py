@@ -1,0 +1,172 @@
+"""The simulator facade every tuner talks to.
+
+:class:`GpuSimulator` turns (stencil, setting) into a
+:class:`MeasuredRun` — execution time plus Nsight-style metrics —
+through the plan → occupancy → traffic → timing pipeline, with
+deterministic landscape roughness and optional per-measurement noise.
+
+It also accounts the *auto-tuning cost* of an evaluation (compile time
+plus timed kernel trials), which is the budget currency of the paper's
+iso-time comparisons (Figs 9-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.plan import KernelPlan, build_plan, resource_violation
+from repro.errors import InvalidSettingError
+from repro.gpusim.device import A100, DeviceSpec
+from repro.gpusim.memory import compute_traffic
+from repro.gpusim.metrics import derive_metrics
+from repro.gpusim.noise import roughness_factor
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.timing import compute_timing
+from repro.space.constraints import explicit_violation
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern
+from repro.utils.hashing import stable_hash
+
+#: NVCC compilation cost charged per distinct kernel variant (seconds).
+DEFAULT_COMPILE_COST_S = 0.25
+
+#: Timed repetitions per evaluation (median-of-N measurement).
+DEFAULT_TRIALS = 3
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Result of evaluating one setting.
+
+    ``time_s`` is the (noisy) measured kernel time; ``true_time_s`` the
+    noise-free model output used as ground truth by the motivation
+    experiments; ``tuning_cost_s`` what the evaluation charged against
+    an iso-time budget.
+    """
+
+    stencil: str
+    device: str
+    setting: Setting
+    time_s: float
+    true_time_s: float
+    tuning_cost_s: float
+    metrics: dict[str, float]
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_s * 1e3
+
+
+@dataclass
+class GpuSimulator:
+    """Analytical GPU simulator with evaluation caching.
+
+    Parameters
+    ----------
+    device:
+        Device model (defaults to the paper's A100 platform).
+    seed:
+        Seed for measurement noise; the landscape itself is seed-free.
+    noise:
+        Relative standard deviation of per-measurement noise. The
+        repeated-trial median partially averages it out, as on real
+        hardware.
+    compile_cost_s / trials:
+        Parameters of the tuning-cost accounting.
+    """
+
+    device: DeviceSpec = field(default_factory=lambda: A100)
+    seed: int = 0
+    noise: float = 0.01
+    compile_cost_s: float = DEFAULT_COMPILE_COST_S
+    trials: int = DEFAULT_TRIALS
+    evaluations: int = 0
+    _true_cache: dict[tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]] = field(
+        default_factory=dict, repr=False
+    )
+    _compiled: set[tuple[str, Setting]] = field(default_factory=set, repr=False)
+
+    # -- validity ------------------------------------------------------------
+
+    def violation(self, pattern: StencilPattern, setting: Setting) -> str | None:
+        """Explicit or implicit constraint violated by ``setting``."""
+        reason = explicit_violation(pattern, setting)
+        if reason is not None:
+            return reason
+        return resource_violation(pattern, setting, self.device)
+
+    # -- core model ---------------------------------------------------------
+
+    def _true_run(
+        self, pattern: StencilPattern, setting: Setting
+    ) -> tuple[float, dict[str, float], KernelPlan]:
+        key = (pattern.name, setting)
+        cached = self._true_cache.get(key)
+        if cached is not None:
+            return cached
+        reason = self.violation(pattern, setting)
+        if reason is not None:
+            raise InvalidSettingError(f"{pattern.name}: {reason}")
+        plan = build_plan(pattern, setting)
+        occ = compute_occupancy(plan, self.device)
+        traffic = compute_traffic(plan, self.device)
+        timing = compute_timing(plan, self.device, traffic, occ)
+        rough = roughness_factor(self.device.name, pattern.name, setting)
+        true_time = timing.total_s * rough
+        metrics = derive_metrics(plan, self.device, occ, traffic, timing)
+        metrics["elapsed_time"] = true_time
+        self._true_cache[key] = (true_time, metrics, plan)
+        return self._true_cache[key]
+
+    def run(self, pattern: StencilPattern, setting: Setting) -> MeasuredRun:
+        """Evaluate one setting: compile (first time), run, profile.
+
+        Raises :class:`InvalidSettingError` for settings violating any
+        constraint — tuners must filter candidates first, exactly as
+        csTuner "checks the above constraints before generating the
+        search codes".
+        """
+        true_time, metrics, plan = self._true_run(pattern, setting)
+
+        key = (pattern.name, setting)
+        cost = true_time * self.trials
+        if key not in self._compiled:
+            self._compiled.add(key)
+            cost += self.compile_cost_s
+
+        measured = true_time
+        if self.noise > 0.0:
+            rng = np.random.default_rng(
+                stable_hash(self.seed, pattern.name, setting.values_tuple(),
+                            self.evaluations)
+            )
+            samples = true_time * (
+                1.0 + self.noise * rng.standard_normal(self.trials)
+            )
+            measured = float(np.median(np.abs(samples)))
+        self.evaluations += 1
+
+        return MeasuredRun(
+            stencil=pattern.name,
+            device=self.device.name,
+            setting=setting,
+            time_s=measured,
+            true_time_s=true_time,
+            tuning_cost_s=cost,
+            metrics=dict(metrics),
+        )
+
+    def true_time(self, pattern: StencilPattern, setting: Setting) -> float:
+        """Noise-free model time (ground truth for motivation studies)."""
+        return self._true_run(pattern, setting)[0]
+
+    def plan(self, pattern: StencilPattern, setting: Setting) -> KernelPlan:
+        """The kernel plan backing an evaluation (for diagnostics)."""
+        return self._true_run(pattern, setting)[2]
+
+    def reset_cost_accounting(self) -> None:
+        """Forget compile caching — each tuner run starts cold."""
+        self._compiled.clear()
+        self.evaluations = 0

@@ -1,0 +1,301 @@
+"""CART decision trees and random forests, from scratch in NumPy.
+
+The Garvey baseline trains a random forest to predict the optimal
+memory type for a stencil before exhaustively searching within groups
+(Garvey & Abdelrahman, ICPP'15). scikit-learn is not available in this
+offline environment, so we implement the standard algorithms directly:
+greedy binary CART splits (variance reduction for regression, Gini for
+classification), bootstrap aggregation and per-split feature
+subsampling.
+
+Split search is vectorised: candidate thresholds for a feature are
+evaluated in one pass over the sorted column using cumulative sums,
+following the repository's "no per-sample Python loops" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import rng_from_seed
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_regression(
+    x: np.ndarray, y: np.ndarray
+) -> tuple[float, float] | None:
+    """Best (threshold, score) for one feature column, or None.
+
+    Score is the total child sum-of-squares (lower is better),
+    computed for all candidate thresholds at once via prefix sums.
+    """
+    order = np.argsort(x, kind="stable")
+    xs, ys = x[order], y[order]
+    # Candidate split positions: between distinct consecutive values.
+    diff = np.nonzero(xs[1:] != xs[:-1])[0]
+    if diff.size == 0:
+        return None
+    n = y.size
+    csum = np.cumsum(ys)
+    csq = np.cumsum(ys * ys)
+    left_n = diff + 1
+    right_n = n - left_n
+    left_sum, left_sq = csum[diff], csq[diff]
+    right_sum, right_sq = csum[-1] - left_sum, csq[-1] - left_sq
+    sse = (left_sq - left_sum**2 / left_n) + (right_sq - right_sum**2 / right_n)
+    best = int(np.argmin(sse))
+    pos = diff[best]
+    threshold = 0.5 * (xs[pos] + xs[pos + 1])
+    return float(threshold), float(sse[best])
+
+
+def _best_split_gini(
+    x: np.ndarray, y_onehot: np.ndarray
+) -> tuple[float, float] | None:
+    """Best (threshold, weighted-Gini) for one feature, classification."""
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    yo = y_onehot[order]
+    diff = np.nonzero(xs[1:] != xs[:-1])[0]
+    if diff.size == 0:
+        return None
+    n = xs.size
+    counts = np.cumsum(yo, axis=0)  # (n, classes)
+    left_counts = counts[diff]
+    total = counts[-1]
+    right_counts = total - left_counts
+    left_n = (diff + 1).astype(np.float64)
+    right_n = n - left_n
+    gini_left = 1.0 - np.sum((left_counts / left_n[:, None]) ** 2, axis=1)
+    gini_right = 1.0 - np.sum((right_counts / right_n[:, None]) ** 2, axis=1)
+    score = (left_n * gini_left + right_n * gini_right) / n
+    best = int(np.argmin(score))
+    pos = diff[best]
+    threshold = 0.5 * (xs[pos] + xs[pos + 1])
+    return float(threshold), float(score[best])
+
+
+@dataclass
+class _BaseTree:
+    """Shared CART machinery; subclasses define leaf values and scores."""
+
+    max_depth: int = 8
+    min_samples_leaf: int = 2
+    max_features: int | None = None
+    random_state: int | np.random.Generator | None = None
+    _root: _Node | None = field(default=None, repr=False)
+    n_features_: int = field(default=0, repr=False)
+
+    def _validate(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        return X, y
+
+    def _feature_pool(self, rng: np.random.Generator) -> np.ndarray:
+        k = self.max_features or self.n_features_
+        k = max(1, min(k, self.n_features_))
+        if k == self.n_features_:
+            return np.arange(self.n_features_)
+        return rng.choice(self.n_features_, size=k, replace=False)
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """Greedy variance-reduction CART regressor."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = self._validate(X, np.asarray(y, dtype=np.float64))
+        self.n_features_ = X.shape[1]
+        rng = rng_from_seed(self.random_state)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node = _Node(prediction=float(np.mean(y)))
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or np.all(y == y[0])
+        ):
+            return node
+        best: tuple[int, float, float] | None = None
+        for f in self._feature_pool(rng):
+            found = _best_split_regression(X[:, f], y)
+            if found is not None and (best is None or found[1] < best[2]):
+                best = (int(f), found[0], found[1])
+        if best is None:
+            return node
+        feature, threshold, _ = best
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([self._predict_one(row) for row in np.atleast_2d(X)])
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """Gini-impurity CART classifier over integer class labels.
+
+    ``classes_`` (the sorted unique labels) is set by :meth:`fit`.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = self._validate(X, np.asarray(y))
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        onehot = np.eye(self.classes_.size)[encoded]
+        self.n_features_ = X.shape[1]
+        rng = rng_from_seed(self.random_state)
+        self._root = self._grow(X, onehot, depth=0, rng=rng)
+        return self
+
+    def _grow(
+        self, X: np.ndarray, onehot: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        counts = onehot.sum(axis=0)
+        node = _Node(prediction=float(np.argmax(counts)))
+        if (
+            depth >= self.max_depth
+            or onehot.shape[0] < 2 * self.min_samples_leaf
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        best: tuple[int, float, float] | None = None
+        for f in self._feature_pool(rng):
+            found = _best_split_gini(X[:, f], onehot)
+            if found is not None and (best is None or found[1] < best[2]):
+                best = (int(f), found[0], found[1])
+        if best is None:
+            return node
+        feature, threshold, _ = best
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature, node.threshold = feature, threshold
+        node.left = self._grow(X[mask], onehot[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], onehot[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        idx = np.array(
+            [int(self._predict_one(row)) for row in np.atleast_2d(X)], dtype=np.int64
+        )
+        return self.classes_[idx]
+
+
+@dataclass
+class _BaseForest:
+    """Bootstrap-aggregated ensemble scaffolding."""
+
+    n_estimators: int = 32
+    max_depth: int = 8
+    min_samples_leaf: int = 2
+    max_features: int | None = None
+    random_state: int | np.random.Generator | None = None
+
+    def _bootstrap(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = rng.integers(0, X.shape[0], size=X.shape[0])
+        return X[idx], y[idx]
+
+    def _default_max_features(self, n_features: int) -> int:
+        return max(1, int(np.sqrt(n_features)))
+
+
+class RandomForestRegressor(_BaseForest):
+    """Mean-aggregated forest of CART regressors."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        rng = rng_from_seed(self.random_state)
+        mf = self.max_features or self._default_max_features(X.shape[1])
+        self.trees_: list[DecisionTreeRegressor] = []
+        for _ in range(self.n_estimators):
+            Xb, yb = self._bootstrap(X, y, rng)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mf,
+                random_state=int(rng.integers(2**31)),
+            )
+            self.trees_.append(tree.fit(Xb, yb))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        preds = np.stack([t.predict(X) for t in self.trees_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Majority-vote forest of CART classifiers."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        rng = rng_from_seed(self.random_state)
+        mf = self.max_features or self._default_max_features(X.shape[1])
+        self.classes_ = np.unique(y)
+        self.trees_: list[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            Xb, yb = self._bootstrap(X, y, rng)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mf,
+                random_state=int(rng.integers(2**31)),
+            )
+            self.trees_.append(tree.fit(Xb, yb))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        votes = np.stack([t.predict(X) for t in self.trees_])  # (trees, n)
+        out = []
+        for col in votes.T:
+            vals, counts = np.unique(col, return_counts=True)
+            out.append(vals[np.argmax(counts)])
+        return np.array(out)

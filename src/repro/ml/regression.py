@@ -1,0 +1,173 @@
+"""PMNF regression (Eq. 3).
+
+The performance model normal form expresses a metric as a combination
+of polynomial and logarithmic terms of the tuning parameters. csTuner
+simplifies the multi-parameter PMNF with the parameter groups: the
+parameters *within* a group (strong correlation) are multiplied, the
+group terms (weak correlation) are accumulated:
+
+    f(P) = c_0 + sum_k  c_k * prod_{l in group k} P_l^i * log2(P_l)^j
+
+One exponent pair ``(i, j)`` is shared by all groups, so the candidate
+function space is ``|I| x |J|`` *regardless of the number of
+parameters* — the property that lets csTuner scale past the
+four-parameter ceiling of Extra-P-style tools. Candidates are fitted
+with :func:`scipy.optimize.curve_fit` (the paper's choice) and scored
+by residual standard error, since R² is only valid for linear models.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import OptimizeWarning, curve_fit
+
+from repro.errors import ModelFitError
+from repro.ml.stats import residual_standard_error
+from repro.space.setting import Setting
+
+#: Paper's exponent ranges (Section V-A2).
+DEFAULT_I_RANGE: tuple[int, ...] = (0, 1, 2)
+DEFAULT_J_RANGE: tuple[int, ...] = (0, 1)
+
+
+def pmnf_term_matrix(
+    groups: Sequence[Sequence[str]],
+    settings: Sequence[Setting],
+    i: int,
+    j: int,
+) -> np.ndarray:
+    """Design matrix ``T[s, k] = prod_{l in group k} P_l^i * log2(P_l)^j``.
+
+    Parameter values are the raw (power-of-two or 1/2/3) values of the
+    setting; all values are >= 1 so the logarithm is legitimate (the
+    paper starts boolean/enumeration parameters at 1 for this reason).
+    """
+    n, g = len(settings), len(groups)
+    out = np.ones((n, g), dtype=np.float64)
+    for s_idx, setting in enumerate(settings):
+        for g_idx, group in enumerate(groups):
+            term = 1.0
+            for name in group:
+                v = float(setting[name])
+                term *= v**i * (np.log2(v) ** j)
+            out[s_idx, g_idx] = term
+    return out
+
+
+@dataclass(frozen=True)
+class PMNFModel:
+    """A fitted PMNF candidate.
+
+    ``coefficients[0]`` is the intercept ``c_0``; the remaining entries
+    align with ``groups``. ``rse`` is the selection score (lower wins).
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    i: int
+    j: int
+    coefficients: np.ndarray
+    rse: float
+    target: str = "metric"
+
+    def predict(self, settings: Sequence[Setting]) -> np.ndarray:
+        """Evaluate the model at new settings."""
+        terms = pmnf_term_matrix(self.groups, settings, self.i, self.j)
+        return self.coefficients[0] + terms @ self.coefficients[1:]
+
+    def describe(self) -> str:
+        parts = [f"{self.coefficients[0]:+.4g}"]
+        for k, group in enumerate(self.groups):
+            prod = " * ".join(
+                f"{name}^{self.i}"
+                + (f"*log2({name})^{self.j}" if self.j else "")
+                for name in group
+            )
+            parts.append(f"{self.coefficients[k + 1]:+.4g} * ({prod})")
+        return f"{self.target} ~ " + " ".join(parts) + f"   [RSE={self.rse:.4g}]"
+
+
+def _fit_candidate(
+    groups: Sequence[Sequence[str]],
+    settings: Sequence[Setting],
+    target: np.ndarray,
+    i: int,
+    j: int,
+) -> tuple[np.ndarray, float]:
+    """Fit coefficients for one (i, j) candidate; returns (coef, rse)."""
+    terms = pmnf_term_matrix(groups, settings, i, j)
+    # Normalise term scales so curve_fit's default step sizes behave on
+    # the wildly different magnitudes P^2 terms can reach.
+    scale = np.maximum(np.abs(terms).max(axis=0), 1.0)
+    terms_n = terms / scale
+
+    def f(x: np.ndarray, *coef: float) -> np.ndarray:
+        c = np.asarray(coef)
+        return c[0] + x @ c[1:]
+
+    p0 = np.zeros(len(groups) + 1)
+    p0[0] = float(np.mean(target))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", OptimizeWarning)
+        try:
+            popt, _ = curve_fit(f, terms_n, target, p0=p0, maxfev=20000)
+        except (RuntimeError, ValueError) as exc:
+            raise ModelFitError(f"curve_fit failed for (i={i}, j={j}): {exc}") from exc
+    coef = np.asarray(popt, dtype=np.float64)
+    pred = f(terms_n, *coef)
+    rse = residual_standard_error(target, pred, n_params=coef.size)
+    # Fold the normalisation back into the stored coefficients.
+    coef[1:] = coef[1:] / scale
+    return coef, rse
+
+
+def fit_pmnf(
+    groups: Sequence[Sequence[str]],
+    settings: Sequence[Setting],
+    target: Sequence[float] | np.ndarray,
+    *,
+    i_range: Sequence[int] = DEFAULT_I_RANGE,
+    j_range: Sequence[int] = DEFAULT_J_RANGE,
+    target_name: str = "metric",
+) -> PMNFModel:
+    """Traverse the PMNF function space and keep the best-RSE candidate.
+
+    The degenerate ``(i=0, j=0)`` candidate (a pure constant) is
+    included — it acts as the null model and loses whenever any signal
+    exists. Raises :class:`ModelFitError` only when *every* candidate
+    fails to fit.
+    """
+    if not groups:
+        raise ModelFitError("fit_pmnf needs at least one parameter group")
+    if len(settings) == 0:
+        raise ModelFitError("fit_pmnf needs a non-empty dataset")
+    y = np.asarray(target, dtype=np.float64)
+    if y.size != len(settings):
+        raise ModelFitError(
+            f"target length {y.size} does not match {len(settings)} settings"
+        )
+
+    best: PMNFModel | None = None
+    errors: list[str] = []
+    for i in i_range:
+        for j in j_range:
+            try:
+                coef, rse = _fit_candidate(groups, settings, y, i, j)
+            except ModelFitError as exc:
+                errors.append(str(exc))
+                continue
+            if best is None or rse < best.rse:
+                best = PMNFModel(
+                    groups=tuple(tuple(g) for g in groups),
+                    i=i,
+                    j=j,
+                    coefficients=coef,
+                    rse=rse,
+                    target=target_name,
+                )
+    if best is None:
+        raise ModelFitError("all PMNF candidates failed: " + "; ".join(errors))
+    return best

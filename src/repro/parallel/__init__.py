@@ -1,0 +1,15 @@
+"""MPI-like communication substrate for the multi-population GA.
+
+The paper runs one GA sub-population per MPI process and migrates
+individuals around a single-ring topology (Fig 6). mpi4py is not
+available offline, so this package supplies an mpi4py-flavoured
+communicator with two backends: a deterministic in-process one (used by
+the tuners, so results are reproducible) and a genuine
+``multiprocessing`` SPMD driver (used by the parallel example and its
+test) with the same interface.
+"""
+
+from repro.parallel.comm import Communicator, LocalRing, ring_exchange
+from repro.parallel.mp import spmd_run
+
+__all__ = ["Communicator", "LocalRing", "ring_exchange", "spmd_run"]

@@ -1,0 +1,88 @@
+"""Ring communicators.
+
+The abstraction is deliberately tiny — exactly what the island GA
+needs: every rank simultaneously sends one payload to each ring
+neighbour and receives the payloads addressed to it (an ``MPI_Sendrecv``
+pair per neighbour in MPI terms).
+
+Two forms are provided:
+
+* :class:`LocalRing` — the deterministic in-process form used by the
+  tuners; all sub-populations live in one process and
+  :meth:`LocalRing.exchange` performs the whole-ring exchange in
+  lockstep, so results are bit-reproducible.
+* :class:`Communicator` — the SPMD endpoint interface implemented by
+  the :mod:`multiprocessing` backend (:mod:`repro.parallel.mp`), where
+  each rank runs in its own OS process and exchanges through pipes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any
+
+from repro.errors import CommunicatorError
+
+
+class Communicator(ABC):
+    """One rank's endpoint in a ring of ``size`` peers."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        if size < 1:
+            raise CommunicatorError(f"ring size must be >= 1, got {size}")
+        if not 0 <= rank < size:
+            raise CommunicatorError(f"rank {rank} outside ring of size {size}")
+        self.rank = rank
+        self.size = size
+
+    @property
+    def left(self) -> int:
+        return (self.rank - 1) % self.size
+
+    @property
+    def right(self) -> int:
+        return (self.rank + 1) % self.size
+
+    @abstractmethod
+    def sendrecv_neighbors(self, payload: Any) -> tuple[Any, Any]:
+        """Send ``payload`` to both neighbours; return (from_left, from_right).
+
+        Collective: every rank must call it the same number of times.
+        """
+
+
+class LocalRing:
+    """Deterministic in-process ring used by the island GA.
+
+    Migration in the paper exchanges individuals with the two ring
+    neighbours of each sub-population (single-ring topology, Fig 6);
+    :meth:`exchange` performs exactly that collective for all ranks at
+    once.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise CommunicatorError(f"ring size must be >= 1, got {size}")
+        self.size = size
+
+    def exchange(self, payloads: Sequence[Any]) -> list[tuple[Any, Any]]:
+        """Payload ``i`` goes to both neighbours of rank ``i``.
+
+        Returns, for each rank, the (from_left, from_right) pair. For
+        ``size == 1`` the single rank is its own neighbour (migration
+        becomes a no-op re-injection), matching MPI ring semantics.
+        """
+        if len(payloads) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} payloads, got {len(payloads)}"
+            )
+        return [
+            (payloads[(r - 1) % self.size], payloads[(r + 1) % self.size])
+            for r in range(self.size)
+        ]
+
+
+def ring_exchange(payloads: Sequence[Any]) -> list[tuple[Any, Any]]:
+    """Functional helper: one-shot ring exchange over a payload list."""
+    return LocalRing(len(payloads)).exchange(payloads)

@@ -1,0 +1,117 @@
+"""Multiprocessing SPMD backend.
+
+Runs ``fn(comm, *args) -> result`` on ``size`` OS processes connected
+in a ring by pipes — the closest offline stand-in for the paper's
+one-MPI-process-per-sub-population deployment. Used by the
+``examples/parallel_islands.py`` demonstration and its test; the
+tuners themselves use the deterministic :class:`~repro.parallel.comm.LocalRing`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.errors import CommunicatorError
+from repro.parallel.comm import Communicator
+
+
+class PipeRingComm(Communicator):
+    """Ring endpoint backed by :class:`multiprocessing.Pipe` pairs."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        send_left: "mp.connection.Connection",
+        send_right: "mp.connection.Connection",
+        recv_left: "mp.connection.Connection",
+        recv_right: "mp.connection.Connection",
+        result_conn: "mp.connection.Connection",
+    ) -> None:
+        super().__init__(rank, size)
+        self._send_left = send_left
+        self._send_right = send_right
+        self._recv_left = recv_left
+        self._recv_right = recv_right
+        self._result_conn = result_conn
+
+    def sendrecv_neighbors(self, payload: Any) -> tuple[Any, Any]:
+        self._send_left.send(payload)
+        self._send_right.send(payload)
+        return self._recv_left.recv(), self._recv_right.recv()
+
+
+def _worker(
+    fn: Callable[..., Any],
+    rank: int,
+    size: int,
+    conns: tuple,
+    result_conn: "mp.connection.Connection",
+    args: tuple,
+) -> None:
+    comm = PipeRingComm(rank, size, *conns, result_conn)
+    try:
+        result = fn(comm, *args)
+        result_conn.send(("ok", rank, result))
+    except Exception as exc:  # surfaced by the driver
+        result_conn.send(("error", rank, repr(exc)))
+
+
+def spmd_run(
+    size: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    *,
+    timeout_s: float = 120.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` processes; return per-rank results.
+
+    ``fn`` must be picklable (a module-level function). Raises
+    :class:`CommunicatorError` if any rank fails or times out.
+    """
+    if size < 1:
+        raise CommunicatorError(f"size must be >= 1, got {size}")
+    ctx = mp.get_context("spawn")
+
+    # Ring links: for each directed edge (i -> i+1) and (i -> i-1).
+    right_pipes = [ctx.Pipe() for _ in range(size)]  # i sends right on [i]
+    left_pipes = [ctx.Pipe() for _ in range(size)]   # i sends left on [i]
+    result_pipes = [ctx.Pipe() for _ in range(size)]
+
+    procs = []
+    for rank in range(size):
+        conns = (
+            left_pipes[rank][0],                    # send to left neighbour
+            right_pipes[rank][0],                   # send to right neighbour
+            right_pipes[(rank - 1) % size][1],      # recv from left (their right-send)
+            left_pipes[(rank + 1) % size][1],       # recv from right (their left-send)
+        )
+        p = ctx.Process(
+            target=_worker,
+            args=(fn, rank, size, conns, result_pipes[rank][0], tuple(args)),
+        )
+        p.start()
+        procs.append(p)
+
+    results: list[Any] = [None] * size
+    errors: list[str] = []
+    for rank in range(size):
+        recv = result_pipes[rank][1]
+        if not recv.poll(timeout_s):
+            errors.append(f"rank {rank} timed out after {timeout_s}s")
+            continue
+        status, r, payload = recv.recv()
+        if status == "ok":
+            results[r] = payload
+        else:
+            errors.append(f"rank {r}: {payload}")
+
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():
+            p.terminate()
+    if errors:
+        raise CommunicatorError("; ".join(errors))
+    return results

@@ -1,0 +1,6 @@
+"""Simulated Nsight profiling and performance-dataset management."""
+
+from repro.profiler.nsight import NsightCollector
+from repro.profiler.dataset import PerformanceDataset, DatasetRecord
+
+__all__ = ["NsightCollector", "PerformanceDataset", "DatasetRecord"]

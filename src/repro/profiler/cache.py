@@ -1,0 +1,82 @@
+"""On-disk dataset cache.
+
+The offline stencil dataset is collected once per (stencil, device) and
+amortised over every subsequent tuning run (Section V-F). This cache
+makes that concrete: datasets are stored as JSON under a cache
+directory keyed by stencil, device, size and seed, and transparently
+reused.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.dataset import PerformanceDataset
+from repro.profiler.nsight import NsightCollector
+from repro.space.space import SearchSpace
+from repro.stencil.pattern import StencilPattern
+
+
+class DatasetCache:
+    """Directory-backed store of offline performance datasets."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, stencil: str, device: str, n: int, seed: int) -> Path:
+        return self.root / f"{stencil}-{device}-n{n}-s{seed}.json"
+
+    def contains(self, stencil: str, device: str, n: int, seed: int) -> bool:
+        return self._path(stencil, device, n, seed).exists()
+
+    def load(
+        self, stencil: str, device: str, n: int, seed: int
+    ) -> PerformanceDataset | None:
+        """Load a cached dataset or return None if absent/corrupt."""
+        path = self._path(stencil, device, n, seed)
+        if not path.exists():
+            return None
+        try:
+            return PerformanceDataset.load(path)
+        except Exception:
+            # A corrupt cache entry must never poison the pipeline;
+            # drop it and let the caller re-collect.
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, dataset: PerformanceDataset, n: int, seed: int) -> Path:
+        path = self._path(dataset.stencil, dataset.device, n, seed)
+        dataset.save(path)
+        return path
+
+    def get_or_collect(
+        self,
+        simulator: GpuSimulator,
+        pattern: StencilPattern,
+        space: SearchSpace,
+        *,
+        n: int = 128,
+        seed: int = 0,
+    ) -> PerformanceDataset:
+        """Return the cached dataset, collecting and storing on a miss."""
+        cached = self.load(pattern.name, simulator.device.name, n, seed)
+        if cached is not None and len(cached) == n:
+            return cached
+        collector = NsightCollector(simulator)
+        dataset = collector.collect_dataset(
+            pattern, space, n=n, seed=np.random.default_rng(seed)
+        )
+        self.store(dataset, n, seed)
+        return dataset
+
+    def clear(self) -> int:
+        """Delete every cached dataset; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,29 @@
+"""The parameterised optimization space of Table I.
+
+Exposes the 19 tuning parameters (thread-block dimensions, memory-type
+switches, streaming, unrolling, merging, retiming, prefetching), the
+paper's explicit inter-parameter constraints and the
+:class:`SearchSpace` used by every tuner in this repository.
+"""
+
+from repro.space.parameters import (
+    Parameter,
+    ParameterKind,
+    PARAMETER_ORDER,
+    build_parameters,
+)
+from repro.space.setting import Setting
+from repro.space.constraints import explicit_violation, canonicalize_values
+from repro.space.space import SearchSpace, build_space
+
+__all__ = [
+    "Parameter",
+    "ParameterKind",
+    "PARAMETER_ORDER",
+    "build_parameters",
+    "Setting",
+    "explicit_violation",
+    "canonicalize_values",
+    "SearchSpace",
+    "build_space",
+]

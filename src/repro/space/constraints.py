@@ -1,0 +1,116 @@
+"""Explicit inter-parameter constraints (Section IV-B).
+
+The paper enumerates explicit constraints between optimization
+parameters; this module implements them as pure predicates over a
+candidate value assignment:
+
+* the thread-block size ``TBx * TBy * TBz`` must not exceed 1,024;
+* ``SD`` and ``SB`` are only valid when streaming is enabled (when it
+  is disabled they are pinned to their neutral value 1, which also
+  de-duplicates otherwise-identical settings);
+* prefetching overlaps the load of the *next streaming plane* with
+  computation, so it is only meaningful under streaming;
+* concurrent streaming bounds the streaming-dimension unroll factor by
+  the number of stream tiles (``UF_SD <= SB``);
+* ``SB`` cannot exceed the extent of the streaming dimension;
+* under streaming the thread block is two-dimensional over the
+  non-stream dimensions (2.5-D blocking), so ``TB`` along ``SD`` is 1;
+* along every dimension the per-thread work tile
+  ``TB_n * UF_n * CM_n * BM_n`` must fit in the grid extent ``M_n``
+  (along the streaming dimension the extent is the stream tile,
+  ``M_SD / SB``).
+
+Implicit *resource* constraints (register spilling, shared-memory
+overflow) require a kernel plan and live in :mod:`repro.codegen`; the
+:class:`~repro.space.space.SearchSpace` composes both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.stencil.pattern import StencilPattern
+
+#: Hard CUDA limit on threads per block.
+MAX_THREADS_PER_BLOCK = 1024
+
+#: Parameter names per grid dimension, index 1..3 (Table I convention).
+_DIM_SUFFIX = {1: "x", 2: "y", 3: "z"}
+
+
+def _dim_names(dim: int) -> tuple[str, str, str, str]:
+    s = _DIM_SUFFIX[dim]
+    return (f"TB{s}", f"UF{s}", f"CM{s}", f"BM{s}")
+
+
+def explicit_violation(
+    pattern: StencilPattern, values: Mapping[str, int]
+) -> str | None:
+    """First violated explicit constraint, or ``None`` when all hold.
+
+    Returning the reason (not just a bool) lets tuners and tests report
+    why a candidate was rejected.
+    """
+    tb_total = values["TBx"] * values["TBy"] * values["TBz"]
+    if tb_total > MAX_THREADS_PER_BLOCK:
+        return f"thread block size {tb_total} exceeds {MAX_THREADS_PER_BLOCK}"
+
+    streaming = values["useStreaming"] == 2
+    sd = values["SD"]
+    sb = values["SB"]
+
+    if not streaming:
+        if sd != 1:
+            return "SD is only valid when streaming is enabled"
+        if sb != 1:
+            return "SB is only valid when streaming is enabled"
+        if values["usePrefetching"] == 2:
+            return "prefetching requires streaming"
+    else:
+        m_sd = pattern.grid[sd - 1]
+        if sb > m_sd:
+            return f"SB={sb} exceeds streaming dimension extent {m_sd}"
+        tb_sd = values[_dim_names(sd)[0]]
+        if tb_sd != 1:
+            return f"2.5-D streaming requires TB=1 along SD (got {tb_sd})"
+        uf_sd = values[_dim_names(sd)[1]]
+        if sb > 1 and uf_sd > sb:
+            return f"concurrent streaming requires UF_SD<=SB ({uf_sd}>{sb})"
+
+    for dim in (1, 2, 3):
+        tb_name, uf_name, cm_name, bm_name = _dim_names(dim)
+        extent = pattern.grid[dim - 1]
+        if streaming and dim == sd:
+            extent = max(1, extent // sb)
+        tile = values[tb_name] * values[uf_name] * values[cm_name] * values[bm_name]
+        if tile > extent:
+            return (
+                f"work tile {tile} along dimension {dim} exceeds extent {extent}"
+            )
+    return None
+
+
+def canonicalize_values(
+    pattern: StencilPattern, values: Mapping[str, int]
+) -> dict[str, int]:
+    """Repair gating violations by pinning dependent parameters.
+
+    This is the *repair* operator used by samplers and the GA mutation:
+    it only touches parameters whose value is meaningless in context
+    (e.g. ``SB`` when streaming is off), never performance-relevant free
+    choices.
+    """
+    out = dict(values)
+    if out["useStreaming"] != 2:
+        out["SD"] = 1
+        out["SB"] = 1
+        out["usePrefetching"] = 1
+    else:
+        sd = out["SD"]
+        m_sd = pattern.grid[sd - 1]
+        out["SB"] = min(out["SB"], m_sd)
+        tb_name, uf_name, _, _ = _dim_names(sd)
+        out[tb_name] = 1
+        if out["SB"] > 1:
+            out[uf_name] = min(out[uf_name], out["SB"])
+    return out

@@ -1,0 +1,109 @@
+"""Immutable parameter settings.
+
+A :class:`Setting` is one point in the optimization space: a mapping
+from parameter name to integer value, hashable so it can key caches and
+dataset rows, with helpers for the vector and log2 encodings used by
+the grouping statistics and the PMNF regression.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping
+
+from repro.errors import UnknownParameterError
+from repro.space.parameters import BOOL_PARAMETERS, PARAMETER_ORDER
+
+
+class Setting(Mapping[str, int]):
+    """One assignment of values to all (or a subset of) parameters.
+
+    Behaves as an immutable, hashable mapping. Equality and hashing use
+    the sorted item tuple, so two settings constructed in different
+    orders compare equal.
+    """
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Mapping[str, int]) -> None:
+        for name, v in values.items():
+            if not isinstance(v, (int,)) or isinstance(v, bool):
+                raise TypeError(f"parameter {name} must be an int, got {v!r}")
+        self._values: dict[str, int] = dict(values)
+        self._key = tuple(sorted(self._values.items()))
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise UnknownParameterError(f"setting has no parameter {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Setting):
+            return self._key == other._key
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        order = [n for n in PARAMETER_ORDER if n in self._values]
+        order += sorted(set(self._values) - set(order))
+        inner = ", ".join(f"{n}={self._values[n]}" for n in order)
+        return f"Setting({inner})"
+
+    # -- Derived views ---------------------------------------------------
+
+    def enabled(self, switch: str) -> bool:
+        """True iff a boolean switch (1/2 convention) is set to 2."""
+        if switch not in BOOL_PARAMETERS:
+            raise UnknownParameterError(f"{switch!r} is not a boolean switch")
+        return self[switch] == 2
+
+    def replace(self, **updates: int) -> "Setting":
+        """Copy with some values replaced (unknown names are rejected)."""
+        for name in updates:
+            if name not in self._values:
+                raise UnknownParameterError(f"setting has no parameter {name!r}")
+        merged = dict(self._values)
+        merged.update(updates)
+        return Setting(merged)
+
+    def values_tuple(self, order: tuple[str, ...] = PARAMETER_ORDER) -> tuple[int, ...]:
+        """Values in a fixed parameter order (vector encoding)."""
+        return tuple(self[name] for name in order)
+
+    def log2_value(self, name: str) -> float:
+        """log2 of the value.
+
+        The paper applies log2 to numerical parameters before computing
+        coefficients of variation so the statistics act on a continuous
+        scale; booleans/enums start at 1, keeping the log legitimate.
+        """
+        return math.log2(self[name])
+
+    def log2_vector(self, order: tuple[str, ...] = PARAMETER_ORDER) -> tuple[float, ...]:
+        return tuple(self.log2_value(name) for name in order)
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict copy (JSON-safe)."""
+        return dict(self._values)
+
+    @classmethod
+    def from_values(
+        cls, values: tuple[int, ...], order: tuple[str, ...] = PARAMETER_ORDER
+    ) -> "Setting":
+        """Inverse of :meth:`values_tuple`."""
+        if len(values) != len(order):
+            raise ValueError(f"expected {len(order)} values, got {len(values)}")
+        return cls(dict(zip(order, values)))

@@ -1,0 +1,427 @@
+"""The search space: domains + constraints + sampling + encodings.
+
+:class:`SearchSpace` is the single object every tuner interacts with.
+It owns the Table I parameter domains for one stencil, composes the
+explicit constraints with an optional implicit resource check (register
+spill / shared-memory overflow, supplied by :mod:`repro.codegen`), and
+provides constraint-aware random sampling, lazy enumeration of valid
+settings, repair, neighbourhood moves and index-vector encodings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from itertools import product
+
+import numpy as np
+
+from repro.errors import SearchError, UnknownParameterError
+from repro.space.constraints import canonicalize_values, explicit_violation
+from repro.space.parameters import (
+    PARAMETER_ORDER,
+    Parameter,
+    build_parameters,
+)
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern
+
+#: Optional implicit-constraint hook: returns a reason string or None.
+ResourceCheck = Callable[[Setting], "str | None"]
+
+_DIM_SUFFIX = {1: "x", 2: "y", 3: "z"}
+
+
+class SearchSpace:
+    """Constraint-aware optimization space for one stencil pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The stencil being tuned (grid extents gate the domains).
+    parameters:
+        Parameter list; defaults to the full Table I set via
+        :func:`repro.space.parameters.build_parameters`.
+    resource_check:
+        Optional implicit-constraint predicate (register/shared-memory
+        pressure). ``None`` means only explicit constraints apply.
+    """
+
+    def __init__(
+        self,
+        pattern: StencilPattern,
+        parameters: Sequence[Parameter] | None = None,
+        resource_check: ResourceCheck | None = None,
+    ) -> None:
+        self.pattern = pattern
+        self.parameters: tuple[Parameter, ...] = tuple(
+            parameters if parameters is not None else build_parameters(pattern)
+        )
+        self._by_name = {p.name: p for p in self.parameters}
+        if set(self._by_name) != set(PARAMETER_ORDER):
+            missing = set(PARAMETER_ORDER) - set(self._by_name)
+            extra = set(self._by_name) - set(PARAMETER_ORDER)
+            raise ValueError(
+                f"parameter set mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        self.resource_check = resource_check
+        self._dim_tuples_cache: dict[int, list[tuple[int, int, int, int]]] = {}
+        self._candidate_cache: dict[
+            tuple[int, int, int | None, bool],
+            list[list[tuple[int, int, int, int]]],
+        ] = {}
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return PARAMETER_ORDER
+
+    def param(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownParameterError(f"unknown parameter {name!r}") from None
+
+    def nominal_size(self) -> int:
+        """Product of domain cardinalities (before any constraint)."""
+        n = 1
+        for p in self.parameters:
+            n *= p.cardinality
+        return n
+
+    # -- validity ------------------------------------------------------------
+
+    def violation(self, setting: Setting) -> str | None:
+        """First violated constraint (domain, explicit, then implicit)."""
+        for p in self.parameters:
+            if not p.contains(setting[p.name]):
+                return f"{p.name}={setting[p.name]} outside domain"
+        reason = explicit_violation(self.pattern, setting)
+        if reason is not None:
+            return reason
+        if self.resource_check is not None:
+            return self.resource_check(setting)
+        return None
+
+    def is_valid(self, setting: Setting) -> bool:
+        return self.violation(setting) is None
+
+    def repair(self, values: dict[str, int]) -> Setting:
+        """Clip values into their domains and fix gated parameters.
+
+        Used after GA mutation and by samplers; the result satisfies the
+        domain and gating constraints but may still violate tile or
+        resource constraints (callers re-validate).
+        """
+        clipped = {
+            name: self.param(name).clip(int(v)) for name, v in values.items()
+        }
+        return Setting(canonicalize_values(self.pattern, clipped))
+
+    def repair_full(self, values: dict[str, int]) -> Setting:
+        """Project arbitrary values onto the valid set.
+
+        Deterministic halving repair used by genetic operators whose
+        recombinations violate the tile/resource constraints: after
+        gating repair, oversized thread blocks, work tiles and
+        register-spilling merge factors are halved (largest factor
+        first) until every constraint holds. All domains contain 1, so
+        the projection always terminates at a valid setting.
+        """
+        setting = self.repair(values)
+        vals = setting.to_dict()
+
+        # Thread-block budget.
+        while vals["TBx"] * vals["TBy"] * vals["TBz"] > 1024:
+            biggest = max(("TBx", "TBy", "TBz"), key=lambda n: vals[n])
+            vals[biggest] //= 2
+
+        # Per-dimension work tiles.
+        streaming = vals["useStreaming"] == 2
+        sd = vals["SD"] if streaming else None
+        for dim in (1, 2, 3):
+            s = _DIM_SUFFIX[dim]
+            extent = self.pattern.grid[dim - 1]
+            if streaming and dim == sd:
+                extent = max(1, extent // vals["SB"])
+            names = [f"TB{s}", f"UF{s}", f"CM{s}", f"BM{s}"]
+            while (
+                vals[names[0]] * vals[names[1]] * vals[names[2]] * vals[names[3]]
+                > extent
+            ):
+                shrinkable = [n for n in names if vals[n] > 1]
+                vals[max(shrinkable, key=lambda n: vals[n])] //= 2
+
+        # Implicit resource constraints: shrink merge factors until the
+        # kernel stops spilling.
+        candidate = Setting(canonicalize_values(self.pattern, vals))
+        while self.resource_check is not None and self.resource_check(candidate):
+            merges = [
+                n
+                for n in ("UFx", "UFy", "UFz", "CMx", "CMy", "CMz",
+                          "BMx", "BMy", "BMz", "TBx", "TBy", "TBz")
+                if vals[n] > 1
+            ]
+            if not merges:
+                break  # nothing left to shrink; caller sees the violation
+            vals[max(merges, key=lambda n: vals[n])] //= 2
+            candidate = Setting(canonicalize_values(self.pattern, vals))
+        return candidate
+
+    # -- sampling --------------------------------------------------------
+
+    def _dim_tuples(self, dim: int) -> list[tuple[int, int, int, int]]:
+        """All (TB, UF, CM, BM) combinations whose product fits ``M_dim``."""
+        if dim not in self._dim_tuples_cache:
+            s = _DIM_SUFFIX[dim]
+            extent = self.pattern.grid[dim - 1]
+            tuples = [
+                (tb, uf, cm, bm)
+                for tb in self.param(f"TB{s}").values
+                for uf in self.param(f"UF{s}").values
+                for cm in self.param(f"CM{s}").values
+                for bm in self.param(f"BM{s}").values
+                if tb * uf * cm * bm <= extent
+            ]
+            self._dim_tuples_cache[dim] = tuples
+        return self._dim_tuples_cache[dim]
+
+    def _candidate_groups(
+        self,
+        dim: int,
+        budget: int,
+        *,
+        uf_cap: int | None = None,
+        stream: bool = False,
+    ) -> list[list[tuple[int, int, int, int]]]:
+        """Feasible (TB, UF, CM, BM) tuples grouped by TB value.
+
+        The grouping realizes the sampler's two-stage draw (TB uniform,
+        then merge triple uniform within the TB). Results are memoised
+        per (dim, budget, uf_cap, stream) — the sampler hits only a
+        handful of distinct budget values, so this turns the per-draw
+        filtering from O(|tuples|) Python loops into a dict lookup.
+        """
+        key = (dim, budget, uf_cap, stream)
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            return cached
+        groups: dict[int, list[tuple[int, int, int, int]]] = {}
+        for t in self._dim_tuples(dim):
+            tb, uf, cm, bm = t
+            if stream and tb != 1:
+                continue
+            if uf_cap is not None and uf > uf_cap:
+                continue
+            if uf * cm * bm > budget:
+                continue
+            groups.setdefault(tb, []).append(t)
+        out = [groups[tb] for tb in sorted(groups)]
+        self._candidate_cache[key] = out
+        return out
+
+    def _ppt_budget(self) -> int:
+        """Heuristic cap on merged points per thread.
+
+        The register model charges roughly ``2 * outputs + 1`` registers
+        per merged point, so settings beyond this budget are certain to
+        spill; pre-filtering keeps the sampler's rejection rate low.
+        Only a bias — the real resource check still has the last word.
+        """
+        return max(4, 200 // (2 * self.pattern.outputs + 1))
+
+    def random_setting(
+        self, rng: np.random.Generator, *, max_tries: int = 500
+    ) -> Setting:
+        """Draw one valid setting, approximately uniform over valid space.
+
+        Constraint-aware construction (per-dimension work-tile tuples,
+        a per-thread work budget matching the register model, gated
+        streaming parameters) keeps the rejection rate low even though
+        unconstrained uniform sampling would be valid well under 1 % of
+        the time.
+        """
+        ppt_cap = self._ppt_budget()
+        for _ in range(max_tries):
+            values: dict[str, int] = {}
+            for switch in ("useShared", "useConstant", "useStreaming",
+                           "useRetiming", "usePrefetching"):
+                domain = self.param(switch).values
+                values[switch] = domain[int(rng.integers(len(domain)))]
+            streaming = values["useStreaming"] == 2
+            if streaming:
+                sd_domain = self.param("SD").values
+                sd = sd_domain[int(rng.integers(len(sd_domain)))]
+                m_sd = self.pattern.grid[sd - 1]
+                sb_domain = [v for v in self.param("SB").values if v <= m_sd]
+                sb = sb_domain[int(rng.integers(len(sb_domain)))]
+            else:
+                sd, sb = 1, 1
+                values["usePrefetching"] = 1
+            values["SD"], values["SB"] = sd, sb
+
+            ok = True
+            budget = ppt_cap
+            dims = [1, 2, 3]
+            rng.shuffle(dims)  # avoid biasing early dimensions to big work
+            for dim in dims:
+                s = _DIM_SUFFIX[dim]
+                if streaming and dim == sd:
+                    extent = max(1, self.pattern.grid[dim - 1] // sb)
+                    uf_cap = sb if sb > 1 else extent
+                    groups = self._candidate_groups(
+                        dim, min(budget, extent), uf_cap=uf_cap, stream=True
+                    )
+                else:
+                    groups = self._candidate_groups(dim, budget)
+                if not groups:
+                    ok = False
+                    break
+                # Two-stage draw: TB first (uniform over its feasible
+                # values), then the merge triple uniform among combos
+                # that still fit. Tuple-uniform sampling would weight
+                # TB towards 1 (small TBs admit far more merge combos),
+                # skewing the sample towards low-parallelism settings.
+                sub = groups[int(rng.integers(len(groups)))]
+                tb, uf, cm, bm = sub[int(rng.integers(len(sub)))]
+                budget //= max(1, uf * cm * bm)
+                values[f"TB{s}"], values[f"UF{s}"] = tb, uf
+                values[f"CM{s}"], values[f"BM{s}"] = cm, bm
+            if not ok:
+                continue
+
+            if values["TBx"] * values["TBy"] * values["TBz"] > 1024:
+                continue
+            setting = Setting(values)
+            if self.is_valid(setting):
+                return setting
+        raise SearchError(
+            f"could not draw a valid setting in {max_tries} tries "
+            f"(space may be over-constrained)"
+        )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        *,
+        unique: bool = True,
+        max_tries_factor: int = 50,
+    ) -> list[Setting]:
+        """Draw ``n`` valid settings (distinct by default)."""
+        if n < 0:
+            raise ValueError(f"cannot sample a negative count: {n}")
+        out: list[Setting] = []
+        seen: set[Setting] = set()
+        tries = 0
+        limit = max(1, n) * max_tries_factor
+        while len(out) < n and tries < limit:
+            tries += 1
+            s = self.random_setting(rng)
+            if unique:
+                if s in seen:
+                    continue
+                seen.add(s)
+            out.append(s)
+        if len(out) < n:
+            raise SearchError(
+                f"only found {len(out)} of {n} distinct valid settings"
+            )
+        return out
+
+    # -- enumeration & neighbourhoods -------------------------------------
+
+    def enumerate_valid(self, *, limit: int | None = None) -> Iterator[Setting]:
+        """Lazily yield valid settings in lexicographic domain order.
+
+        Intended for scaled-down spaces in tests and for the exhaustive
+        degeneration of small parameter groups; enumerating the full
+        Table I space would take geological time, hence ``limit``.
+        """
+        domains = [self.param(name).values for name in PARAMETER_ORDER]
+        count = 0
+        for combo in product(*domains):
+            setting = Setting(dict(zip(PARAMETER_ORDER, combo)))
+            if self.is_valid(setting):
+                yield setting
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+    def neighbors(self, setting: Setting) -> list[Setting]:
+        """Valid one-step moves: one parameter nudged one domain index."""
+        out: list[Setting] = []
+        for p in self.parameters:
+            idx = p.index_of(setting[p.name])
+            for step in (-1, 1):
+                j = idx + step
+                if 0 <= j < p.cardinality:
+                    cand = self.repair(
+                        {**setting.to_dict(), p.name: p.values[j]}
+                    )
+                    if cand != setting and self.is_valid(cand):
+                        out.append(cand)
+        return out
+
+    # -- encodings ---------------------------------------------------------
+
+    def encode(self, setting: Setting) -> np.ndarray:
+        """Setting → per-parameter domain-index vector (int64)."""
+        return np.array(
+            [self.param(n).index_of(setting[n]) for n in PARAMETER_ORDER],
+            dtype=np.int64,
+        )
+
+    def decode(self, indices: np.ndarray) -> Setting:
+        """Inverse of :meth:`encode` (with gating repair applied)."""
+        if len(indices) != len(PARAMETER_ORDER):
+            raise ValueError(
+                f"expected {len(PARAMETER_ORDER)} indices, got {len(indices)}"
+            )
+        values = {}
+        for name, idx in zip(PARAMETER_ORDER, indices):
+            p = self.param(name)
+            i = int(np.clip(idx, 0, p.cardinality - 1))
+            values[name] = p.values[i]
+        return self.repair(values)
+
+    def estimate_valid_fraction(
+        self, rng: np.random.Generator, n: int = 2000
+    ) -> float:
+        """Monte-Carlo estimate of the valid fraction of the nominal space."""
+        if n <= 0:
+            raise ValueError(f"sample count must be positive, got {n}")
+        hits = 0
+        for _ in range(n):
+            values = {
+                p.name: int(p.values[rng.integers(p.cardinality)])
+                for p in self.parameters
+            }
+            if self.violation(Setting(values)) is None:
+                hits += 1
+        return hits / n
+
+
+def build_space(
+    pattern: StencilPattern,
+    device: "object | None" = None,
+    *,
+    max_factor: int | None = None,
+) -> SearchSpace:
+    """Construct the standard space for a stencil, wiring resource checks.
+
+    When ``device`` (a :class:`repro.gpusim.DeviceSpec`) is given, the
+    implicit register-spill and shared-memory constraints are enforced
+    through the kernel planner, matching the paper's "only non-spilled
+    parameter settings are explored".
+    """
+    parameters = build_parameters(pattern, max_factor=max_factor)
+    check: ResourceCheck | None = None
+    if device is not None:
+        from repro.codegen.plan import resource_violation
+
+        def check(setting: Setting, _pattern=pattern, _device=device) -> str | None:
+            return resource_violation(_pattern, setting, _device)
+
+    return SearchSpace(pattern, parameters, resource_check=check)

@@ -1,0 +1,32 @@
+"""Stencil patterns, the Table III evaluation suite and reference executors."""
+
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.taps import Tap, star_taps, box_taps, axis_taps
+from repro.stencil.reference import ReferenceExecutor, apply_taps
+from repro.stencil.suite import (
+    STENCIL_SUITE,
+    get_stencil,
+    get_executor,
+    register_stencil,
+    suite_names,
+)
+from repro.stencil.dsl import parse_stencil, ParsedStencil, DslError
+
+__all__ = [
+    "StencilPattern",
+    "StencilShape",
+    "Tap",
+    "star_taps",
+    "box_taps",
+    "axis_taps",
+    "ReferenceExecutor",
+    "apply_taps",
+    "STENCIL_SUITE",
+    "get_stencil",
+    "get_executor",
+    "register_stencil",
+    "suite_names",
+    "parse_stencil",
+    "ParsedStencil",
+    "DslError",
+]

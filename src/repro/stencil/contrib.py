@@ -1,0 +1,90 @@
+"""Additional stencils beyond the Table III evaluation suite.
+
+Importing this module registers a set of commonly-benchmarked stencils
+(heat equation, Poisson smoother, higher-order Jacobi variants, an
+FDTD-like multi-field kernel). They are not part of the paper's
+evaluation — the figure benchmarks never touch them — but give library
+users ready-made patterns and widen the test surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.suite import register_stencil
+from repro.stencil.taps import Tap, axis_taps, star_taps
+
+
+def _heat3d_taps(pattern: StencilPattern) -> list[Tap]:
+    """Explicit heat equation: u += alpha * laplacian(u)."""
+    alpha = 0.1
+    taps = [Tap((0, 0, 0), 1.0 - 6.0 * alpha)]
+    for t in star_taps(1, centre=0.0):
+        if t.offset != (0, 0, 0):
+            taps.append(Tap(t.offset, alpha * 6.0 * t.coefficient))
+    return taps
+
+
+def _poisson_taps(pattern: StencilPattern) -> list[Tap]:
+    """Jacobi relaxation for the Poisson equation (rhs in array 1)."""
+    taps = []
+    for t in star_taps(1, centre=0.0):
+        if t.offset != (0, 0, 0):
+            taps.append(Tap(t.offset, 1.0 / 6.0, array=0))
+    taps.append(Tap((0, 0, 0), -1.0 / 6.0, array=1))
+    return taps
+
+
+def _fdtd_taps(pattern: StencilPattern) -> list[Tap]:
+    """FDTD-style curl update: central differences on three fields."""
+    taps = [Tap((0, 0, 0), 1.0, array=0)]
+    for axis, arr in ((0, 1), (1, 2), (2, 1)):
+        taps.extend(
+            axis_taps(pattern.order, axis, array=arr, antisymmetric=True)
+        )
+    return taps
+
+
+#: Registered-on-import extra stencils.
+CONTRIB_SUITE: Sequence[StencilPattern] = tuple(
+    register_stencil(p, builder=b, replace=True)
+    for p, b in (
+        (
+            StencilPattern(
+                name="heat3d", grid=(256, 256, 256), order=1, flops=14,
+                io_arrays=2, shape=StencilShape.STAR, coefficients=2,
+            ),
+            _heat3d_taps,
+        ),
+        (
+            StencilPattern(
+                name="poisson", grid=(256, 256, 256), order=1, flops=9,
+                io_arrays=3, shape=StencilShape.MULTI, coefficients=2,
+            ),
+            _poisson_taps,
+        ),
+        (
+            StencilPattern(
+                name="j3d13pt", grid=(384, 384, 384), order=2, flops=22,
+                io_arrays=2, shape=StencilShape.STAR, coefficients=13,
+            ),
+            None,
+        ),
+        (
+            StencilPattern(
+                name="j3d125pt", grid=(256, 256, 256), order=2, flops=250,
+                io_arrays=2, shape=StencilShape.BOX, coefficients=125,
+            ),
+            None,
+        ),
+        (
+            StencilPattern(
+                name="fdtd3d", grid=(256, 256, 256), order=1, flops=30,
+                io_arrays=4, shape=StencilShape.MULTI, outputs=1,
+                coefficients=6,
+            ),
+            _fdtd_taps,
+        ),
+    )
+)

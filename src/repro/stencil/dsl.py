@@ -1,0 +1,307 @@
+"""A tiny textual stencil DSL.
+
+The paper positions csTuner as the auto-tuning back-end stencil DSLs
+lack ("csTuner can be integrated into these DSLs and quickly obtain the
+optimal parameter settings", Section VI). This module provides a
+minimal front-end of that kind: a declarative stencil description is
+parsed into a :class:`~repro.stencil.pattern.StencilPattern` plus a tap
+program, ready for the reference executor and the tuner.
+
+Grammar (one definition per ``parse_stencil`` call)::
+
+    stencil <name> {
+      grid <M1> <M2> <M3>
+      inputs  <id> [, <id> ...]
+      output  <id>
+      [coefficients <int>]
+      <output>[0,0,0] = <expr>
+    }
+
+``<expr>`` is a signed sum of terms; each term is an optional scalar
+coefficient times either one array reference ``name[dz,dy,dx]`` or a
+parenthesized sum of references (the coefficient distributes). FLOPs,
+order and shape are inferred from the taps.
+
+Example::
+
+    stencil j3d7pt {
+      grid 512 512 512
+      inputs u
+      output unext
+      unext[0,0,0] = 0.5*u[0,0,0]
+        + 0.0833*(u[1,0,0] + u[-1,0,0] + u[0,1,0]
+                  + u[0,-1,0] + u[0,0,1] + u[0,0,-1])
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.reference import ReferenceExecutor
+from repro.stencil.taps import Tap
+
+
+class DslError(ReproError):
+    """Syntax or semantic error in a stencil DSL source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<number>[+-]?\d+\.\d*(?:[eE][+-]?\d+)?|[+-]?\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[{}\[\],=*()+-])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise DslError(f"unexpected character {source[pos]!r} at offset {pos}")
+        kind = m.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    def peek(self) -> _Token | None:
+        return self._tokens[self._i] if self._i < len(self._tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise DslError("unexpected end of input")
+        self._i += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise DslError(f"expected {text!r}, got {tok.text!r} at {tok.pos}")
+        return tok
+
+    def expect_kind(self, kind: str) -> _Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise DslError(f"expected {kind}, got {tok.text!r} at {tok.pos}")
+        return tok
+
+    # -- expression parsing -----------------------------------------------
+
+    def parse_int(self) -> int:
+        sign = 1
+        tok = self.next()
+        if tok.text in ("+", "-"):
+            sign = -1 if tok.text == "-" else 1
+            tok = self.next()
+        if tok.kind != "number" or "." in tok.text or "e" in tok.text.lower():
+            raise DslError(f"expected integer, got {tok.text!r} at {tok.pos}")
+        return sign * int(tok.text)
+
+    def parse_ref(self, arrays: dict[str, int]) -> tuple[int, tuple[int, int, int]]:
+        name = self.expect_kind("ident").text
+        if name not in arrays:
+            raise DslError(f"reference to undeclared input array {name!r}")
+        self.expect("[")
+        dz = self.parse_int()
+        self.expect(",")
+        dy = self.parse_int()
+        self.expect(",")
+        dx = self.parse_int()
+        self.expect("]")
+        return arrays[name], (dz, dy, dx)
+
+    def parse_group(
+        self, arrays: dict[str, int]
+    ) -> list[tuple[int, tuple[int, int, int], float]]:
+        """Parenthesized signed sum of references: (array, offset, sign)."""
+        self.expect("(")
+        first = self.parse_ref(arrays)
+        refs = [(first[0], first[1], 1.0)]
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise DslError("unclosed parenthesis")
+            if tok.text == ")":
+                self.next()
+                return refs
+            if tok.text in ("+", "-"):
+                sign = -1.0 if self.next().text == "-" else 1.0
+                arr, off = self.parse_ref(arrays)
+                refs.append((arr, off, sign))
+            else:
+                raise DslError(f"expected + - or ), got {tok.text!r} at {tok.pos}")
+
+    def parse_expr(self, arrays: dict[str, int]) -> tuple[list[Tap], int]:
+        """Signed sum of terms; returns (taps, flops)."""
+        taps: list[Tap] = []
+        flops = 0
+        sign = 1.0
+        first = True
+        while True:
+            tok = self.peek()
+            if tok is None or tok.text == "}":
+                break
+            if not first:
+                if tok.text == "+":
+                    sign = 1.0
+                    self.next()
+                elif tok.text == "-":
+                    sign = -1.0
+                    self.next()
+                else:
+                    raise DslError(f"expected + or -, got {tok.text!r} at {tok.pos}")
+                flops += 1  # the addition joining terms
+            first = False
+            taps_added, f = self._parse_term(arrays, sign)
+            taps.extend(taps_added)
+            flops += f
+        if not taps:
+            raise DslError("empty stencil expression")
+        return taps, flops
+
+    def _parse_term(
+        self, arrays: dict[str, int], sign: float
+    ) -> tuple[list[Tap], int]:
+        tok = self.peek()
+        assert tok is not None
+        coeff = 1.0
+        flops = 0
+        if tok.kind == "number":
+            coeff = float(self.next().text)
+            self.expect("*")
+            tok = self.peek()
+            assert tok is not None
+        if tok.text == "(":
+            refs = self.parse_group(arrays)
+            taps = []
+            for arr, off, inner_sign in refs:
+                taps.append(Tap(off, sign * inner_sign * coeff, arr))
+            # one multiply for the distributed coefficient, one add per
+            # extra reference inside the group
+            flops += 1 + (len(refs) - 1)
+            return taps, flops
+        arr, off = self.parse_ref(arrays)
+        flops += 1 if coeff != 1.0 else 0
+        return [Tap(off, sign * coeff, arr)], flops
+
+
+@dataclass(frozen=True)
+class ParsedStencil:
+    """Outcome of parsing one DSL definition."""
+
+    pattern: StencilPattern
+    taps: tuple[Tap, ...]
+
+    def executor(self) -> ReferenceExecutor:
+        return ReferenceExecutor(self.pattern, list(self.taps))
+
+
+def _infer_shape(taps: list[Tap], inputs: int) -> StencilShape:
+    if inputs > 1:
+        return StencilShape.MULTI
+    if all(sum(1 for o in t.offset if o != 0) <= 1 for t in taps):
+        return StencilShape.STAR
+    return StencilShape.BOX
+
+
+def parse_stencil(source: str) -> ParsedStencil:
+    """Parse one stencil definition into pattern + tap program."""
+    p = _Parser(_tokenize(source))
+    p.expect("stencil")
+    name = p.expect_kind("ident").text
+    p.expect("{")
+
+    grid: tuple[int, int, int] | None = None
+    inputs: list[str] = []
+    output: str | None = None
+    coefficients = 8
+
+    while True:
+        tok = p.peek()
+        if tok is None:
+            raise DslError("unterminated stencil block")
+        if tok.kind == "ident" and tok.text == "grid":
+            p.next()
+            grid = (p.parse_int(), p.parse_int(), p.parse_int())
+        elif tok.kind == "ident" and tok.text == "inputs":
+            p.next()
+            inputs.append(p.expect_kind("ident").text)
+            while p.peek() is not None and p.peek().text == ",":
+                p.next()
+                inputs.append(p.expect_kind("ident").text)
+        elif tok.kind == "ident" and tok.text == "output":
+            p.next()
+            output = p.expect_kind("ident").text
+        elif tok.kind == "ident" and tok.text == "coefficients":
+            p.next()
+            coefficients = p.parse_int()
+        else:
+            break
+
+    if grid is None:
+        raise DslError(f"stencil {name!r}: missing grid declaration")
+    if not inputs:
+        raise DslError(f"stencil {name!r}: missing inputs declaration")
+    if output is None:
+        raise DslError(f"stencil {name!r}: missing output declaration")
+    if output in inputs:
+        raise DslError(f"stencil {name!r}: output {output!r} is also an input")
+
+    # Update statement: output[0,0,0] = expr
+    lhs = p.expect_kind("ident").text
+    if lhs != output:
+        raise DslError(f"update assigns {lhs!r}, expected output {output!r}")
+    p.expect("[")
+    for want in ("0", ",", "0", ",", "0", "]"):
+        tok = p.next()
+        if tok.text != want:
+            raise DslError(f"output reference must be [0,0,0] (got {tok.text!r})")
+    p.expect("=")
+
+    arrays = {a: i for i, a in enumerate(inputs)}
+    taps, flops = p.parse_expr(arrays)
+    p.expect("}")
+    if p.peek() is not None:
+        raise DslError(f"trailing input after stencil block: {p.peek().text!r}")
+
+    order = max(
+        (max(abs(o) for o in t.offset) for t in taps),
+        default=0,
+    )
+    if order == 0:
+        order = 1  # pointwise update: minimal halo
+    pattern = StencilPattern(
+        name=name,
+        grid=grid,
+        order=order,
+        flops=max(1, flops),
+        io_arrays=len(inputs) + 1,
+        shape=_infer_shape(taps, len(inputs)),
+        outputs=1,
+        coefficients=coefficients,
+    )
+    return ParsedStencil(pattern=pattern, taps=tuple(taps))

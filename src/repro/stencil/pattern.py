@@ -1,0 +1,134 @@
+"""Stencil pattern metadata.
+
+A :class:`StencilPattern` captures everything the rest of the pipeline
+needs to know about a stencil: the computational grid, the *stencil
+order* (extent of the neighbourhood along each dimension), the shape of
+the neighbourhood (star vs. box), the double-precision FLOPs performed
+per output point and the number of I/O arrays — exactly the columns of
+Table III in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class StencilShape(str, Enum):
+    """Neighbourhood shape.
+
+    ``STAR`` touches only on-axis neighbours (e.g. j3d7pt); ``BOX``
+    touches the full ``(2r+1)^3`` cube (e.g. j3d27pt). Complex stencils
+    such as hypterm mix axis sweeps over many arrays and are modelled as
+    ``MULTI`` — star-shaped taps applied independently per input array.
+    """
+
+    STAR = "star"
+    BOX = "box"
+    MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """Immutable description of one stencil computation.
+
+    Parameters
+    ----------
+    name:
+        Identifier used throughout results and figures (Table III).
+    grid:
+        Input grid extents ``(M1, M2, M3)``; the paper's stencils use
+        ``512^3`` or ``320^3``.
+    order:
+        Neighbourhood radius along each dimension.
+    flops:
+        Double-precision FLOPs per output point (Table III column).
+    io_arrays:
+        Total number of input plus output arrays touched per sweep.
+    shape:
+        Neighbourhood shape, see :class:`StencilShape`.
+    outputs:
+        Number of arrays written per sweep (the remainder of
+        ``io_arrays`` are read-only inputs).
+    dtype_bytes:
+        Element size; the whole suite is double precision (8 bytes).
+    coefficients:
+        Number of scalar coefficients (candidates for constant memory).
+    """
+
+    name: str
+    grid: tuple[int, int, int]
+    order: int
+    flops: int
+    io_arrays: int
+    shape: StencilShape = StencilShape.STAR
+    outputs: int = 1
+    dtype_bytes: int = 8
+    coefficients: int = field(default=8)
+
+    def __post_init__(self) -> None:
+        if len(self.grid) != 3:
+            raise ValueError(f"{self.name}: grid must be 3-D, got {self.grid}")
+        if any(m < 1 for m in self.grid):
+            raise ValueError(f"{self.name}: grid extents must be positive")
+        if self.order < 1:
+            raise ValueError(f"{self.name}: order must be >= 1")
+        if self.flops < 1:
+            raise ValueError(f"{self.name}: flops must be >= 1")
+        if not (1 <= self.outputs < self.io_arrays) and self.io_arrays != 1:
+            raise ValueError(
+                f"{self.name}: need at least one input and one output array"
+            )
+
+    # ---- derived quantities -------------------------------------------------
+
+    @property
+    def inputs(self) -> int:
+        """Number of read-only input arrays."""
+        return self.io_arrays - self.outputs
+
+    @property
+    def halo(self) -> int:
+        """Ghost-cell width required on each face (= order)."""
+        return self.order
+
+    @property
+    def taps_per_point(self) -> int:
+        """Grid points read (per input array) to update one output point."""
+        r = self.order
+        if self.shape is StencilShape.BOX:
+            return (2 * r + 1) ** 3
+        # Star / multi: centre plus 2r on-axis neighbours per dimension.
+        return 1 + 6 * r
+
+    def points(self) -> int:
+        """Total output points updated per sweep (full-grid update)."""
+        n = 1
+        for m in self.grid:
+            n *= m
+        return n
+
+    def interior_shape(self) -> tuple[int, int, int]:
+        """Grid shape after removing the halo on every face."""
+        return tuple(m - 2 * self.halo for m in self.grid)  # type: ignore[return-value]
+
+    def compulsory_bytes(self) -> int:
+        """Minimum off-chip traffic per sweep: each array streamed once."""
+        return self.points() * self.dtype_bytes * self.io_arrays
+
+    def total_flops(self) -> int:
+        """FLOPs per full-grid sweep."""
+        return self.points() * self.flops
+
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per compulsory byte — the roofline x-coordinate."""
+        return self.total_flops() / self.compulsory_bytes()
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used in reports)."""
+        g = "x".join(str(m) for m in self.grid)
+        return (
+            f"{self.name}: grid {g}, order {self.order}, "
+            f"{self.flops} FLOPs/pt, {self.io_arrays} I/O arrays, "
+            f"{self.shape.value}"
+        )

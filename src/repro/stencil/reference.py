@@ -1,0 +1,133 @@
+"""NumPy reference execution of stencil sweeps.
+
+These executors exist for *correctness*: unit tests verify tap algebra,
+halo handling and multi-array combination on small grids, and the
+codegen tests check that generated CUDA loop structures index the same
+taps. Performance evaluation runs on :mod:`repro.gpusim`, never here.
+
+Following the HPC-Python guidance, the interior update is fully
+vectorised: each tap is applied as one shifted-view addition, so there
+is no per-point Python loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.taps import Tap
+
+
+def _shifted_view(arr: np.ndarray, offset: tuple[int, int, int], halo: int) -> np.ndarray:
+    """Interior-sized view of ``arr`` displaced by ``offset``.
+
+    Views, not copies — applying a 27-point stencil allocates only the
+    accumulator, per the "be easy on the memory" guideline.
+    """
+    slices = []
+    for dim, off in enumerate(offset):
+        lo = halo + off
+        hi = arr.shape[dim] - halo + off
+        if lo < 0 or hi > arr.shape[dim]:
+            raise ReproError(
+                f"tap offset {offset} exceeds halo {halo} on dimension {dim}"
+            )
+        slices.append(slice(lo, hi))
+    return arr[tuple(slices)]
+
+
+def apply_taps(
+    arrays: Sequence[np.ndarray],
+    taps: Sequence[Tap],
+    halo: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply a tap set to input arrays, returning the interior update.
+
+    All input arrays must share one shape; the result has that shape
+    shrunk by ``halo`` on every face. ``out`` may supply a preallocated
+    accumulator (zeroed in place).
+    """
+    if not arrays:
+        raise ReproError("apply_taps needs at least one input array")
+    shape = arrays[0].shape
+    for a in arrays[1:]:
+        if a.shape != shape:
+            raise ReproError(f"input array shapes differ: {a.shape} vs {shape}")
+    interior = tuple(s - 2 * halo for s in shape)
+    if any(s <= 0 for s in interior):
+        raise ReproError(f"grid {shape} too small for halo {halo}")
+    if out is None:
+        out = np.zeros(interior, dtype=np.float64)
+    else:
+        if out.shape != interior:
+            raise ReproError(f"out has shape {out.shape}, expected {interior}")
+        out[...] = 0.0
+    for tap in taps:
+        if not 0 <= tap.array < len(arrays):
+            raise ReproError(f"tap references array {tap.array} of {len(arrays)}")
+        out += tap.coefficient * _shifted_view(arrays[tap.array], tap.offset, halo)
+    return out
+
+
+class ReferenceExecutor:
+    """Executes a stencil pattern's tap program on NumPy arrays.
+
+    Parameters
+    ----------
+    pattern:
+        The stencil metadata (supplies halo width and array counts).
+    taps:
+        The tap program. Taps may reference any of the pattern's input
+        arrays (``tap.array < pattern.inputs``).
+    """
+
+    def __init__(self, pattern: StencilPattern, taps: Sequence[Tap]) -> None:
+        if not taps:
+            raise ReproError(f"{pattern.name}: empty tap program")
+        for tap in taps:
+            if tap.array >= pattern.inputs:
+                raise ReproError(
+                    f"{pattern.name}: tap reads array {tap.array} but the "
+                    f"pattern declares only {pattern.inputs} inputs"
+                )
+        self.pattern = pattern
+        self.taps = list(taps)
+
+    def make_inputs(
+        self, rng: np.random.Generator, *, grid: tuple[int, int, int] | None = None
+    ) -> list[np.ndarray]:
+        """Random double-precision inputs of the pattern's (or given) grid."""
+        shape = grid if grid is not None else self.pattern.grid
+        return [rng.random(shape) for _ in range(self.pattern.inputs)]
+
+    def run(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """One sweep; returns the interior update."""
+        if len(arrays) != self.pattern.inputs:
+            raise ReproError(
+                f"{self.pattern.name}: expected {self.pattern.inputs} input "
+                f"arrays, got {len(arrays)}"
+            )
+        return apply_taps(arrays, self.taps, self.pattern.halo)
+
+    def run_iterations(
+        self, arrays: Sequence[np.ndarray], iterations: int
+    ) -> np.ndarray:
+        """Repeated sweeps with the primary array updated in place.
+
+        Only the interior of array 0 is overwritten each sweep, matching
+        the Jacobi-style time loop of the paper's j3d kernels.
+        """
+        if iterations < 1:
+            raise ReproError(f"iterations must be >= 1, got {iterations}")
+        work = [np.array(a, dtype=np.float64, copy=True) for a in arrays]
+        halo = self.pattern.halo
+        interior = tuple(slice(halo, s - halo) for s in work[0].shape)
+        result = self.run(work)
+        for _ in range(iterations - 1):
+            work[0][interior] = result
+            result = self.run(work)
+        return result

@@ -1,0 +1,146 @@
+"""The eight complex stencils of Table III, plus a registry for new ones.
+
+The suite mixes stencil orders 1-4, FLOP counts 10-666 and 2-13 I/O
+arrays, mirroring the paper's selection (taken from the register
+optimization study of Rawat et al., PPoPP'18). Each entry carries both
+the Table III metadata driving the performance simulator and a tap
+program so the reference executor can run it for real on small grids.
+
+The physics of the original SW4/CNS kernels (hypterm, addsgd*,
+rhs4center) is proprietary-complexity rather than proprietary-data; we
+substitute representative multi-array, high-order axis-sweep tap
+programs with the same order, array counts and FLOP weights, which is
+what the tuning landscape depends on (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import UnknownStencilError
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.reference import ReferenceExecutor
+from repro.stencil.taps import Tap, axis_taps, box_taps, star_taps
+
+TapBuilder = Callable[[StencilPattern], list[Tap]]
+
+
+def _star_program(pattern: StencilPattern) -> list[Tap]:
+    return star_taps(pattern.order)
+
+
+def _box_program(pattern: StencilPattern) -> list[Tap]:
+    return box_taps(pattern.order)
+
+
+def _multi_program(pattern: StencilPattern) -> list[Tap]:
+    """Axis sweeps cycled over all input arrays.
+
+    Array 0 gets a full star (the state being smoothed); the remaining
+    inputs each contribute one axis sweep, alternating symmetric and
+    antisymmetric weights as the flux/dissipation kernels do.
+    """
+    taps = star_taps(pattern.order, array=0)
+    for idx in range(1, pattern.inputs):
+        axis = (idx - 1) % 3
+        anti = idx % 2 == 0
+        taps.extend(axis_taps(pattern.order, axis, array=idx, antisymmetric=anti))
+    return taps
+
+
+class _SuiteEntry:
+    """Pattern plus its tap-program builder."""
+
+    def __init__(self, pattern: StencilPattern, builder: TapBuilder) -> None:
+        self.pattern = pattern
+        self.builder = builder
+
+    def executor(self) -> ReferenceExecutor:
+        return ReferenceExecutor(self.pattern, self.builder(self.pattern))
+
+
+_REGISTRY: dict[str, _SuiteEntry] = {}
+
+
+def register_stencil(
+    pattern: StencilPattern, builder: TapBuilder | None = None, *, replace: bool = False
+) -> StencilPattern:
+    """Register a stencil so tuners and experiments can find it by name.
+
+    This is the extension point for user-defined stencils (see
+    ``examples/custom_stencil.py``). The default tap program is chosen
+    from the pattern's shape.
+    """
+    if pattern.name in _REGISTRY and not replace:
+        raise ValueError(f"stencil {pattern.name!r} is already registered")
+    if builder is None:
+        builder = {
+            StencilShape.STAR: _star_program,
+            StencilShape.BOX: _box_program,
+            StencilShape.MULTI: _multi_program,
+        }[pattern.shape]
+    _REGISTRY[pattern.name] = _SuiteEntry(pattern, builder)
+    return pattern
+
+
+def get_stencil(name: str) -> StencilPattern:
+    """Look up a registered stencil pattern by name."""
+    try:
+        return _REGISTRY[name].pattern
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownStencilError(f"unknown stencil {name!r}; known: {known}") from None
+
+
+def get_executor(name: str) -> ReferenceExecutor:
+    """Build the reference executor for a registered stencil."""
+    try:
+        return _REGISTRY[name].executor()
+    except KeyError:
+        raise UnknownStencilError(f"unknown stencil {name!r}") from None
+
+
+def suite_names() -> list[str]:
+    """Names of the paper's eight stencils, in Table III order."""
+    return [p.name for p in STENCIL_SUITE]
+
+
+# --- Table III ---------------------------------------------------------------
+
+STENCIL_SUITE: Sequence[StencilPattern] = tuple(
+    register_stencil(p)
+    for p in (
+        StencilPattern(
+            name="j3d7pt", grid=(512, 512, 512), order=1, flops=10,
+            io_arrays=2, shape=StencilShape.STAR, outputs=1, coefficients=4,
+        ),
+        StencilPattern(
+            name="j3d27pt", grid=(512, 512, 512), order=1, flops=32,
+            io_arrays=2, shape=StencilShape.BOX, outputs=1, coefficients=27,
+        ),
+        StencilPattern(
+            name="helmholtz", grid=(512, 512, 512), order=2, flops=17,
+            io_arrays=2, shape=StencilShape.STAR, outputs=1, coefficients=7,
+        ),
+        StencilPattern(
+            name="cheby", grid=(512, 512, 512), order=1, flops=38,
+            io_arrays=5, shape=StencilShape.MULTI, outputs=1, coefficients=6,
+        ),
+        StencilPattern(
+            name="hypterm", grid=(320, 320, 320), order=4, flops=358,
+            io_arrays=13, shape=StencilShape.MULTI, outputs=4, coefficients=16,
+        ),
+        StencilPattern(
+            name="addsgd4", grid=(320, 320, 320), order=2, flops=373,
+            io_arrays=10, shape=StencilShape.MULTI, outputs=3, coefficients=12,
+        ),
+        StencilPattern(
+            name="addsgd6", grid=(320, 320, 320), order=3, flops=626,
+            io_arrays=10, shape=StencilShape.MULTI, outputs=3, coefficients=12,
+        ),
+        StencilPattern(
+            name="rhs4center", grid=(320, 320, 320), order=2, flops=666,
+            io_arrays=8, shape=StencilShape.MULTI, outputs=3, coefficients=24,
+        ),
+    )
+)

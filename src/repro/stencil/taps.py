@@ -1,0 +1,90 @@
+"""Tap (offset, coefficient) construction for reference stencils.
+
+A stencil sweep is defined as a weighted sum over *taps*: relative grid
+offsets with scalar coefficients, optionally bound to a specific input
+array. The reference executor applies taps with shifted NumPy views so
+correctness tests run fast on small grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+
+@dataclass(frozen=True)
+class Tap:
+    """One stencil tap.
+
+    ``offset`` is the relative (dz, dy, dx) grid displacement,
+    ``coefficient`` the scalar weight and ``array`` the index of the
+    input array the tap reads from (multi-array stencils read several).
+    """
+
+    offset: tuple[int, int, int]
+    coefficient: float
+    array: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.offset) != 3:
+            raise ValueError(f"tap offset must be 3-D, got {self.offset}")
+
+
+def star_taps(order: int, *, array: int = 0, centre: float | None = None) -> list[Tap]:
+    """On-axis taps of radius ``order`` with smoothing-style weights.
+
+    The centre weight defaults to the negative sum of the neighbour
+    weights plus one, which keeps repeated application bounded (row sums
+    equal 1) — convenient for property tests on numerical stability.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    taps: list[Tap] = []
+    weight_sum = 0.0
+    for axis in range(3):
+        for r in range(1, order + 1):
+            w = 1.0 / (6.0 * order * r)
+            for sign in (-1, 1):
+                off = [0, 0, 0]
+                off[axis] = sign * r
+                taps.append(Tap(tuple(off), w, array))  # type: ignore[arg-type]
+                weight_sum += w
+    c = (1.0 - weight_sum) if centre is None else centre
+    taps.append(Tap((0, 0, 0), c, array))
+    return taps
+
+
+def box_taps(order: int, *, array: int = 0) -> list[Tap]:
+    """Full ``(2r+1)^3`` cube of taps with uniform averaging weights."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    span = range(-order, order + 1)
+    n = (2 * order + 1) ** 3
+    w = 1.0 / n
+    return [Tap((dz, dy, dx), w, array) for dz, dy, dx in product(span, span, span)]
+
+
+def axis_taps(
+    order: int, axis: int, *, array: int = 0, antisymmetric: bool = False
+) -> list[Tap]:
+    """Taps along a single axis — central-difference style.
+
+    ``antisymmetric=True`` produces first-derivative weights (odd in the
+    offset), as used by the flux terms of the hypterm-style kernels;
+    otherwise even (second-derivative / dissipation style) weights.
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    taps: list[Tap] = []
+    for r in range(1, order + 1):
+        w = 1.0 / (2.0 * order * r)
+        for sign in (-1, 1):
+            off = [0, 0, 0]
+            off[axis] = sign * r
+            coeff = w * (sign if antisymmetric else 1.0)
+            taps.append(Tap(tuple(off), coeff, array))  # type: ignore[arg-type]
+    if not antisymmetric:
+        taps.append(Tap((0, 0, 0), -1.0, array))
+    return taps

@@ -1,0 +1,23 @@
+"""Shared helpers: power-of-two math, stable hashing, RNG plumbing, timers."""
+
+from repro.utils.pow2 import (
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two_upto,
+    ilog2,
+)
+from repro.utils.hashing import stable_hash, unit_hash
+from repro.utils.rng import spawn_rng, rng_from_seed
+from repro.utils.timer import Stopwatch
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "powers_of_two_upto",
+    "ilog2",
+    "stable_hash",
+    "unit_hash",
+    "spawn_rng",
+    "rng_from_seed",
+    "Stopwatch",
+]

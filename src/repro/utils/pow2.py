@@ -1,0 +1,53 @@
+"""Power-of-two arithmetic.
+
+The paper restricts all numerical tuning parameters to powers of two
+(Section IV-B, consistent with Garvey/AN5D/register-optimization work),
+and performs ``log2`` transforms before computing coefficients of
+variation so the grouping statistics operate on a continuous scale.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff ``value`` is a positive integral power of two.
+
+    ``1`` counts as a power of two (2**0), matching the parameter domains
+    of Table I which all start at 1.
+    """
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two ``>= value`` (``value`` must be positive)."""
+    if value < 1:
+        raise ValueError(f"next_power_of_two requires value >= 1, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises :class:`ValueError` for non-powers so silent rounding cannot
+    corrupt the log-domain encodings used throughout the tuner.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"ilog2 requires a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def powers_of_two_upto(limit: int, *, start: int = 1) -> list[int]:
+    """All powers of two in ``[start, limit]``, ascending.
+
+    ``start`` must itself be a power of two. An empty list is returned
+    when ``limit < start`` so callers can treat degenerate dimensions
+    uniformly.
+    """
+    if not is_power_of_two(start):
+        raise ValueError(f"start must be a power of two, got {start}")
+    out: list[int] = []
+    v = start
+    while v <= limit:
+        out.append(v)
+        v <<= 1
+    return out

@@ -1,0 +1,33 @@
+"""Random-number-generator plumbing.
+
+All stochastic components (dataset sampling, GA initialisation, mutation)
+take a :class:`numpy.random.Generator` so experiments are reproducible
+end-to-end from a single seed. These helpers centralise construction and
+independent-stream spawning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or an existing generator, or ``None``) to a Generator.
+
+    Passing a Generator through unchanged lets call chains share one
+    stream; passing an int gives a fresh deterministic stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent child generators.
+
+    Used by the multi-population GA so each island (rank) owns its own
+    stream — results are then invariant to evaluation interleaving.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,45 @@
+"""Wall-clock stopwatch used by the overhead breakdown (Fig 12)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named phases.
+
+    The Fig 12 experiment splits csTuner pre-processing into parameter
+    grouping, search-space sampling and code generation; each phase is
+    timed with ``with watch.phase("grouping"): ...`` and the totals read
+    back from :attr:`totals`.
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Context manager accumulating elapsed seconds under ``name``."""
+        return _PhaseContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add elapsed time to a phase (e.g. from a sub-process)."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+
+class _PhaseContext:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,105 @@
+"""Unit tests for setting diffs, charts and dataset summaries."""
+
+import math
+
+import pytest
+
+from repro.analysis import compare_settings, convergence_chart, setting_diff, sparkline
+from repro.analysis.summary import dataset_summary, render_summary
+from repro.core.result import TracePoint, TuningResult
+from repro.gpusim.device import A100
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def setting(**kw):
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 32, "TBy": 4})
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestSettingDiff:
+    def test_identical(self):
+        assert setting_diff(setting(), setting()) == {}
+
+    def test_changed_parameters_listed(self):
+        d = setting_diff(setting(TBx=32), setting(TBx=64, UFy=2))
+        assert d == {"TBx": (32, 64), "UFy": (1, 2)}
+
+    def test_canonical_order(self):
+        d = setting_diff(setting(), setting(usePrefetching=1, TBy=8, UFz=2))
+        assert list(d) == ["TBy", "UFz"]
+
+    def test_compare_renders(self, small_pattern):
+        text = compare_settings(
+            small_pattern, setting(), setting(TBx=64), A100,
+            label_a="before", label_b="after",
+        )
+        assert "TBx: 32 -> 64" in text
+        assert "before" in text and "after" in text
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramps_up(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_non_finite_blank(self):
+        assert sparkline([math.inf, 1.0, 2.0])[0] == " "
+
+    def test_all_nonfinite(self):
+        assert sparkline([math.nan, math.inf]) == "  "
+
+
+class TestConvergenceChart:
+    def _result(self):
+        trace = [
+            TracePoint(1, 1, 5.0, 4.0),
+            TracePoint(10, 3, 20.0, 2.0),
+            TracePoint(30, 8, 60.0, 1.0),
+        ]
+        return TuningResult(
+            stencil="s", device="A100", tuner="T",
+            best_setting=None, best_time_s=1.0, evaluations=30,
+            iterations=8, cost_s=60.0, trace=trace,
+        )
+
+    def test_by_iteration(self):
+        out = convergence_chart(self._result(), width=16)
+        assert out.startswith("[T]")
+        assert "iteration" in out
+
+    def test_by_cost(self):
+        assert "cost" in convergence_chart(self._result(), width=16, by="cost")
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            convergence_chart(self._result(), by="nope")
+
+    def test_empty_trace(self):
+        r = TuningResult(
+            stencil="s", device="A100", tuner="T", best_setting=None,
+            best_time_s=float("inf"), evaluations=0, iterations=0, cost_s=0.0,
+        )
+        assert "no trace" in convergence_chart(r)
+
+
+class TestDatasetSummary:
+    def test_summary_fields(self, small_dataset):
+        s = dataset_summary(small_dataset)
+        assert s["n"] == len(small_dataset)
+        assert s["time_ms"]["min"] <= s["time_ms"]["median"] <= s["time_ms"]["max"]
+        for st in s["metrics"].values():
+            assert 0.0 <= st["abs_pcc_time"] <= 1.0 + 1e-9
+
+    def test_render(self, small_dataset):
+        text = render_summary(dataset_summary(small_dataset))
+        assert small_dataset.stencil in text
+        assert "median" in text

@@ -1,0 +1,42 @@
+"""Unit tests for setting explanation."""
+
+from repro.analysis import explain_setting
+from repro.gpusim.device import A100
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def setting(**kw):
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 32, "TBy": 4})
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestExplain:
+    def test_basic_fields(self, small_pattern):
+        rep = explain_setting(small_pattern, setting(), A100)
+        assert rep.stencil == small_pattern.name
+        assert rep.device == "A100"
+        assert rep.time_ms > 0
+        assert rep.bound in ("compute", "memory")
+        assert 0 < rep.occupancy <= 1
+
+    def test_render_contains_facts(self, small_pattern):
+        text = explain_setting(small_pattern, setting(), A100).render()
+        assert small_pattern.name in text
+        assert "occupancy" in text
+        assert "registers/thread" in text
+
+    def test_coalescing_note(self, small_pattern):
+        rep = explain_setting(small_pattern, setting(BMx=8), A100)
+        assert any("coalescing" in n for n in rep.notes)
+
+    def test_register_pressure_note(self, multi_pattern):
+        rep = explain_setting(multi_pattern, setting(UFy=4, BMz=2), A100)
+        if rep.registers_per_thread > 128:
+            assert any("register" in n for n in rep.notes)
+
+    def test_clean_setting_few_notes(self, small_pattern):
+        rep = explain_setting(small_pattern, setting(TBx=64, TBy=8), A100)
+        assert not any("coalescing" in n for n in rep.notes)

@@ -1,0 +1,26 @@
+"""explain_setting must produce coherent reports across the whole suite."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import explain_setting
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import STENCIL_SUITE
+
+
+@pytest.mark.parametrize("pattern", STENCIL_SUITE, ids=lambda p: p.name)
+class TestExplainSuite:
+    def test_reports_consistent_with_simulator(self, pattern):
+        sim = GpuSimulator(device=A100)
+        space = build_space(pattern, A100)
+        rng = np.random.default_rng(0)
+        for s in space.sample(rng, 5):
+            rep = explain_setting(pattern, s, A100)
+            # The report's time is the un-roughened model output; it
+            # must sit within the roughness band of the simulator time.
+            sim_ms = sim.true_time(pattern, s) * 1e3
+            assert rep.time_ms == pytest.approx(sim_ms, rel=0.20)
+            assert rep.registers_per_thread <= 255
+            assert rep.render()  # renders without error

@@ -1,0 +1,54 @@
+"""Unit tests for the Artemis baseline."""
+
+import pytest
+
+from repro.baselines import ArtemisTuner
+from repro.baselines.artemis import LEVELS
+from repro.core import Budget
+from repro.gpusim.simulator import GpuSimulator
+
+
+class TestLevels:
+    def test_five_levels_high_impact_first(self):
+        names = [name for name, _ in LEVELS]
+        assert names[0] == "thread-block"
+        assert names[-1] == "switches"
+        assert len(names) == 5
+
+    def test_level_candidates_nonempty(self):
+        for _, fn in LEVELS:
+            assert len(fn()) >= 2
+
+    def test_beam_validation(self):
+        with pytest.raises(ValueError):
+            ArtemisTuner(GpuSimulator(), beam_width=0)
+
+
+class TestSearch:
+    def test_completes_all_levels_with_budget(self, small_pattern, small_space):
+        tuner = ArtemisTuner(GpuSimulator(noise=0.0), seed=0)
+        res = tuner.tune(
+            small_pattern, Budget(max_iterations=100), space=small_space
+        )
+        assert res.meta["levels"] == [name for name, _ in LEVELS]
+        assert res.best_setting is not None
+        assert small_space.is_valid(res.best_setting)
+
+    def test_early_budget_stops_levels(self, small_pattern, small_space):
+        tuner = ArtemisTuner(GpuSimulator(noise=0.0), seed=0)
+        res = tuner.tune(
+            small_pattern, Budget(max_iterations=2), space=small_space
+        )
+        assert len(res.meta["levels"]) <= len(LEVELS)
+        assert res.iterations >= 2
+
+    def test_beats_neutral_default(self, small_pattern, small_space):
+        sim = GpuSimulator(noise=0.0)
+        tuner = ArtemisTuner(sim, seed=0)
+        res = tuner.tune(
+            small_pattern, Budget(max_iterations=60), space=small_space
+        )
+        from repro.baselines.artemis import _NEUTRAL
+
+        neutral = small_space.repair_full(dict(_NEUTRAL))
+        assert res.best_time_s <= sim.true_time(small_pattern, neutral)

@@ -1,0 +1,33 @@
+"""Tests for the shared baseline scaffolding."""
+
+from repro.baselines.base import ITERATION_BATCH, batch_iterations
+from repro.space.setting import Setting
+
+
+def settings(n):
+    return [Setting({"A": i + 1}) for i in range(n)]
+
+
+class TestBatchIterations:
+    def test_paper_batch_size(self):
+        """One iteration = one population's worth of evaluations (2x16)."""
+        assert ITERATION_BATCH == 32
+
+    def test_exact_batches(self):
+        out = list(batch_iterations(settings(64)))
+        assert [len(b) for b in out] == [32, 32]
+
+    def test_trailing_partial_batch(self):
+        out = list(batch_iterations(settings(40)))
+        assert [len(b) for b in out] == [32, 8]
+
+    def test_custom_batch(self):
+        out = list(batch_iterations(settings(7), batch=3))
+        assert [len(b) for b in out] == [3, 3, 1]
+
+    def test_empty(self):
+        assert list(batch_iterations([])) == []
+
+    def test_order_preserved(self):
+        flat = [s for b in batch_iterations(settings(50)) for s in b]
+        assert flat == settings(50)

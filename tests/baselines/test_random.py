@@ -1,0 +1,37 @@
+"""Unit tests for the random-search baseline."""
+
+from repro.baselines import RandomSearchTuner
+from repro.core import Budget
+from repro.gpusim.simulator import GpuSimulator
+
+
+class TestRandomSearch:
+    def test_respects_iteration_budget(self, small_pattern, small_space):
+        tuner = RandomSearchTuner(GpuSimulator(noise=0.0))
+        res = tuner.tune(
+            small_pattern, Budget(max_iterations=3), space=small_space
+        )
+        assert res.iterations == 3
+        assert res.evaluations <= 3 * 32
+
+    def test_respects_cost_budget(self, small_pattern, small_space):
+        tuner = RandomSearchTuner(GpuSimulator(noise=0.0))
+        res = tuner.tune(small_pattern, Budget(max_cost_s=5.0), space=small_space)
+        assert res.cost_s >= 5.0 or res.iterations > 0
+
+    def test_finds_some_setting(self, small_pattern, small_space):
+        tuner = RandomSearchTuner(GpuSimulator(noise=0.0))
+        res = tuner.tune(
+            small_pattern, Budget(max_iterations=2), space=small_space
+        )
+        assert res.best_setting is not None
+        assert small_space.is_valid(res.best_setting)
+
+    def test_seed_reproducible(self, small_pattern, small_space):
+        a = RandomSearchTuner(GpuSimulator(noise=0.0), seed=9).tune(
+            small_pattern, Budget(max_iterations=2), space=small_space
+        )
+        b = RandomSearchTuner(GpuSimulator(noise=0.0), seed=9).tune(
+            small_pattern, Budget(max_iterations=2), space=small_space
+        )
+        assert a.best_setting == b.best_setting

@@ -1,0 +1,78 @@
+"""Unit tests for kernel planning and resource violations."""
+
+import pytest
+
+from repro.codegen.plan import build_plan, resource_violation
+from repro.gpusim.device import A100
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def setting(**kw):
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 32, "TBy": 4})
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestBuildPlan:
+    def test_threads_and_points(self, small_pattern):
+        plan = build_plan(small_pattern, setting(TBx=32, TBy=4, UFy=2, BMz=2))
+        assert plan.threads_per_block == 128
+        assert plan.points_per_thread == 4
+
+    def test_block_geometry_covers_grid(self, small_pattern):
+        plan = build_plan(small_pattern, setting())
+        assert plan.blocks == (64 // 32, 64 // 4, 64)
+        assert plan.covered_points() >= small_pattern.points()
+
+    def test_ceil_division(self, small_pattern):
+        # TBy=4, UFy=4 -> tile 16; but with TBy=4,CMy=8 tile=32 -> 2 blocks
+        plan = build_plan(small_pattern, setting(CMy=8))
+        assert plan.blocks[1] == 2
+
+    def test_streaming_geometry(self, small_pattern):
+        s = setting(useStreaming=2, SD=3, SB=4, TBz=1)
+        plan = build_plan(small_pattern, s)
+        assert plan.streaming and plan.streaming_dim == 3
+        assert plan.blocks[2] == 4  # SB concurrent tiles
+        assert plan.stream_iters == 16  # 64/4 planes, 1 per thread
+
+    def test_stream_unroll_reduces_iters(self, small_pattern):
+        s = setting(useStreaming=2, SD=3, SB=4, TBz=1, UFz=4)
+        plan = build_plan(small_pattern, s)
+        assert plan.stream_iters == 4
+
+    def test_sync_points(self, small_pattern):
+        assert build_plan(small_pattern, setting()).sync_points == 0
+        assert build_plan(small_pattern, setting(useShared=2)).sync_points == 1
+        s = setting(useShared=2, useStreaming=2, SD=3, SB=1, TBz=1)
+        plan = build_plan(small_pattern, s)
+        assert plan.sync_points == plan.stream_iters
+
+    def test_flops_per_thread(self, small_pattern):
+        plan = build_plan(small_pattern, setting(UFx=2))
+        assert plan.flops_per_thread == small_pattern.flops * 2
+
+    def test_coalescing_stride_is_bmx(self, small_pattern):
+        assert build_plan(small_pattern, setting(BMx=2)).coalescing_stride == 2
+
+
+class TestResourceViolation:
+    def test_valid_setting_passes(self, small_pattern):
+        assert resource_violation(small_pattern, setting(), A100) is None
+
+    def test_register_spill_detected(self, small_pattern):
+        s = setting(UFy=16, CMy=16, BMz=8)
+        v = resource_violation(small_pattern, s, A100)
+        assert v is not None and "register" in v
+
+    def test_smem_overflow_detected(self, small_pattern):
+        # Wide merged tile: (32*4+2) x (8+2) x (16+2) doubles ~ 187 KiB
+        # of shared memory, while registers stay under the spill limit.
+        s = setting(useShared=2, TBx=32, TBy=8, CMx=4, CMz=16)
+        plan = build_plan(small_pattern, s)
+        assert plan.registers_per_thread <= A100.max_regs_per_thread
+        assert plan.shared_memory_per_block > A100.max_smem_per_block
+        v = resource_violation(small_pattern, s, A100)
+        assert v is not None and "shared memory" in v

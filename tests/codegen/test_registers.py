@@ -1,0 +1,86 @@
+"""Unit tests for register / shared-memory estimation."""
+
+import pytest
+
+from repro.codegen.registers import (
+    MAX_REGISTERS_PER_THREAD,
+    estimate_registers,
+    estimate_shared_memory,
+)
+from repro.space.setting import Setting
+from repro.space.parameters import PARAMETER_ORDER
+
+
+def setting(**kw):
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 32, "TBy": 4})
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestRegisters:
+    def test_baseline_reasonable(self, small_pattern):
+        regs = estimate_registers(small_pattern, setting())
+        assert 16 <= regs <= 64
+
+    def test_monotone_in_merging(self, small_pattern):
+        r1 = estimate_registers(small_pattern, setting(BMy=1))
+        r2 = estimate_registers(small_pattern, setting(BMy=4))
+        r3 = estimate_registers(small_pattern, setting(BMy=16))
+        assert r1 < r2 < r3
+
+    def test_heavy_merging_spills(self, small_pattern):
+        s = setting(UFy=16, CMy=16, BMz=8)
+        assert estimate_registers(small_pattern, s) > MAX_REGISTERS_PER_THREAD
+
+    def test_shared_reduces_staging(self, multi_pattern):
+        no_shared = estimate_registers(multi_pattern, setting(useShared=1))
+        shared = estimate_registers(multi_pattern, setting(useShared=2))
+        assert shared < no_shared
+
+    def test_prefetch_adds_registers(self, small_pattern):
+        base = setting(useStreaming=2, SD=3, SB=2, TBz=1)
+        pf = base.replace(usePrefetching=2)
+        assert estimate_registers(small_pattern, pf) > estimate_registers(
+            small_pattern, base
+        )
+
+    def test_retiming_relieves_high_order(self, multi_pattern):
+        base = setting(useShared=1)
+        rt = base.replace(useRetiming=2)
+        assert estimate_registers(multi_pattern, rt) < estimate_registers(
+            multi_pattern, base
+        )
+
+    def test_retiming_costs_low_order(self, small_pattern):
+        base = setting(useShared=1)
+        rt = base.replace(useRetiming=2)
+        assert estimate_registers(small_pattern, rt) > estimate_registers(
+            small_pattern, base
+        )
+
+
+class TestSharedMemory:
+    def test_zero_when_disabled(self, small_pattern):
+        assert estimate_shared_memory(small_pattern, setting(useShared=1)) == 0
+
+    def test_tile_with_halo(self, small_pattern):
+        s = setting(useShared=2, TBx=16, TBy=4, TBz=1)
+        smem = estimate_shared_memory(small_pattern, s)
+        # (16+2) * (4+2) * (1+2) * 8 bytes for one staged array
+        assert smem == 18 * 6 * 3 * 8
+
+    def test_streaming_uses_window(self, small_pattern):
+        flat = setting(useShared=2, TBx=16, TBy=4, TBz=4)
+        stream = setting(
+            useShared=2, TBx=16, TBy=4, TBz=1, useStreaming=2, SD=3, SB=1
+        )
+        assert estimate_shared_memory(
+            small_pattern, stream
+        ) < estimate_shared_memory(small_pattern, flat)
+
+    def test_grows_with_order(self, small_pattern, multi_pattern):
+        s = setting(useShared=2, TBx=16, TBy=4)
+        assert estimate_shared_memory(multi_pattern, s) > estimate_shared_memory(
+            small_pattern, s
+        )

@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Most tests run against a deliberately small stencil (64^3 grid, capped
+unroll/merge domains) so whole-pipeline tests stay fast; suite-scale
+objects are session-scoped and shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A100, V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.nsight import NsightCollector
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return A100
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return V100
+
+
+@pytest.fixture(scope="session")
+def small_pattern() -> StencilPattern:
+    """A small star stencil used by most unit tests."""
+    return StencilPattern(
+        name="test3d",
+        grid=(64, 64, 64),
+        order=1,
+        flops=12,
+        io_arrays=2,
+        shape=StencilShape.STAR,
+        outputs=1,
+        coefficients=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_pattern() -> StencilPattern:
+    """A multi-array, higher-order stencil for resource-pressure tests."""
+    return StencilPattern(
+        name="testmulti",
+        grid=(64, 64, 64),
+        order=3,
+        flops=180,
+        io_arrays=6,
+        shape=StencilShape.MULTI,
+        outputs=2,
+        coefficients=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_space(small_pattern, a100) -> SearchSpace:
+    return build_space(small_pattern, a100, max_factor=16)
+
+
+@pytest.fixture(scope="session")
+def sim(a100) -> GpuSimulator:
+    return GpuSimulator(device=a100, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(sim, small_pattern, small_space):
+    """48-record profiled dataset on the small stencil (shared)."""
+    collector = NsightCollector(sim)
+    return collector.collect_dataset(small_pattern, small_space, n=48, seed=0)
+
+
+@pytest.fixture
+def valid_setting(small_space, rng):
+    return small_space.random_setting(rng)

@@ -1,0 +1,99 @@
+"""Unit tests for budgets and the shared evaluator."""
+
+import pytest
+
+from repro.core.budget import Budget, Evaluator
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def invalid_setting():
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 1024, "TBy": 4})
+    return Setting(vals)
+
+
+class TestBudget:
+    def test_needs_some_limit(self):
+        with pytest.raises(ValueError):
+            Budget()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_iterations=0)
+        with pytest.raises(ValueError):
+            Budget(max_cost_s=0)
+
+    def test_both_limits_allowed(self):
+        b = Budget(max_iterations=5, max_cost_s=10.0)
+        assert b.max_iterations == 5
+
+
+class TestEvaluator:
+    def make(self, small_pattern, **kw):
+        sim = GpuSimulator(noise=0.0)
+        budget = kw.pop("budget", Budget(max_iterations=100))
+        return Evaluator(sim, small_pattern, budget, **kw)
+
+    def test_evaluate_returns_time(self, small_pattern, valid_setting):
+        ev = self.make(small_pattern)
+        t = ev.evaluate(valid_setting)
+        assert t is not None and t > 0
+        assert ev.evaluations == 1
+        assert ev.best_setting == valid_setting
+
+    def test_cache_free_and_stable(self, small_pattern, valid_setting):
+        ev = self.make(small_pattern)
+        t1 = ev.evaluate(valid_setting)
+        cost = ev.cost_s
+        t2 = ev.evaluate(valid_setting)
+        assert t1 == t2
+        assert ev.cost_s == cost  # cached evaluation is free
+        assert ev.evaluations == 1
+
+    def test_invalid_setting_returns_none(self, small_pattern):
+        ev = self.make(small_pattern)
+        assert ev.evaluate(invalid_setting()) is None
+        assert ev.cost_s == 0.0
+
+    def test_invalid_charged_when_requested(self, small_pattern):
+        ev = self.make(small_pattern, charge_invalid=True)
+        ev.evaluate(invalid_setting())
+        assert ev.cost_s == ev.simulator.compile_cost_s
+
+    def test_iteration_budget(self, small_pattern, valid_setting):
+        ev = self.make(small_pattern, budget=Budget(max_iterations=2))
+        assert not ev.exhausted
+        ev.end_iteration()
+        ev.end_iteration()
+        assert ev.exhausted
+        assert ev.evaluate(valid_setting) is None
+
+    def test_cost_budget(self, small_pattern, small_space, rng):
+        ev = self.make(small_pattern, budget=Budget(max_cost_s=0.6))
+        count = 0
+        while not ev.exhausted and count < 100:
+            ev.evaluate(small_space.random_setting(rng))
+            count += 1
+        assert ev.exhausted
+        assert ev.cost_s >= 0.6
+
+    def test_trace_monotone_best(self, small_pattern, small_space, rng):
+        ev = self.make(small_pattern)
+        for _ in range(20):
+            ev.evaluate(small_space.random_setting(rng))
+        ev.end_iteration()
+        bests = [pt.best_time_s for pt in ev.trace]
+        assert bests == sorted(bests, reverse=True)
+
+    def test_result_assembly(self, small_pattern, valid_setting):
+        ev = self.make(small_pattern)
+        ev.evaluate(valid_setting)
+        ev.end_iteration()
+        res = ev.result("X", phase_seconds={"search": 1.0}, meta={"k": 1})
+        assert res.tuner == "X"
+        assert res.best_setting == valid_setting
+        assert res.iterations == 1
+        assert res.phase_seconds["search"] == 1.0
+        assert res.meta["k"] == 1

@@ -1,0 +1,167 @@
+"""Unit tests for the evolutionary search with approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import Budget, Evaluator
+from repro.core.genetic import EvolutionarySearch, GAConfig, Individual
+from repro.core.grouping import group_parameters, pairwise_cv
+from repro.core.sampling import SamplingConfig, sample_search_space
+from repro.errors import SearchError
+from repro.gpusim.simulator import GpuSimulator
+
+
+@pytest.fixture(scope="module")
+def sampled(request):
+    sim = request.getfixturevalue("sim")
+    pattern = request.getfixturevalue("small_pattern")
+    space = request.getfixturevalue("small_space")
+    dataset = request.getfixturevalue("small_dataset")
+    cvs = pairwise_cv(sim, pattern, space, dataset.best().setting, probe_limit=4)
+    groups = group_parameters(cvs)
+    return sample_search_space(
+        space, dataset, groups, SamplingConfig(ratio=0.2, pool_size=200), seed=0
+    )
+
+
+def make_search(sampled, space, pattern, budget=None, config=None, seed=0):
+    sim = GpuSimulator(noise=0.0)
+    ev = Evaluator(sim, pattern, budget or Budget(max_iterations=30))
+    es = EvolutionarySearch(
+        sampled=sampled,
+        space=space,
+        evaluator=ev,
+        config=config or GAConfig(),
+        seed=seed,
+    )
+    return es, ev
+
+
+class TestGAConfig:
+    def test_paper_defaults(self):
+        cfg = GAConfig()
+        assert cfg.subpopulations == 2
+        assert cfg.population == 16
+        assert cfg.crossover_rate == 0.8
+        assert cfg.mutation_rate == 0.005
+        assert cfg.total_population == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(subpopulations=0)
+        with pytest.raises(ValueError):
+            GAConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GAConfig(mutation_rate=-0.1)
+        with pytest.raises(ValueError):
+            GAConfig(top_n=1)
+
+
+class TestDecode:
+    def test_decoded_settings_valid(
+        self, sampled, small_space, small_pattern
+    ):
+        es, _ = make_search(sampled, small_space, small_pattern)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            genes = tuple(
+                int(rng.integers(len(gi))) for gi in es.group_indexes
+            )
+            s = es.decode(genes)
+            assert small_space.is_valid(s)
+
+    def test_genes_of_roundtrip(self, sampled, small_space, small_pattern):
+        es, _ = make_search(sampled, small_space, small_pattern)
+        s = sampled.settings[0]
+        genes = es._genes_of(s)
+        assert es.decode(genes) == s
+
+
+class TestRun:
+    def test_finds_good_setting(self, sampled, small_space, small_pattern, sim):
+        es, ev = make_search(sampled, small_space, small_pattern)
+        es.run()
+        assert ev.best_setting is not None
+        # Must at least match the best whole setting in the sampled space.
+        sampled_best = min(
+            sim.true_time(small_pattern, s) for s in sampled.settings
+        )
+        assert ev.best_time_s <= sampled_best * 1.02
+
+    def test_budget_respected(self, sampled, small_space, small_pattern):
+        es, ev = make_search(
+            sampled, small_space, small_pattern, budget=Budget(max_iterations=3)
+        )
+        es.run()
+        assert ev.iteration >= 3
+        # One trailing end_iteration per group boundary is acceptable,
+        # but no further evaluations may happen after exhaustion.
+        assert ev.exhausted
+
+    def test_all_groups_tuned_when_budget_allows(
+        self, sampled, small_space, small_pattern
+    ):
+        es, ev = make_search(
+            sampled, small_space, small_pattern,
+            budget=Budget(max_iterations=500),
+        )
+        es.run()
+        assert es.groups_tuned >= len(es.group_indexes)
+
+    def test_deterministic_given_seed(self, sampled, small_space, small_pattern):
+        es1, ev1 = make_search(sampled, small_space, small_pattern, seed=3)
+        es1.run()
+        es2, ev2 = make_search(sampled, small_space, small_pattern, seed=3)
+        es2.run()
+        assert ev1.best_setting == ev2.best_setting
+        assert ev1.evaluations == ev2.evaluations
+
+    def test_empty_groups_rejected(self, sampled, small_space, small_pattern):
+        from dataclasses import replace
+
+        bad = type(sampled)(
+            settings=sampled.settings, groups=(), group_indexes=[]
+        )
+        with pytest.raises(SearchError):
+            make_search(bad, small_space, small_pattern)
+
+
+class TestApproximation:
+    def test_cv_criterion(self, sampled, small_space, small_pattern):
+        es, _ = make_search(sampled, small_space, small_pattern)
+        close = [Individual(genes=(0,), fitness=1.0 + i * 1e-4) for i in range(10)]
+        spread = [Individual(genes=(0,), fitness=1.0 + i * 0.5) for i in range(10)]
+        assert es._approximation_reached(close)
+        assert not es._approximation_reached(spread)
+
+    def test_duplicates_do_not_trigger(self, sampled, small_space, small_pattern):
+        es, _ = make_search(sampled, small_space, small_pattern)
+        dup = [Individual(genes=(0,), fitness=1.0) for _ in range(32)]
+        assert not es._approximation_reached(dup)
+
+    def test_zero_fitness_ignored(self, sampled, small_space, small_pattern):
+        es, _ = make_search(sampled, small_space, small_pattern)
+        zeros = [Individual(genes=(0,), fitness=0.0) for _ in range(32)]
+        assert not es._approximation_reached(zeros)
+
+
+class TestMutation:
+    def test_mutated_gene_in_range(self, sampled, small_space, small_pattern):
+        es, _ = make_search(
+            sampled, small_space, small_pattern,
+            config=GAConfig(mutation_rate=1.0),
+        )
+        rng = np.random.default_rng(0)
+        gi = es.group_indexes[0]
+        for _ in range(50):
+            g = es._mutate_gene(0, gi, rng)
+            assert 0 <= g < len(gi)
+
+    def test_zero_rate_identity(self, sampled, small_space, small_pattern):
+        es, _ = make_search(
+            sampled, small_space, small_pattern,
+            config=GAConfig(mutation_rate=0.0),
+        )
+        rng = np.random.default_rng(0)
+        gi = es.group_indexes[0]
+        assert all(es._mutate_gene(1 % len(gi), gi, rng) == 1 % len(gi) for _ in range(10))

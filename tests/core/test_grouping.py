@@ -1,0 +1,105 @@
+"""Unit tests for parameter grouping (Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.grouping import (
+    best_response_values,
+    group_parameters,
+    pairwise_cv,
+)
+
+
+class TestGroupParameters:
+    def test_strong_pair_grouped(self):
+        cv = {("a", "b"): 0.01, ("c", "d"): 5.0}
+        groups = group_parameters(cv)
+        assert ["a", "b"] in groups
+
+    def test_weak_pair_split(self):
+        cv = {("a", "b"): 0.01, ("c", "d"): 5.0}
+        groups = group_parameters(cv)
+        assert ["c"] in groups or ["d"] in groups
+
+    def test_every_parameter_covered_once(self):
+        names = ["p0", "p1", "p2", "p3", "p4"]
+        cv = {
+            (a, b): abs(hash((a, b))) % 100 / 10.0
+            for a in names
+            for b in names
+            if a != b
+        }
+        groups = group_parameters(cv)
+        flat = [p for g in groups for p in g]
+        assert sorted(flat) == sorted(names)
+        assert len(flat) == len(set(flat))
+
+    def test_transitive_merge(self):
+        cv = {("a", "b"): 0.01, ("b", "c"): 0.02, ("d", "e"): 9.0, ("e", "f"): 8.0}
+        groups = group_parameters(cv)
+        abc = next(g for g in groups if "a" in g)
+        assert set(abc) >= {"a", "b", "c"}
+
+    def test_max_group_size_cap(self):
+        cv = {("a", "b"): 0.01, ("b", "c"): 0.02, ("c", "d"): 0.03,
+              ("x", "y"): 9.0}
+        groups = group_parameters(cv, max_group_size=2)
+        assert all(len(g) <= 2 for g in groups)
+
+    def test_deterministic_on_ties(self):
+        cv = {("a", "b"): 1.0, ("c", "d"): 1.0, ("e", "f"): 1.0}
+        assert group_parameters(cv) == group_parameters(cv)
+
+    def test_empty_input(self):
+        assert group_parameters({}) == []
+
+
+class TestBestResponse:
+    def test_responses_are_log2_of_domain(
+        self, sim, small_pattern, small_space, small_dataset
+    ):
+        base = small_dataset.best().setting
+        vs = best_response_values(
+            sim, small_pattern, small_space, base, "TBx", "TBy", probe_limit=4
+        )
+        assert len(vs) >= 2
+        dom = small_space.param("TBy").values
+        for v in vs:
+            assert 2**v in dom
+
+    def test_infeasible_probes_skipped(
+        self, sim, small_pattern, small_space, small_dataset
+    ):
+        # TBx x TBy sweeps near 1024 threads violate the budget; the
+        # sweep must silently skip them rather than crash.
+        base = small_dataset.best().setting
+        vs = best_response_values(
+            sim, small_pattern, small_space, base, "TBx", "TBy", probe_limit=11
+        )
+        assert isinstance(vs, list)
+
+
+class TestPairwiseCV:
+    def test_ordered_pairs_complete(
+        self, sim, small_pattern, small_space, small_dataset
+    ):
+        params = ["TBx", "TBy", "useShared"]
+        cvs = pairwise_cv(
+            sim, small_pattern, small_space, small_dataset.best().setting,
+            probe_limit=3, parameters=params,
+        )
+        assert len(cvs) == 6  # A_3^2 ordered pairs
+        for (a, b), v in cvs.items():
+            assert a != b
+            assert v >= 0 or math.isinf(v)
+
+    def test_asymmetric_in_general(
+        self, sim, small_pattern, small_space, small_dataset
+    ):
+        cvs = pairwise_cv(
+            sim, small_pattern, small_space, small_dataset.best().setting,
+            probe_limit=4, parameters=["TBx", "TBy", "UFy"],
+        )
+        # CV(a,b) need not equal CV(b,a); just require both defined.
+        assert ("TBx", "TBy") in cvs and ("TBy", "TBx") in cvs

@@ -1,0 +1,75 @@
+"""Unit tests for tuning-result serialization."""
+
+import math
+
+import pytest
+
+from repro.core.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.core.result import TracePoint, TuningResult
+from repro.errors import DatasetError
+from repro.space.setting import Setting
+
+
+def sample_result():
+    return TuningResult(
+        stencil="j3d7pt",
+        device="A100",
+        tuner="csTuner",
+        best_setting=Setting({"TBx": 32, "TBy": 4}),
+        best_time_s=1.3e-3,
+        evaluations=120,
+        iterations=9,
+        cost_s=34.5,
+        trace=[
+            TracePoint(1, 1, 0.5, 2.0e-3),
+            TracePoint(40, 4, 12.0, 1.5e-3),
+            TracePoint(120, 9, 34.5, 1.3e-3),
+        ],
+        phase_seconds={"grouping": 0.3, "search": 0.1},
+        meta={"groups": [["TBx", "TBy"]], "unpicklable": object()},
+    )
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, tmp_path):
+        r = sample_result()
+        path = tmp_path / "result.json"
+        save_result(r, path)
+        loaded = load_result(path)
+        assert loaded.stencil == r.stencil
+        assert loaded.best_setting == r.best_setting
+        assert loaded.best_time_s == r.best_time_s
+        assert len(loaded.trace) == 3
+        assert loaded.trace[1].cost_s == 12.0
+        assert loaded.phase_seconds == r.phase_seconds
+        assert loaded.meta["groups"] == [["TBx", "TBy"]]
+
+    def test_unserializable_meta_dropped(self):
+        payload = result_to_dict(sample_result())
+        assert "unpicklable" not in payload["meta"]
+
+    def test_trace_queries_survive(self, tmp_path):
+        r = sample_result()
+        path = tmp_path / "r.json"
+        save_result(r, path)
+        loaded = load_result(path)
+        assert loaded.best_at_iteration(4) == 1.5e-3
+        assert loaded.best_at_cost(1.0) == 2.0e-3
+
+    def test_none_best_setting(self, tmp_path):
+        r = sample_result()
+        r.best_setting = None
+        r.best_time_s = math.inf
+        path = tmp_path / "r.json"
+        save_result(r, path)
+        assert load_result(path).best_setting is None
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_result(path)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(DatasetError):
+            result_from_dict({"stencil": "x"})

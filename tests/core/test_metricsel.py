@@ -1,0 +1,106 @@
+"""Unit tests for metric combination (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metricsel import (
+    combine_metrics,
+    metric_pccs,
+    metric_time_direction,
+    select_representatives,
+)
+from repro.errors import DatasetError
+from repro.profiler.dataset import DatasetRecord, PerformanceDataset
+from repro.space.setting import Setting
+
+
+def synthetic_dataset(rng, n=40):
+    """Three metric families: two tracking time, one anti-tracking."""
+    ds = PerformanceDataset("syn", "A100")
+    for i in range(n):
+        t = float(rng.uniform(1, 10))
+        metrics = {
+            "fam1_a": 2 * t + rng.normal(0, 0.01),
+            "fam1_b": 4 * t + rng.normal(0, 0.01),
+            "fam2_a": -3 * t + rng.normal(0, 0.01),
+            "noise": float(rng.normal()),
+        }
+        ds.add(DatasetRecord(Setting({"A": i + 1}), t, metrics))
+    return ds
+
+
+class TestMetricPccs:
+    def test_pairs_unordered_complete(self, rng):
+        ds = synthetic_dataset(rng)
+        mat, names = ds.metric_matrix()
+        pccs = metric_pccs(mat, names)
+        assert len(pccs) == len(names) * (len(names) - 1) // 2
+
+    def test_family_members_highly_correlated(self, rng):
+        ds = synthetic_dataset(rng)
+        mat, names = ds.metric_matrix()
+        pccs = metric_pccs(mat, names)
+        assert pccs[("fam1_a", "fam1_b")] > 0.99
+
+    def test_abs_value_used(self, rng):
+        ds = synthetic_dataset(rng)
+        mat, names = ds.metric_matrix()
+        pccs = metric_pccs(mat, names)
+        # fam2_a anti-correlates with fam1_a but |PCC| ~ 1
+        assert pccs[("fam1_a", "fam2_a")] > 0.99
+
+    def test_shape_check(self):
+        with pytest.raises(DatasetError):
+            metric_pccs(np.zeros((3, 2)), ["a", "b", "c"])
+
+
+class TestCombineMetrics:
+    def test_families_cluster(self, rng):
+        ds = synthetic_dataset(rng)
+        mat, names = ds.metric_matrix()
+        colls = combine_metrics(metric_pccs(mat, names), num_collections=2)
+        joined = next(c for c in colls if "fam1_a" in c)
+        assert "fam1_b" in joined  # same family ends up together
+
+    def test_collection_limit_respected(self, rng):
+        ds = synthetic_dataset(rng)
+        mat, names = ds.metric_matrix()
+        colls = combine_metrics(metric_pccs(mat, names), num_collections=1)
+        assert len(colls) == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            combine_metrics({}, 0)
+
+    def test_empty_pccs(self):
+        assert combine_metrics({}, 3) == []
+
+
+class TestRepresentatives:
+    def test_picks_most_time_correlated(self, rng):
+        ds = synthetic_dataset(rng)
+        reps = select_representatives([["fam1_a", "noise"]], ds)
+        assert reps == ["fam1_a"]
+
+    def test_one_per_collection(self, rng):
+        ds = synthetic_dataset(rng)
+        reps = select_representatives([["fam1_a"], ["fam2_a", "noise"]], ds)
+        assert len(reps) == 2
+
+    def test_empty_collection_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            select_representatives([[]], synthetic_dataset(rng))
+
+    def test_no_collections_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            select_representatives([], synthetic_dataset(rng))
+
+
+class TestDirection:
+    def test_positive_metric(self, rng):
+        ds = synthetic_dataset(rng)
+        assert metric_time_direction(ds, "fam1_a") == 1.0
+
+    def test_negative_metric(self, rng):
+        ds = synthetic_dataset(rng)
+        assert metric_time_direction(ds, "fam2_a") == -1.0

@@ -1,0 +1,46 @@
+"""Unit tests for tuning results and traces."""
+
+import math
+
+from repro.core.result import TracePoint, TuningResult
+from repro.space.setting import Setting
+
+
+def result_with_trace():
+    trace = [
+        TracePoint(evaluations=5, iteration=1, cost_s=10.0, best_time_s=3.0),
+        TracePoint(evaluations=12, iteration=2, cost_s=25.0, best_time_s=2.0),
+        TracePoint(evaluations=20, iteration=4, cost_s=60.0, best_time_s=1.5),
+    ]
+    return TuningResult(
+        stencil="s", device="A100", tuner="T",
+        best_setting=Setting({"A": 1}), best_time_s=1.5,
+        evaluations=20, iterations=4, cost_s=60.0, trace=trace,
+    )
+
+
+class TestTraceQueries:
+    def test_best_at_iteration(self):
+        r = result_with_trace()
+        assert r.best_at_iteration(1) == 3.0
+        assert r.best_at_iteration(2) == 2.0
+        assert r.best_at_iteration(3) == 2.0  # nothing new at 3
+        assert r.best_at_iteration(10) == 1.5
+
+    def test_before_first_iteration_inf(self):
+        assert result_with_trace().best_at_iteration(0) == math.inf
+
+    def test_best_at_cost(self):
+        r = result_with_trace()
+        assert r.best_at_cost(5.0) == math.inf
+        assert r.best_at_cost(10.0) == 3.0
+        assert r.best_at_cost(30.0) == 2.0
+        assert r.best_at_cost(1000.0) == 1.5
+
+    def test_iteration_series(self):
+        r = result_with_trace()
+        assert r.iteration_series(4) == [3.0, 2.0, 2.0, 1.5]
+
+    def test_summary_contains_key_facts(self):
+        s = result_with_trace().summary()
+        assert "T" in s and "s@A100" in s and "20 evaluations" in s

@@ -1,0 +1,92 @@
+"""Integration tests for the CsTuner facade."""
+
+import pytest
+
+from repro.core import Budget, CsTuner, CsTunerConfig
+from repro.core.sampling import SamplingConfig
+from repro.core.genetic import GAConfig
+from repro.gpusim.simulator import GpuSimulator
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return CsTunerConfig(
+        dataset_size=40,
+        probe_limit=4,
+        sampling=SamplingConfig(ratio=0.15, pool_size=200),
+        ga=GAConfig(max_group_generations=5),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def tuned(request, fast_config):
+    sim = GpuSimulator(noise=0.0)
+    pattern = request.getfixturevalue("small_pattern")
+    space = request.getfixturevalue("small_space")
+    tuner = CsTuner(sim, fast_config)
+    dataset = tuner.collect_dataset(pattern, space)
+    pre = tuner.preprocess(pattern, space, dataset)
+    result = tuner.tune(
+        pattern, Budget(max_iterations=25), space=space, preprocessed=pre
+    )
+    return dataset, pre, result
+
+
+class TestPipeline:
+    def test_result_beats_dataset_best(self, tuned):
+        dataset, _, result = tuned
+        assert result.best_time_s <= dataset.best().time_s
+
+    def test_groups_cover_all_parameters(self, tuned):
+        _, pre, _ = tuned
+        from repro.space.parameters import PARAMETER_ORDER
+
+        flat = sorted(p for g in pre.groups for p in g)
+        assert flat == sorted(PARAMETER_ORDER)
+
+    def test_phase_times_recorded(self, tuned):
+        _, pre, result = tuned
+        for phase in ("grouping", "sampling", "codegen"):
+            assert result.phase_seconds[phase] > 0
+        assert result.phase_seconds["search"] > 0
+
+    def test_kernels_generated_for_sampled_space(self, tuned):
+        _, pre, _ = tuned
+        assert len(pre.kernels) == len(pre.sampled)
+        assert all("__global__" in src for src in pre.kernels.values())
+
+    def test_meta_records_pipeline_facts(self, tuned):
+        _, pre, result = tuned
+        assert result.meta["sampled_size"] == len(pre.sampled)
+        assert result.meta["representative_metrics"]
+        assert result.tuner == "csTuner"
+
+    def test_trace_not_empty(self, tuned):
+        _, _, result = tuned
+        assert result.trace
+        assert result.evaluations > 0
+
+
+class TestConfig:
+    def test_with_ratio(self):
+        cfg = CsTunerConfig().with_ratio(0.25)
+        assert cfg.sampling.ratio == 0.25
+        assert CsTunerConfig().sampling.ratio == 0.10  # original untouched
+
+    def test_defaults_match_paper(self):
+        cfg = CsTunerConfig()
+        assert cfg.dataset_size == 128
+        assert cfg.ga.subpopulations == 2
+        assert cfg.ga.population == 16
+
+
+class TestEndToEndWithoutPrep:
+    def test_tune_collects_and_preprocesses(self, small_pattern, small_space, fast_config):
+        sim = GpuSimulator(noise=0.0)
+        tuner = CsTuner(sim, fast_config)
+        result = tuner.tune(
+            small_pattern, Budget(max_iterations=8), space=small_space
+        )
+        assert result.best_setting is not None
+        assert result.best_time_s < float("inf")

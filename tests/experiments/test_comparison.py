@@ -1,0 +1,85 @@
+"""Tests for the tuner-comparison experiments (Figs 8-10)."""
+
+import math
+
+import pytest
+
+from repro.core import Budget
+from repro.experiments.comparison import (
+    TUNER_NAMES,
+    compare_stencil,
+    iso_iteration_series,
+    iso_time_best,
+    normalized_to_garvey,
+    run_tuner,
+)
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    pattern = request.getfixturevalue("small_pattern")
+    return compare_stencil(
+        pattern,
+        A100,
+        Budget(max_iterations=6),
+        repetitions=2,
+        seed=0,
+        dataset_size=40,
+    )
+
+
+class TestCompareStencil:
+    def test_all_tuners_ran(self, results):
+        assert set(results) == set(TUNER_NAMES)
+        for runs in results.values():
+            assert len(runs) == 2
+
+    def test_each_run_found_something(self, results):
+        for runs in results.values():
+            for r in runs:
+                assert r.best_time_s < math.inf
+
+
+class TestSeriesExtraction:
+    def test_iso_iteration_shape(self, results):
+        series = iso_iteration_series(results, iterations=6)
+        for name in TUNER_NAMES:
+            assert len(series[name]) == 6
+
+    def test_iso_iteration_monotone(self, results):
+        series = iso_iteration_series(results, iterations=6)
+        for vals in series.values():
+            finite = [v for v in vals if math.isfinite(v)]
+            assert finite == sorted(finite, reverse=True)
+
+    def test_iso_time_shape_and_monotone(self, results):
+        series = iso_time_best(results, checkpoints=[10.0, 50.0, 100.0])
+        for vals in series.values():
+            assert len(vals) == 3
+            finite = [v for v in vals if math.isfinite(v)]
+            assert finite == sorted(finite, reverse=True)
+
+    def test_normalized_to_garvey(self, results):
+        norm = normalized_to_garvey(results)
+        assert norm["Garvey"] == pytest.approx(1.0)
+        for v in norm.values():
+            assert v > 0
+
+    def test_normalization_requires_garvey(self):
+        with pytest.raises(ValueError):
+            normalized_to_garvey({"csTuner": []})
+
+
+class TestRunTuner:
+    def test_unknown_tuner(self, small_pattern, small_space):
+        with pytest.raises(ValueError):
+            run_tuner(
+                "nope",
+                GpuSimulator(),
+                small_pattern,
+                small_space,
+                Budget(max_iterations=1),
+            )

@@ -1,0 +1,38 @@
+"""Tests for the overhead-breakdown experiment (Fig 12)."""
+
+import pytest
+
+from repro.core import Budget
+from repro.experiments.overhead import PHASES, overhead_breakdown
+from repro.gpusim.device import A100
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def breakdown(self, small_pattern):
+        return overhead_breakdown(
+            small_pattern,
+            A100,
+            Budget(max_iterations=10),
+            seed=0,
+            dataset_size=40,
+        )
+
+    def test_three_phases(self, breakdown):
+        assert set(breakdown["phase_seconds"]) == set(PHASES)
+
+    def test_phases_positive(self, breakdown):
+        for v in breakdown["phase_seconds"].values():
+            assert v > 0
+
+    def test_normalization_consistent(self, breakdown):
+        total = sum(breakdown["normalized"].values())
+        assert total * breakdown["search_s"] == pytest.approx(
+            breakdown["preprocessing_s"], rel=1e-6
+        )
+
+    def test_percentage_positive(self, breakdown):
+        assert breakdown["preprocessing_pct_of_search"] > 0
+
+    def test_result_quality_reported(self, breakdown):
+        assert breakdown["best_ms"] > 0

@@ -1,0 +1,52 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["stencil", "ms"], [["j3d7pt", 1.234], ["cheby", 10.5]]
+        )
+        lines = out.splitlines()
+        assert "stencil" in lines[0]
+        assert "1.234" in out and "10.500" in out
+        # All rows same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Fig X")
+        assert out.splitlines()[0] == "Fig X"
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series(
+            {"csTuner": [1.0, 0.9], "Garvey": [2.0, 1.5]},
+            x_label="iter",
+        )
+        lines = out.splitlines()
+        assert "iter" in lines[0] and "csTuner" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_custom_x_values(self):
+        out = format_series({"s": [1.0]}, x_values=["10%"], x_label="ratio")
+        assert "10%" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({})

@@ -1,0 +1,54 @@
+"""Tests for the one-command experiment runner (scaled way down)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    out = tmp_path_factory.mktemp("reports")
+    r = ExperimentRunner(
+        out,
+        stencils=["j3d7pt"],
+        samples=150,
+        repetitions=1,
+        budget_s=15.0,
+        seed=0,
+    )
+    return r
+
+
+class TestRunner:
+    def test_motivation_reports(self, runner):
+        runner.run_motivation()
+        for name in ("fig02", "fig03", "fig04"):
+            assert name in runner.reports
+            assert (runner.out_dir / f"{name}.txt").exists()
+            assert "j3d7pt" in runner.reports[name]
+
+    def test_comparison_reports(self, runner):
+        runner.run_comparisons()
+        assert "fig08_A100" in runner.reports
+        assert "fig09_A100" in runner.reports
+        assert "fig10_A100" in runner.reports
+        assert "csTuner" in runner.reports["fig10_A100"]
+
+    def test_overhead_report(self, runner):
+        runner.run_overhead()
+        assert "grouping(s)" in runner.reports["fig12"]
+
+    def test_cli_entry(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        # Smallest possible full run via the CLI path.
+        code = main([
+            "--out", str(tmp_path / "r"),
+            "--stencils", "j3d7pt",
+            "--samples", "120",
+            "--reps", "1",
+            "--budget", "10",
+        ])
+        assert code == 0
+        assert "reports" in capsys.readouterr().out
+        assert (tmp_path / "r" / "summary.txt").exists()

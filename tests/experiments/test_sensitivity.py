@@ -1,0 +1,39 @@
+"""Tests for the sampling-ratio sensitivity experiment (Fig 11)."""
+
+import pytest
+
+from repro.core import Budget
+from repro.experiments.sensitivity import DEFAULT_RATIOS, sampling_ratio_sweep
+from repro.gpusim.device import A100
+
+
+class TestDefaults:
+    def test_paper_sweep(self):
+        assert DEFAULT_RATIOS[0] == 0.05
+        assert DEFAULT_RATIOS[-1] == 0.50
+        assert len(DEFAULT_RATIOS) == 10
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, small_pattern):
+        return sampling_ratio_sweep(
+            small_pattern,
+            A100,
+            Budget(max_iterations=8),
+            ratios=(0.05, 0.20, 0.40),
+            repetitions=1,
+            seed=0,
+            dataset_size=40,
+        )
+
+    def test_one_value_per_ratio(self, sweep):
+        assert len(sweep["best_ms"]) == 3
+        assert sweep["ratios"] == [0.05, 0.20, 0.40]
+
+    def test_relative_normalized(self, sweep):
+        assert min(sweep["relative"]) == pytest.approx(1.0)
+        assert all(r >= 1.0 for r in sweep["relative"])
+
+    def test_best_ratio_among_swept(self, sweep):
+        assert sweep["best_ratio"] in (0.05, 0.20, 0.40)

@@ -1,0 +1,31 @@
+"""Unit tests for the GEMM problem description."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import GemmProblem
+
+
+class TestGemmProblem:
+    def test_flops_and_bytes(self):
+        p = GemmProblem(4, 5, 6)
+        assert p.total_flops() == 2 * 4 * 5 * 6
+        assert p.compulsory_bytes() == (4 * 6 + 6 * 5 + 4 * 5) * 8
+
+    def test_arithmetic_intensity_grows_with_size(self):
+        small = GemmProblem(64, 64, 64)
+        big = GemmProblem(2048, 2048, 2048)
+        assert big.arithmetic_intensity() > small.arithmetic_intensity()
+
+    def test_name(self):
+        assert GemmProblem(1, 2, 3).name == "dgemm_1x2x3"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmProblem(0, 4, 4)
+
+    def test_reference_product(self, rng):
+        p = GemmProblem(8, 6, 5)
+        a, b, c = p.reference(rng)
+        assert c.shape == (8, 6)
+        assert np.allclose(c, a @ b)

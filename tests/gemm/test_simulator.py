@@ -1,0 +1,115 @@
+"""Unit tests for the GEMM analytical model and simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidSettingError
+from repro.gemm import GemmProblem, GemmSimulator, GemmSpace
+from repro.gemm.simulator import gemm_metrics_and_time
+from repro.gpusim.device import A100, V100
+from repro.space.setting import Setting
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return GemmProblem(1024, 1024, 1024)
+
+
+def setting(**kw):
+    vals = {"TBx": 16, "TBy": 16, "TM": 4, "TN": 4, "KB": 16,
+            "useShared": 2, "useDB": 1, "SPLITK": 1}
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestModel:
+    def test_time_positive_below_peak(self, problem):
+        t, metrics = gemm_metrics_and_time(problem, setting(), A100)
+        assert t > problem.total_flops() / A100.peak_fp64_flops  # can't beat peak
+        assert 0 < metrics["flop_dp_efficiency"] <= 1
+
+    def test_shared_beats_register_only_at_scale(self, problem):
+        t_shared, _ = gemm_metrics_and_time(problem, setting(useShared=2), A100)
+        t_reg, _ = gemm_metrics_and_time(
+            problem, setting(useShared=1, TM=2, TN=2), A100
+        )
+        assert t_shared < t_reg
+
+    def test_bigger_tiles_cut_traffic(self, problem):
+        _, small = gemm_metrics_and_time(problem, setting(TM=2, TN=2), A100)
+        _, big = gemm_metrics_and_time(problem, setting(TM=8, TN=8, TBx=8, TBy=8), A100)
+        assert big["dram_read_throughput"] * 1 <= small["dram_read_throughput"] * 8
+
+    def test_splitk_costs_reduction_traffic(self, problem):
+        t1, _ = gemm_metrics_and_time(problem, setting(SPLITK=1), A100)
+        # Split-K on a big square GEMM only adds reduction traffic.
+        t4, _ = gemm_metrics_and_time(problem, setting(SPLITK=4), A100)
+        assert t4 > t1 * 0.9
+
+    def test_splitk_helps_skinny_k(self):
+        """Tall-skinny problems starve parallelism without split-K."""
+        skinny = GemmProblem(128, 128, 16384)
+        t1, _ = gemm_metrics_and_time(skinny, setting(KB=64, SPLITK=1), A100)
+        t8, _ = gemm_metrics_and_time(skinny, setting(KB=64, SPLITK=8), A100)
+        assert t8 < t1
+
+    def test_v100_slower(self, problem):
+        a, _ = gemm_metrics_and_time(problem, setting(), A100)
+        v, _ = gemm_metrics_and_time(problem, setting(), V100)
+        assert v > a
+
+
+class TestSimulator:
+    def test_run_protocol(self, problem):
+        sim = GemmSimulator(problem, noise=0.0)
+        run = sim.run(problem, setting())
+        assert run.time_s == run.true_time_s
+        assert run.tuning_cost_s > run.time_s
+        assert "achieved_occupancy" in run.metrics
+
+    def test_compile_charged_once(self, problem):
+        sim = GemmSimulator(problem, noise=0.0)
+        first = sim.run(problem, setting())
+        second = sim.run(problem, setting())
+        assert second.tuning_cost_s < first.tuning_cost_s
+
+    def test_violation_protocol(self, problem):
+        sim = GemmSimulator(problem)
+        bad = setting(TM=16, TN=16)  # 542 regs/thread: certain spill
+        assert sim.violation(problem, bad) is not None
+
+    def test_deterministic_true_time(self, problem):
+        a = GemmSimulator(problem).true_time(problem, setting())
+        b = GemmSimulator(problem).true_time(problem, setting())
+        assert a == b
+
+
+class TestEndToEndTuning:
+    def test_cstuner_tunes_gemm(self, problem):
+        from repro.core import Budget, CsTuner, CsTunerConfig
+        from repro.core.sampling import SamplingConfig
+
+        sim = GemmSimulator(problem, noise=0.0)
+        space = GemmSpace(problem, A100)
+        tuner = CsTuner(sim, CsTunerConfig(
+            dataset_size=32,
+            sampling=SamplingConfig(ratio=0.2, pool_size=150),
+            seed=0,
+        ))
+        res = tuner.tune(problem, Budget(max_iterations=12), space=space)
+        assert res.best_setting is not None
+        assert space.is_valid(res.best_setting)
+        # Must reach a sane fraction of peak on a large square DGEMM.
+        tflops = problem.total_flops() / res.best_time_s / 1e12
+        assert tflops > 0.2 * A100.fp64_tflops
+
+    def test_baselines_tune_gemm(self, problem):
+        from repro.baselines import OpenTunerGA
+        from repro.core import Budget
+
+        sim = GemmSimulator(problem, noise=0.0)
+        space = GemmSpace(problem, A100)
+        res = OpenTunerGA(sim, seed=0).tune(
+            problem, Budget(max_iterations=6), space=space
+        )
+        assert res.best_setting is not None

@@ -1,0 +1,102 @@
+"""Unit tests for the GEMM optimization space."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import GEMM_PARAMETER_ORDER, GemmProblem, GemmSpace
+from repro.gpusim.device import A100
+from repro.space.setting import Setting
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return GemmProblem(1024, 1024, 1024)
+
+
+@pytest.fixture(scope="module")
+def space(problem):
+    return GemmSpace(problem, A100)
+
+
+def setting(**kw):
+    vals = {"TBx": 16, "TBy": 16, "TM": 4, "TN": 4, "KB": 16,
+            "useShared": 2, "useDB": 1, "SPLITK": 1}
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestDomains:
+    def test_parameter_order(self, space):
+        assert space.names == GEMM_PARAMETER_ORDER
+        assert len(space.parameters) == 8
+
+    def test_nominal_size(self, space):
+        assert space.nominal_size() == 6 * 6 * 5 * 5 * 5 * 2 * 2 * 5
+
+
+class TestConstraints:
+    def test_valid_baseline(self, space):
+        assert space.violation(setting()) is None
+
+    def test_tb_budget(self, problem):
+        """The domain caps TBxTBy at exactly 1024; a device with a
+        smaller block limit must reject the largest blocks."""
+        from dataclasses import replace
+
+        small_dev = replace(A100, max_threads_per_block=256)
+        space = GemmSpace(problem, small_dev)
+        v = space.violation(setting(TBx=32, TBy=32, TM=1, TN=1))
+        assert v is not None and "thread block" in v
+
+    def test_tile_exceeds_problem(self):
+        tiny = GemmSpace(GemmProblem(32, 32, 32), A100)
+        assert "block tile M" in tiny.violation(setting(TBy=16, TM=4))
+
+    def test_ktile_bounded(self):
+        tiny = GemmSpace(GemmProblem(512, 512, 8), A100)
+        assert "k tile" in tiny.violation(setting(KB=16))
+
+    def test_splitk_depth(self):
+        shallow = GemmSpace(GemmProblem(512, 512, 512), A100)
+        assert "split-K" in shallow.violation(setting(KB=64, SPLITK=16))
+
+    def test_double_buffer_requires_shared(self, space):
+        assert "double buffering" in space.violation(setting(useShared=1, useDB=2))
+
+    def test_register_spill(self, space):
+        v = space.violation(setting(TM=16, TN=16, TBx=4, TBy=4))
+        assert v is not None and "register" in v
+
+    def test_smem_overflow(self, space):
+        # 256x64 + 64x256 double-buffered tiles ~ 512 KiB of shared.
+        v = space.violation(
+            setting(TBx=32, TBy=32, TM=8, TN=8, KB=64, useDB=2)
+        )
+        assert v is not None
+
+
+class TestSamplingAndRepair:
+    def test_random_settings_valid(self, space, rng):
+        for _ in range(40):
+            assert space.violation(space.random_setting(rng)) is None
+
+    def test_sample_unique(self, space, rng):
+        out = space.sample(rng, 30)
+        assert len(set(out)) == 30
+
+    def test_repair_full_always_valid(self, space, rng):
+        for _ in range(40):
+            raw = {
+                p.name: int(p.values[rng.integers(p.cardinality)])
+                for p in space.parameters
+            }
+            assert space.is_valid(space.repair_full(raw))
+
+    def test_repair_gates_double_buffer(self, space):
+        s = space.repair({**setting().to_dict(), "useShared": 1, "useDB": 2})
+        assert s["useDB"] == 1
+
+    def test_enumerate_valid(self, space):
+        out = list(space.enumerate_valid(limit=50))
+        assert len(out) == 50
+        assert all(space.is_valid(s) for s in out)

@@ -1,0 +1,46 @@
+"""Cross-device consistency of the simulator (the Fig 10 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A100, V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import STENCIL_SUITE
+
+
+class TestDeviceOrdering:
+    @pytest.mark.parametrize("pattern", STENCIL_SUITE[:4], ids=lambda p: p.name)
+    def test_a100_dominates_v100_in_aggregate(self, pattern):
+        """The faster device must win on the clear majority of settings
+        (individual settings may flip due to occupancy cliffs)."""
+        sim_a = GpuSimulator(device=A100)
+        sim_v = GpuSimulator(device=V100)
+        space_a = build_space(pattern, A100)
+        space_v = build_space(pattern, V100)
+        rng = np.random.default_rng(0)
+        wins = total = 0
+        for s in space_a.sample(rng, 40):
+            if not space_v.is_valid(s):
+                continue
+            total += 1
+            if sim_a.true_time(pattern, s) < sim_v.true_time(pattern, s):
+                wins += 1
+        assert total >= 20
+        assert wins / total > 0.9
+
+    def test_landscapes_differ_between_devices(self, small_pattern, small_space):
+        """Optimal settings must not trivially transfer: the per-device
+        rankings of a sample should disagree somewhere (the premise of
+        the paper's Fig 10 retuning argument)."""
+        sim_a = GpuSimulator(device=A100)
+        sim_v = GpuSimulator(device=V100)
+        space_v = build_space(small_pattern, V100, max_factor=16)
+        rng = np.random.default_rng(1)
+        settings = [
+            s for s in small_space.sample(rng, 40) if space_v.is_valid(s)
+        ]
+        assert len(settings) >= 20
+        order_a = sorted(settings, key=lambda s: sim_a.true_time(small_pattern, s))
+        order_v = sorted(settings, key=lambda s: sim_v.true_time(small_pattern, s))
+        assert order_a != order_v

@@ -1,0 +1,50 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro.gpusim.device import A100, DEVICES, V100, DeviceSpec, get_device
+
+
+class TestSpecs:
+    def test_a100_headlines(self):
+        assert A100.sm_count == 108
+        assert A100.dram_bandwidth_gbs == 1555.0
+        assert A100.fp64_tflops == 9.7
+        assert A100.max_warps_per_sm == 64
+
+    def test_v100_headlines(self):
+        assert V100.sm_count == 80
+        assert V100.dram_bandwidth_gbs == 900.0
+        assert V100.smem_per_sm == 96 * 1024
+
+    def test_derived_units(self):
+        assert A100.peak_fp64_flops == pytest.approx(9.7e12)
+        assert A100.dram_bandwidth_bytes == pytest.approx(1.555e12)
+
+    def test_a100_faster_than_v100(self):
+        assert A100.peak_fp64_flops > V100.peak_fp64_flops
+        assert A100.dram_bandwidth_bytes > V100.dram_bandwidth_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", sm_count=0, max_threads_per_sm=2048,
+                max_blocks_per_sm=32, max_threads_per_block=1024,
+                regs_per_sm=65536, max_regs_per_thread=255,
+                smem_per_sm=98304, max_smem_per_block=98304,
+                l2_bytes=1, dram_bandwidth_gbs=900.0, fp64_tflops=7.8,
+                clock_ghz=1.5,
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device("A100") is A100
+        assert get_device("V100") is V100
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_registry_contents(self):
+        assert set(DEVICES) == {"A100", "V100"}

@@ -1,0 +1,50 @@
+"""Unit tests for landscape roughness."""
+
+from repro.gpusim.noise import INTERACTION_PAIRS, roughness_factor
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def setting(**kw):
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 32, "TBy": 4})
+    vals.update(kw)
+    return Setting(vals)
+
+
+class TestRoughness:
+    def test_deterministic(self):
+        s = setting()
+        assert roughness_factor("A100", "j3d7pt", s) == roughness_factor(
+            "A100", "j3d7pt", s
+        )
+
+    def test_bounded(self):
+        import numpy as np
+
+        rngless = [
+            roughness_factor("A100", "j3d7pt", setting(TBx=tbx, UFy=uf))
+            for tbx in (1, 2, 4, 8, 16, 32)
+            for uf in (1, 2, 4, 8)
+        ]
+        assert all(0.80 < f < 1.25 for f in rngless)
+        assert np.std(rngless) > 0  # genuinely varies
+
+    def test_depends_on_device_and_stencil(self):
+        s = setting()
+        assert roughness_factor("A100", "j3d7pt", s) != roughness_factor(
+            "V100", "j3d7pt", s
+        )
+        assert roughness_factor("A100", "j3d7pt", s) != roughness_factor(
+            "A100", "cheby", s
+        )
+
+    def test_interaction_pairs_reference_real_parameters(self):
+        for a, b in INTERACTION_PAIRS:
+            assert a in PARAMETER_ORDER and b in PARAMETER_ORDER
+
+    def test_pair_interaction_changes_with_pair_values(self):
+        """Changing one member of an interaction pair moves the factor."""
+        a = roughness_factor("A100", "x", setting(UFx=1, BMx=1))
+        b = roughness_factor("A100", "x", setting(UFx=2, BMx=1))
+        assert a != b

@@ -1,0 +1,65 @@
+"""Tests for the event-driven block-dispatch scheduler."""
+
+import pytest
+
+from repro.gpusim.device import A100
+from repro.gpusim.scheduler import (
+    ScheduleResult,
+    simulate_dispatch,
+    wave_model_makespan,
+)
+
+
+class TestDispatch:
+    def test_single_wave_exact(self):
+        # Fewer blocks than slots: makespan is one block time.
+        res = simulate_dispatch(100, 1e-3, A100, blocks_per_sm=2)
+        assert res.makespan_s == pytest.approx(1e-3)
+
+    def test_exact_waves(self):
+        slots = A100.sm_count * 2
+        res = simulate_dispatch(3 * slots, 1e-3, A100, blocks_per_sm=2)
+        assert res.makespan_s == pytest.approx(3e-3)
+        assert res.efficiency == pytest.approx(1.0)
+
+    def test_tail_wave_inefficiency(self):
+        slots = A100.sm_count * 2
+        res = simulate_dispatch(2 * slots + 1, 1e-3, A100, blocks_per_sm=2)
+        assert res.makespan_s == pytest.approx(3e-3)
+        assert res.efficiency < 0.85
+
+    def test_zero_blocks(self):
+        res = simulate_dispatch(0, 1e-3, A100, blocks_per_sm=1)
+        assert res.makespan_s == 0.0
+        assert res.imbalance == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_dispatch(-1, 1e-3, A100, blocks_per_sm=1)
+        with pytest.raises(ValueError):
+            simulate_dispatch(1, 0.0, A100, blocks_per_sm=1)
+        with pytest.raises(ValueError):
+            simulate_dispatch(1, 1e-3, A100, blocks_per_sm=0)
+
+    def test_jitter_deterministic_and_bounded(self):
+        a = simulate_dispatch(500, 1e-3, A100, 2, jitter=0.2, jitter_key="k")
+        b = simulate_dispatch(500, 1e-3, A100, 2, jitter=0.2, jitter_key="k")
+        assert a.makespan_s == b.makespan_s
+        assert a.imbalance > 0.0
+        # Jittered makespan stays near the uniform one.
+        u = simulate_dispatch(500, 1e-3, A100, 2)
+        assert abs(a.makespan_s - u.makespan_s) / u.makespan_s < 0.25
+
+
+class TestWaveModelCrossCheck:
+    @pytest.mark.parametrize("blocks", [1, 50, 216, 400, 1000, 5000])
+    def test_analytical_waves_match_event_simulation(self, blocks):
+        """The timing model's wave approximation must agree with the
+        event-driven scheduler for uniform block durations."""
+        event = simulate_dispatch(blocks, 2e-4, A100, blocks_per_sm=2)
+        wave = wave_model_makespan(blocks, 2e-4, A100, blocks_per_sm=2)
+        assert event.makespan_s == pytest.approx(wave)
+
+    def test_jitter_never_beats_ideal(self):
+        res = simulate_dispatch(2000, 1e-4, A100, 4, jitter=0.3, jitter_key="x")
+        assert res.makespan_s >= res.ideal_s

@@ -1,0 +1,84 @@
+"""Unit tests for the simulator facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidSettingError
+from repro.gpusim.device import V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+
+
+def invalid_setting():
+    vals = {name: 1 for name in PARAMETER_ORDER}
+    vals.update({"TBx": 1024, "TBy": 4})  # TB product 4096 > 1024
+    return Setting(vals)
+
+
+class TestRun:
+    def test_returns_time_and_metrics(self, sim, small_pattern, valid_setting):
+        run = sim.run(small_pattern, valid_setting)
+        assert run.time_s > 0
+        assert run.true_time_s > 0
+        assert "achieved_occupancy" in run.metrics
+        assert run.stencil == small_pattern.name
+        assert run.device == "A100"
+
+    def test_invalid_setting_raises(self, sim, small_pattern):
+        with pytest.raises(InvalidSettingError):
+            sim.run(small_pattern, invalid_setting())
+
+    def test_true_time_deterministic(self, small_pattern, valid_setting):
+        a = GpuSimulator().true_time(small_pattern, valid_setting)
+        b = GpuSimulator().true_time(small_pattern, valid_setting)
+        assert a == b
+
+    def test_noise_perturbs_measurements(self, small_pattern, valid_setting):
+        s = GpuSimulator(noise=0.05)
+        times = {s.run(small_pattern, valid_setting).time_s for _ in range(5)}
+        assert len(times) > 1
+
+    def test_zero_noise_exact(self, small_pattern, valid_setting):
+        s = GpuSimulator(noise=0.0)
+        run = s.run(small_pattern, valid_setting)
+        assert run.time_s == run.true_time_s
+
+    def test_devices_differ(self, small_pattern, valid_setting):
+        a = GpuSimulator().true_time(small_pattern, valid_setting)
+        v = GpuSimulator(device=V100).true_time(small_pattern, valid_setting)
+        assert a != v
+
+
+class TestCostAccounting:
+    def test_first_run_charges_compile(self, small_pattern, valid_setting):
+        s = GpuSimulator(noise=0.0)
+        first = s.run(small_pattern, valid_setting)
+        again = s.run(small_pattern, valid_setting)
+        assert first.tuning_cost_s == pytest.approx(
+            s.compile_cost_s + first.true_time_s * s.trials
+        )
+        assert again.tuning_cost_s == pytest.approx(again.true_time_s * s.trials)
+
+    def test_reset_cost_accounting(self, small_pattern, valid_setting):
+        s = GpuSimulator(noise=0.0)
+        s.run(small_pattern, valid_setting)
+        s.reset_cost_accounting()
+        rerun = s.run(small_pattern, valid_setting)
+        assert rerun.tuning_cost_s > s.compile_cost_s  # compile charged again
+
+    def test_evaluation_counter(self, small_pattern, valid_setting):
+        s = GpuSimulator()
+        assert s.evaluations == 0
+        s.run(small_pattern, valid_setting)
+        s.run(small_pattern, valid_setting)
+        assert s.evaluations == 2
+
+
+class TestPlanAccess:
+    def test_plan_exposed(self, sim, small_pattern, valid_setting):
+        plan = sim.plan(small_pattern, valid_setting)
+        assert plan.threads_per_block >= 1
+
+    def test_violation_reported(self, sim, small_pattern):
+        assert sim.violation(small_pattern, invalid_setting()) is not None

@@ -1,0 +1,96 @@
+"""Cross-module integration tests on a paper-suite stencil.
+
+These exercise the complete pipeline — space construction with device
+resource checks, dataset collection, pre-processing, search, baselines
+— against the real j3d7pt stencil (512^3 grid), with tight budgets.
+"""
+
+import pytest
+
+from repro.baselines import ArtemisTuner, GarveyTuner, OpenTunerGA
+from repro.core import Budget, CsTuner, CsTunerConfig
+from repro.core.genetic import GAConfig
+from repro.core.sampling import SamplingConfig
+from repro.gpusim.device import A100, V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+@pytest.fixture(scope="module")
+def j3d7pt():
+    return get_stencil("j3d7pt")
+
+
+@pytest.fixture(scope="module")
+def setup(j3d7pt):
+    sim = GpuSimulator(device=A100, seed=0)
+    space = build_space(j3d7pt, A100)
+    config = CsTunerConfig(
+        dataset_size=48,
+        probe_limit=4,
+        sampling=SamplingConfig(ratio=0.1, pool_size=400),
+        ga=GAConfig(max_group_generations=6),
+        seed=0,
+    )
+    tuner = CsTuner(sim, config)
+    dataset = tuner.collect_dataset(j3d7pt, space)
+    pre = tuner.preprocess(j3d7pt, space, dataset)
+    return sim, space, tuner, dataset, pre
+
+
+class TestCsTunerOnSuiteStencil:
+    def test_full_pipeline_improves_over_dataset(self, j3d7pt, setup):
+        sim, space, tuner, dataset, pre = setup
+        res = tuner.tune(
+            j3d7pt, Budget(max_cost_s=60.0), space=space, preprocessed=pre
+        )
+        assert res.best_time_s <= dataset.best().time_s
+        # Sanity: j3d7pt on A100 lands in the single-digit-ms regime.
+        assert 0.5 < res.best_time_s * 1e3 < 20.0
+
+    def test_baselines_run_same_budget(self, j3d7pt, setup):
+        sim, space, _, dataset, _ = setup
+        budget = Budget(max_cost_s=20.0)
+        garvey = GarveyTuner(sim, seed=0, pool_size=300).tune(
+            j3d7pt, budget, space=space, dataset=dataset
+        )
+        opentuner = OpenTunerGA(sim, seed=0).tune(j3d7pt, budget, space=space)
+        artemis = ArtemisTuner(sim, seed=0).tune(j3d7pt, budget, space=space)
+        for res in (garvey, opentuner, artemis):
+            assert res.best_setting is not None
+            assert res.cost_s <= budget.max_cost_s + 5.0  # last batch overshoot
+
+    def test_best_setting_is_valid_and_replayable(self, j3d7pt, setup):
+        sim, space, tuner, dataset, pre = setup
+        res = tuner.tune(
+            j3d7pt, Budget(max_iterations=8), space=space, preprocessed=pre
+        )
+        assert space.is_valid(res.best_setting)
+        replay = sim.true_time(j3d7pt, res.best_setting)
+        assert replay == pytest.approx(res.best_time_s, rel=0.1)
+
+
+class TestCrossDevice:
+    def test_v100_pipeline(self, j3d7pt):
+        """The Fig 10 scenario: re-collect on V100 and tune there."""
+        sim = GpuSimulator(device=V100, seed=0)
+        space = build_space(j3d7pt, V100)
+        config = CsTunerConfig(
+            dataset_size=32,
+            probe_limit=3,
+            sampling=SamplingConfig(ratio=0.1, pool_size=200),
+            ga=GAConfig(max_group_generations=4),
+            seed=0,
+        )
+        tuner = CsTuner(sim, config)
+        res = tuner.tune(j3d7pt, Budget(max_iterations=10), space=space)
+        assert res.device == "V100"
+        assert res.best_setting is not None
+
+    def test_a100_beats_v100_on_same_setting(self, j3d7pt, setup):
+        sim_a, space, tuner, dataset, pre = setup
+        sim_v = GpuSimulator(device=V100, seed=0)
+        s = dataset.best().setting
+        if sim_v.violation(j3d7pt, s) is None:
+            assert sim_a.true_time(j3d7pt, s) < sim_v.true_time(j3d7pt, s)

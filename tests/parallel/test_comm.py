@@ -1,0 +1,34 @@
+"""Unit tests for the ring communicators."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.parallel.comm import LocalRing, ring_exchange
+
+
+class TestLocalRing:
+    def test_exchange_ring_of_four(self):
+        ring = LocalRing(4)
+        out = ring.exchange(["a", "b", "c", "d"])
+        assert out[0] == ("d", "b")
+        assert out[1] == ("a", "c")
+        assert out[3] == ("c", "a")
+
+    def test_ring_of_two(self):
+        out = LocalRing(2).exchange(["x", "y"])
+        assert out[0] == ("y", "y")
+        assert out[1] == ("x", "x")
+
+    def test_ring_of_one_self_neighbour(self):
+        assert LocalRing(1).exchange(["z"]) == [("z", "z")]
+
+    def test_size_validation(self):
+        with pytest.raises(CommunicatorError):
+            LocalRing(0)
+
+    def test_payload_count_validation(self):
+        with pytest.raises(CommunicatorError):
+            LocalRing(3).exchange(["a", "b"])
+
+    def test_functional_helper(self):
+        assert ring_exchange([1, 2, 3])[1] == (1, 3)

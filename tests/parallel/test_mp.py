@@ -1,0 +1,45 @@
+"""Integration tests for the multiprocessing SPMD ring.
+
+These spawn real OS processes; kept small so the suite stays fast.
+"""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.parallel.mp import spmd_run
+
+
+def _echo_rank(comm):
+    return comm.rank
+
+
+def _neighbor_sum(comm):
+    left, right = comm.sendrecv_neighbors(comm.rank)
+    return left + right
+
+
+def _failing(comm):
+    if comm.rank == 1:
+        raise RuntimeError("rank 1 exploded")
+    return comm.rank
+
+
+class TestSpmdRun:
+    def test_ranks_assigned(self):
+        assert spmd_run(3, _echo_rank) == [0, 1, 2]
+
+    def test_ring_exchange_across_processes(self):
+        # ring of 4: each rank receives (rank-1 mod 4) + (rank+1 mod 4)
+        assert spmd_run(4, _neighbor_sum) == [4, 2, 4, 2]
+
+    def test_single_rank(self):
+        # rank 0's neighbours are itself on a ring of one
+        assert spmd_run(1, _neighbor_sum) == [0]
+
+    def test_worker_error_surfaces(self):
+        with pytest.raises(CommunicatorError, match="rank 1"):
+            spmd_run(2, _failing)
+
+    def test_size_validation(self):
+        with pytest.raises(CommunicatorError):
+            spmd_run(0, _echo_rank)

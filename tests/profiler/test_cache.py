@@ -1,0 +1,47 @@
+"""Unit tests for the on-disk dataset cache."""
+
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.cache import DatasetCache
+
+
+class TestDatasetCache:
+    def test_miss_collects_and_stores(self, tmp_path, small_pattern, small_space):
+        cache = DatasetCache(tmp_path)
+        sim = GpuSimulator(noise=0.0)
+        assert not cache.contains(small_pattern.name, "A100", 8, 0)
+        ds = cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        assert len(ds) == 8
+        assert cache.contains(small_pattern.name, "A100", 8, 0)
+
+    def test_hit_avoids_recollection(self, tmp_path, small_pattern, small_space):
+        cache = DatasetCache(tmp_path)
+        sim = GpuSimulator(noise=0.0)
+        a = cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        sim2 = GpuSimulator(noise=0.0)
+        b = cache.get_or_collect(sim2, small_pattern, small_space, n=8, seed=0)
+        assert a.settings == b.settings
+        assert sim2.evaluations == 0  # nothing was re-profiled
+
+    def test_keys_are_distinct(self, tmp_path, small_pattern, small_space):
+        cache = DatasetCache(tmp_path)
+        sim = GpuSimulator(noise=0.0)
+        cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=1)
+        cache.get_or_collect(sim, small_pattern, small_space, n=12, seed=0)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_corrupt_entry_recovered(self, tmp_path, small_pattern, small_space):
+        cache = DatasetCache(tmp_path)
+        sim = GpuSimulator(noise=0.0)
+        cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{corrupt", encoding="utf-8")
+        ds = cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        assert len(ds) == 8
+
+    def test_clear(self, tmp_path, small_pattern, small_space):
+        cache = DatasetCache(tmp_path)
+        sim = GpuSimulator(noise=0.0)
+        cache.get_or_collect(sim, small_pattern, small_space, n=8, seed=0)
+        assert cache.clear() == 1
+        assert not cache.contains(small_pattern.name, "A100", 8, 0)

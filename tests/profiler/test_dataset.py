@@ -1,0 +1,109 @@
+"""Unit tests for the performance dataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.profiler.dataset import DatasetRecord, PerformanceDataset
+from repro.space.setting import Setting
+
+
+def rec(time_s, **params):
+    metrics = {"m1": time_s * 2, "m2": 1.0 - time_s}
+    return DatasetRecord(Setting(params or {"A": 1}), time_s, metrics)
+
+
+class TestBasics:
+    def test_add_and_len(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(1.0, A=1))
+        ds.add(rec(2.0, A=2))
+        assert len(ds) == 2
+
+    def test_duplicate_setting_replaces(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(1.0, A=1))
+        ds.add(rec(3.0, A=1))
+        assert len(ds) == 1
+        assert ds.lookup(Setting({"A": 1})).time_s == 3.0
+
+    def test_lookup_missing(self):
+        ds = PerformanceDataset("s", "A100")
+        assert ds.lookup(Setting({"A": 9})) is None
+
+    def test_best(self):
+        ds = PerformanceDataset("s", "A100")
+        for t, a in [(2.0, 1), (0.5, 2), (1.5, 4)]:
+            ds.add(rec(t, A=a))
+        assert ds.best().time_s == 0.5
+
+    def test_best_empty_raises(self):
+        with pytest.raises(DatasetError):
+            PerformanceDataset("s", "A100").best()
+
+    def test_times_order(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(2.0, A=1))
+        ds.add(rec(1.0, A=2))
+        assert np.array_equal(ds.times(), [2.0, 1.0])
+
+
+class TestMetrics:
+    def test_metric_matrix(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(1.0, A=1))
+        ds.add(rec(2.0, A=2))
+        mat, names = ds.metric_matrix()
+        assert names == ["m1", "m2"]
+        assert mat.shape == (2, 2)
+        assert np.array_equal(mat[:, 0], [2.0, 4.0])
+
+    def test_metric_column(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(1.0, A=1))
+        assert ds.metric_column("m2")[0] == 0.0
+
+    def test_unknown_metric(self):
+        ds = PerformanceDataset("s", "A100")
+        ds.add(rec(1.0, A=1))
+        with pytest.raises(DatasetError):
+            ds.metric_column("nope")
+
+    def test_metric_names_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            PerformanceDataset("s", "A100").metric_names()
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        ds = PerformanceDataset("j3d7pt", "A100")
+        ds.add(rec(1.5, A=4, B=2))
+        ds.add(rec(0.5, A=8, B=1))
+        path = tmp_path / "ds.json"
+        ds.save(path)
+        loaded = PerformanceDataset.load(path)
+        assert loaded.stencil == "j3d7pt"
+        assert loaded.device == "A100"
+        assert len(loaded) == 2
+        assert loaded.best().time_s == 0.5
+        assert loaded.records[0].setting == ds.records[0].setting
+        assert loaded.records[0].metrics == ds.records[0].metrics
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(DatasetError):
+            PerformanceDataset.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(DatasetError):
+            PerformanceDataset.from_json('{"stencil": "x"}')
+
+
+class TestCollectedDataset:
+    def test_collect_size_and_validity(self, small_dataset, small_space):
+        assert len(small_dataset) == 48
+        for r in small_dataset:
+            assert small_space.is_valid(r.setting)
+            assert r.time_s > 0
+
+    def test_no_elapsed_time_metric(self, small_dataset):
+        assert "elapsed_time" not in small_dataset.metric_names()

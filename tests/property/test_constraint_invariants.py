@@ -1,0 +1,84 @@
+"""Property tests on the constraint system."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.space.constraints import canonicalize_values, explicit_violation
+from repro.space.parameters import PARAMETER_ORDER, build_parameters
+from repro.stencil.pattern import StencilPattern
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+_PATTERN = StencilPattern(
+    name="cprop", grid=(128, 128, 128), order=2, flops=20, io_arrays=3,
+    outputs=1,
+)
+_PARAMS = {p.name: p for p in build_parameters(_PATTERN, max_factor=32)}
+
+
+def random_values(seed: int) -> dict[str, int]:
+    rng = np.random.default_rng(seed)
+    return {
+        name: int(p.values[rng.integers(p.cardinality)])
+        for name, p in _PARAMS.items()
+    }
+
+
+class TestCanonicalize:
+    @relaxed
+    @given(seed=seeds)
+    def test_idempotent(self, seed):
+        v = random_values(seed)
+        once = canonicalize_values(_PATTERN, v)
+        assert canonicalize_values(_PATTERN, once) == once
+
+    @relaxed
+    @given(seed=seeds)
+    def test_preserves_free_parameters(self, seed):
+        """Canonicalization may touch only gated parameters (SD/SB/
+        prefetch/TB-and-UF-along-SD); every other value must survive."""
+        v = random_values(seed)
+        out = canonicalize_values(_PATTERN, v)
+        streaming = v["useStreaming"] == 2
+        sd = out["SD"]
+        gated = {"SD", "SB", "usePrefetching"}
+        if streaming:
+            s = "xyz"[sd - 1]
+            gated |= {f"TB{s}", f"UF{s}"}
+        for name in PARAMETER_ORDER:
+            if name not in gated:
+                assert out[name] == v[name], name
+
+    @relaxed
+    @given(seed=seeds)
+    def test_never_introduces_gating_violations(self, seed):
+        """After canonicalization, the gating subset of the explicit
+        rules must hold (tile-size rules may still fail — they are the
+        sampler's job)."""
+        out = canonicalize_values(_PATTERN, random_values(seed))
+        reason = explicit_violation(_PATTERN, out)
+        if reason is not None:
+            assert "only valid when" not in reason
+            assert "requires streaming" not in reason
+            assert "TB=1 along SD" not in reason
+            assert "UF_SD<=SB" not in reason
+            assert "SB=" not in reason
+
+
+class TestViolationReporting:
+    @relaxed
+    @given(seed=seeds)
+    def test_violation_is_deterministic(self, seed):
+        v = random_values(seed)
+        assert explicit_violation(_PATTERN, v) == explicit_violation(_PATTERN, v)
+
+    @relaxed
+    @given(seed=seeds)
+    def test_violation_returns_string_or_none(self, seed):
+        out = explicit_violation(_PATTERN, random_values(seed))
+        assert out is None or (isinstance(out, str) and out)

@@ -1,0 +1,77 @@
+"""Property tests for the GEMM domain."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gemm import GemmProblem, GemmSimulator, GemmSpace
+from repro.gpusim.device import A100
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+relaxed = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return GemmProblem(1024, 512, 2048)
+
+
+@pytest.fixture(scope="module")
+def gspace(problem):
+    return GemmSpace(problem, A100)
+
+
+@pytest.fixture(scope="module")
+def gsim(problem):
+    return GemmSimulator(problem, noise=0.0)
+
+
+class TestGemmSpaceProperties:
+    @relaxed
+    @given(seed=seeds)
+    def test_random_settings_always_valid(self, gspace, seed):
+        s = gspace.random_setting(np.random.default_rng(seed))
+        assert gspace.violation(s) is None
+
+    @relaxed
+    @given(seed=seeds)
+    def test_repair_full_idempotent(self, gspace, seed):
+        rng = np.random.default_rng(seed)
+        raw = {
+            p.name: int(p.values[rng.integers(p.cardinality)])
+            for p in gspace.parameters
+        }
+        once = gspace.repair_full(raw)
+        assert gspace.repair_full(once.to_dict()) == once
+
+    @relaxed
+    @given(seed=seeds)
+    def test_encode_decode_roundtrip(self, gspace, seed):
+        s = gspace.random_setting(np.random.default_rng(seed))
+        assert gspace.decode(gspace.encode(s)) == s
+
+
+class TestGemmModelProperties:
+    @relaxed
+    @given(seed=seeds)
+    def test_time_bounded_by_physics(self, problem, gspace, gsim, seed):
+        """No setting can beat peak FLOPs or peak bandwidth on the
+        compulsory traffic."""
+        s = gspace.random_setting(np.random.default_rng(seed))
+        t = gsim.true_time(problem, s)
+        flop_floor = problem.total_flops() / A100.peak_fp64_flops
+        mem_floor = problem.compulsory_bytes() / A100.dram_bandwidth_bytes
+        assert t > max(flop_floor, mem_floor) * 0.9
+
+    @relaxed
+    @given(seed=seeds)
+    def test_metrics_sane(self, problem, gspace, gsim, seed):
+        s = gspace.random_setting(np.random.default_rng(seed))
+        run = gsim.run(problem, s)
+        assert 0 <= run.metrics["achieved_occupancy"] <= 1
+        assert 0 <= run.metrics["flop_dp_efficiency"] <= 1
+        assert run.metrics["registers_per_thread"] <= 255

@@ -1,0 +1,96 @@
+"""Property tests on serialization and data-structure round-trips."""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reindex import GroupIndex
+from repro.profiler.dataset import DatasetRecord, PerformanceDataset
+from repro.space.setting import Setting
+
+param_names = st.sampled_from(
+    ["TBx", "TBy", "TBz", "UFx", "CMy", "BMz", "useShared", "SD"]
+)
+pow2_values = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024])
+settings_dicts = st.dictionaries(param_names, pow2_values, min_size=1, max_size=8)
+
+
+class TestSettingRoundTrips:
+    @given(values=settings_dicts)
+    def test_to_dict_roundtrip(self, values):
+        s = Setting(values)
+        assert Setting(s.to_dict()) == s
+
+    @given(values=settings_dicts)
+    def test_values_tuple_roundtrip(self, values):
+        s = Setting(values)
+        order = tuple(sorted(values))
+        assert Setting.from_values(s.values_tuple(order), order) == s
+
+    @given(values=settings_dicts)
+    def test_hash_consistency(self, values):
+        assert hash(Setting(values)) == hash(Setting(dict(values)))
+
+    @given(values=settings_dicts)
+    def test_json_safe(self, values):
+        s = Setting(values)
+        assert Setting(json.loads(json.dumps(s.to_dict()))) == s
+
+
+class TestDatasetRoundTrips:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                settings_dicts,
+                st.floats(min_value=1e-6, max_value=10.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip_preserves_everything(self, rows):
+        ds = PerformanceDataset("fuzz", "A100")
+        for values, t, m in rows:
+            ds.add(DatasetRecord(Setting(values), t, {"m": m}))
+        loaded = PerformanceDataset.from_json(ds.to_json())
+        assert len(loaded) == len(ds)
+        assert loaded.settings == ds.settings
+        assert np.allclose(loaded.times(), ds.times())
+        assert np.allclose(loaded.metric_column("m"), ds.metric_column("m"))
+
+
+class TestGroupIndexProperties:
+    @given(
+        tuples=st.lists(
+            st.tuples(pow2_values, pow2_values), min_size=1, max_size=30
+        )
+    )
+    def test_decode_total_and_sorted(self, tuples):
+        gi = GroupIndex(["a", "b"], tuples)
+        decoded = [tuple(gi.decode(i).values()) for i in range(len(gi))]
+        assert decoded == sorted(decoded)
+        assert len(set(decoded)) == len(decoded)
+
+    @given(
+        tuples=st.lists(
+            st.tuples(pow2_values, pow2_values), min_size=1, max_size=30
+        )
+    )
+    def test_index_of_inverts_decode(self, tuples):
+        gi = GroupIndex(["a", "b"], tuples)
+        for i in range(len(gi)):
+            s = Setting(gi.decode(i))
+            assert gi.index_of(s) == i
+
+    @given(
+        tuples=st.lists(
+            st.tuples(pow2_values, pow2_values), min_size=1, max_size=64
+        )
+    )
+    def test_bits_cover_range(self, tuples):
+        gi = GroupIndex(["a", "b"], tuples)
+        assert (1 << gi.bits) >= len(gi)
+        assert gi.bits <= 7

@@ -1,0 +1,84 @@
+"""Unit tests for the Table I parameter definitions."""
+
+import pytest
+
+from repro.errors import UnknownParameterError
+from repro.space.parameters import (
+    BOOL_PARAMETERS,
+    PARAMETER_ORDER,
+    Parameter,
+    ParameterKind,
+    build_parameters,
+)
+from repro.stencil.suite import get_stencil
+
+
+class TestParameter:
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            Parameter("p", ParameterKind.POW2, ())
+
+    def test_rejects_unsorted_domain(self):
+        with pytest.raises(ValueError):
+            Parameter("p", ParameterKind.POW2, (2, 1))
+
+    def test_index_of(self):
+        p = Parameter("p", ParameterKind.POW2, (1, 2, 4, 8))
+        assert p.index_of(4) == 2
+        with pytest.raises(UnknownParameterError):
+            p.index_of(3)
+
+    def test_clip(self):
+        p = Parameter("p", ParameterKind.POW2, (1, 2, 4, 8))
+        assert p.clip(3) == 2  # ties resolve downward
+        assert p.clip(100) == 8
+        assert p.clip(-5) == 1
+
+    def test_cardinality_contains(self):
+        p = Parameter("p", ParameterKind.ENUM, (1, 2, 3))
+        assert p.cardinality == 3
+        assert p.contains(2) and not p.contains(4)
+
+
+class TestBuildParameters:
+    def test_table1_has_19_parameters(self):
+        params = build_parameters(get_stencil("j3d7pt"))
+        assert len(params) == 19
+        assert tuple(p.name for p in params) == PARAMETER_ORDER
+
+    def test_bool_domains(self):
+        params = {p.name: p for p in build_parameters(get_stencil("j3d7pt"))}
+        for name in BOOL_PARAMETERS:
+            assert params[name].values == (1, 2)
+
+    def test_sd_enum(self):
+        params = {p.name: p for p in build_parameters(get_stencil("j3d7pt"))}
+        assert params["SD"].values == (1, 2, 3)
+
+    def test_tb_ranges_match_table1(self):
+        params = {p.name: p for p in build_parameters(get_stencil("j3d7pt"))}
+        assert params["TBx"].values[-1] == 1024
+        assert params["TBy"].values[-1] == 1024
+        assert params["TBz"].values[-1] == 64
+
+    def test_unroll_ranges_follow_grid(self):
+        params = {p.name: p for p in build_parameters(get_stencil("j3d7pt"))}
+        for name in ("UFx", "UFy", "UFz", "CMx", "CMy", "CMz", "BMx"):
+            assert params[name].values[-1] == 512  # M_n = 512
+
+    def test_320_grid_caps_at_256(self):
+        params = {p.name: p for p in build_parameters(get_stencil("hypterm"))}
+        assert params["UFx"].values[-1] == 256  # largest power of two <= 320
+
+    def test_max_factor_caps_domains(self):
+        params = {
+            p.name: p
+            for p in build_parameters(get_stencil("j3d7pt"), max_factor=8)
+        }
+        assert params["UFx"].values[-1] == 8
+        assert params["TBx"].values[-1] == 1024  # TB unaffected
+
+    def test_all_domains_start_at_one(self):
+        """Boolean/enum parameters start at 1 so log2 stays legitimate."""
+        for p in build_parameters(get_stencil("cheby")):
+            assert p.values[0] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the immutable Setting mapping."""
+
+import math
+
+import pytest
+
+from repro.errors import UnknownParameterError
+from repro.space.setting import Setting
+
+
+def make(**kw):
+    base = {"TBx": 32, "TBy": 4, "useShared": 2}
+    base.update(kw)
+    return Setting(base)
+
+
+class TestMapping:
+    def test_getitem(self):
+        assert make()["TBx"] == 32
+
+    def test_missing_key(self):
+        with pytest.raises(UnknownParameterError):
+            make()["UFx"]
+
+    def test_len_iter(self):
+        s = make()
+        assert len(s) == 3
+        assert set(s) == {"TBx", "TBy", "useShared"}
+
+    def test_equality_order_insensitive(self):
+        a = Setting({"x": 1, "y": 2})
+        b = Setting({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_with_plain_dict(self):
+        assert Setting({"x": 1}) == {"x": 1}
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Setting({"x": 1.5})  # type: ignore[dict-item]
+        with pytest.raises(TypeError):
+            Setting({"x": True})  # type: ignore[dict-item]
+
+    def test_usable_as_dict_key(self):
+        d = {make(): "v"}
+        assert d[make()] == "v"
+
+
+class TestHelpers:
+    def test_enabled(self):
+        assert make(useShared=2).enabled("useShared")
+        assert not make(useShared=1).enabled("useShared")
+
+    def test_enabled_rejects_non_switch(self):
+        with pytest.raises(UnknownParameterError):
+            make().enabled("TBx")
+
+    def test_replace(self):
+        s = make().replace(TBx=64)
+        assert s["TBx"] == 64
+        assert make()["TBx"] == 32  # original untouched
+
+    def test_replace_unknown_rejected(self):
+        with pytest.raises(UnknownParameterError):
+            make().replace(UFx=2)
+
+    def test_values_tuple_roundtrip(self):
+        order = ("TBx", "TBy", "useShared")
+        s = make()
+        t = s.values_tuple(order)
+        assert Setting.from_values(t, order) == s
+
+    def test_from_values_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Setting.from_values((1, 2), ("a", "b", "c"))
+
+    def test_log2(self):
+        s = make(TBx=32)
+        assert s.log2_value("TBx") == 5.0
+        assert s.log2_vector(("TBx", "TBy")) == (5.0, 2.0)
+
+    def test_log2_of_one_is_zero(self):
+        assert Setting({"p": 1}).log2_value("p") == 0.0
+
+    def test_to_dict_is_copy(self):
+        s = make()
+        d = s.to_dict()
+        d["TBx"] = 999
+        assert s["TBx"] == 32
+
+    def test_repr_readable(self):
+        assert "TBx=32" in repr(make())

@@ -1,0 +1,164 @@
+"""Unit and property tests for SearchSpace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnknownParameterError
+from repro.gpusim.device import A100
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return StencilPattern(
+        name="sp", grid=(64, 64, 64), order=1, flops=10, io_arrays=2
+    )
+
+
+@pytest.fixture(scope="module")
+def space(pattern):
+    return build_space(pattern, A100, max_factor=16)
+
+
+@pytest.fixture(scope="module")
+def space_nores(pattern):
+    """Space with explicit constraints only (no device resource check)."""
+    return SearchSpace(pattern)
+
+
+class TestBasics:
+    def test_param_lookup(self, space):
+        assert space.param("TBx").name == "TBx"
+        with pytest.raises(UnknownParameterError):
+            space.param("nope")
+
+    def test_nominal_size_is_product(self, space_nores):
+        n = 1
+        for p in space_nores.parameters:
+            n *= p.cardinality
+        assert space_nores.nominal_size() == n
+        assert n > 100_000_000  # the paper's >100M settings
+
+    def test_names_order(self, space):
+        assert space.names == PARAMETER_ORDER
+
+
+class TestSampling:
+    def test_random_settings_valid(self, space, rng):
+        for _ in range(50):
+            s = space.random_setting(rng)
+            assert space.violation(s) is None
+
+    def test_sample_unique(self, space, rng):
+        batch = space.sample(rng, 40)
+        assert len(set(batch)) == 40
+
+    def test_sample_zero(self, space, rng):
+        assert space.sample(rng, 0) == []
+
+    def test_sample_negative_rejected(self, space, rng):
+        with pytest.raises(ValueError):
+            space.sample(rng, -1)
+
+    def test_reproducible_with_seed(self, space):
+        a = space.sample(np.random.default_rng(5), 10)
+        b = space.sample(np.random.default_rng(5), 10)
+        assert a == b
+
+    def test_estimate_valid_fraction_in_unit_interval(self, space, rng):
+        f = space.estimate_valid_fraction(rng, 200)
+        assert 0.0 <= f <= 1.0
+
+
+class TestValidity:
+    def test_out_of_domain_detected(self, space, valid_dict=None):
+        s = Setting({**space.random_setting(np.random.default_rng(0)).to_dict(),
+                     "TBx": 3})
+        assert "outside domain" in space.violation(s)
+
+    def test_resource_check_wired(self, space, rng):
+        """A register-hungry setting must be rejected by the device check."""
+        base = space.random_setting(rng).to_dict()
+        base.update(
+            {"UFx": 16, "UFy": 16, "UFz": 16, "CMx": 16, "useStreaming": 1,
+             "SD": 1, "SB": 1, "usePrefetching": 1}
+        )
+        s = Setting(base)
+        v = space.violation(s)
+        assert v is not None
+
+
+class TestRepair:
+    def test_repair_clips_and_gates(self, space):
+        s = space.repair(
+            {name: 1 for name in PARAMETER_ORDER} | {"TBx": 1000, "SB": 7}
+        )
+        assert s["TBx"] == 1024  # clipped to nearest domain value
+        assert s["SB"] == 1  # gated: streaming off
+
+    def test_repair_full_always_valid(self, space, rng):
+        for _ in range(30):
+            raw = {
+                p.name: int(p.values[rng.integers(p.cardinality)])
+                for p in space.parameters
+            }
+            s = space.repair_full(raw)
+            assert space.violation(s) is None, space.violation(s)
+
+    def test_repair_full_preserves_valid(self, space, rng):
+        s = space.random_setting(rng)
+        assert space.repair_full(s.to_dict()) == s
+
+
+class TestEncoding:
+    def test_roundtrip(self, space, rng):
+        s = space.random_setting(rng)
+        assert space.decode(space.encode(s)) == s
+
+    def test_decode_clips_indices(self, space):
+        idx = np.full(len(PARAMETER_ORDER), 999, dtype=np.int64)
+        s = space.decode(idx)
+        for name in PARAMETER_ORDER:
+            assert space.param(name).contains(s[name])
+
+    def test_decode_length_check(self, space):
+        with pytest.raises(ValueError):
+            space.decode(np.zeros(3, dtype=np.int64))
+
+
+class TestNeighborsAndEnumeration:
+    def test_neighbors_valid_and_distinct(self, space, rng):
+        s = space.random_setting(rng)
+        for n in space.neighbors(s):
+            assert n != s
+            assert space.violation(n) is None
+
+    def test_enumerate_respects_limit(self, space):
+        out = list(space.enumerate_valid(limit=25))
+        assert len(out) == 25
+        for s in out:
+            assert space.violation(s) is None
+
+
+class TestHypothesis:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_any_seed_samples_valid(self, space, seed):
+        s = space.random_setting(np.random.default_rng(seed))
+        assert space.violation(s) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_repair_full_idempotent(self, space, seed):
+        rng = np.random.default_rng(seed)
+        raw = {
+            p.name: int(p.values[rng.integers(p.cardinality)])
+            for p in space.parameters
+        }
+        once = space.repair_full(raw)
+        twice = space.repair_full(once.to_dict())
+        assert once == twice

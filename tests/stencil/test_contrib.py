@@ -1,0 +1,48 @@
+"""Tests for the contributed (non-paper) stencils."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.contrib import CONTRIB_SUITE
+from repro.stencil.suite import get_executor, get_stencil
+
+
+class TestContribSuite:
+    def test_registered(self):
+        for p in CONTRIB_SUITE:
+            assert get_stencil(p.name) is p
+
+    def test_not_in_paper_suite(self):
+        from repro.stencil.suite import suite_names
+
+        assert not set(p.name for p in CONTRIB_SUITE) & set(suite_names())
+
+    @pytest.mark.parametrize("pattern", CONTRIB_SUITE, ids=lambda p: p.name)
+    def test_reference_execution(self, pattern, rng):
+        ex = get_executor(pattern.name)
+        grid = (4 * pattern.halo + 6,) * 3
+        out = ex.run(ex.make_inputs(rng, grid=grid))
+        assert np.all(np.isfinite(out))
+
+    def test_heat3d_conserves_constant_field(self):
+        ex = get_executor("heat3d")
+        arr = np.full((12, 12, 12), 5.0)
+        assert np.allclose(ex.run([arr]), 5.0)
+
+    def test_poisson_fixed_point(self, rng):
+        """With rhs = 0, a constant field is a fixed point."""
+        ex = get_executor("poisson")
+        u = np.full((12, 12, 12), 3.0)
+        rhs = np.zeros((12, 12, 12))
+        assert np.allclose(ex.run([u, rhs]), 3.0)
+
+    @pytest.mark.parametrize("pattern", CONTRIB_SUITE, ids=lambda p: p.name)
+    def test_tunable(self, pattern):
+        """Every contributed stencil must admit a valid search space."""
+        from repro.gpusim.device import A100
+        from repro.space.space import build_space
+
+        space = build_space(pattern, A100)
+        rng = np.random.default_rng(0)
+        s = space.random_setting(rng)
+        assert space.is_valid(s)

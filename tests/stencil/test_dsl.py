@@ -1,0 +1,142 @@
+"""Unit tests for the stencil DSL front-end."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.dsl import DslError, parse_stencil
+from repro.stencil.pattern import StencilShape
+
+J3D7PT_SRC = """
+stencil my7pt {
+  grid 512 512 512
+  inputs u
+  output unext
+  coefficients 4
+  unext[0,0,0] = 0.4*u[0,0,0]
+    + 0.1*(u[1,0,0] + u[-1,0,0] + u[0,1,0] + u[0,-1,0] + u[0,0,1] + u[0,0,-1])
+}
+"""
+
+WAVE_SRC = """
+stencil wave {
+  grid 128 128 128
+  inputs u, up
+  output unext
+  unext[0,0,0] = 2.0*u[0,0,0] - up[0,0,0]
+    + 0.1*(u[2,0,0] + u[-2,0,0])
+}
+"""
+
+
+class TestParsing:
+    def test_pattern_metadata(self):
+        parsed = parse_stencil(J3D7PT_SRC)
+        p = parsed.pattern
+        assert p.name == "my7pt"
+        assert p.grid == (512, 512, 512)
+        assert p.order == 1
+        assert p.io_arrays == 2
+        assert p.shape is StencilShape.STAR
+        assert p.coefficients == 4
+
+    def test_tap_program(self):
+        parsed = parse_stencil(J3D7PT_SRC)
+        assert len(parsed.taps) == 7
+        centre = [t for t in parsed.taps if t.offset == (0, 0, 0)]
+        assert centre[0].coefficient == pytest.approx(0.4)
+        neighbours = [t for t in parsed.taps if t.offset != (0, 0, 0)]
+        assert all(t.coefficient == pytest.approx(0.1) for t in neighbours)
+
+    def test_multi_input_and_order(self):
+        parsed = parse_stencil(WAVE_SRC)
+        assert parsed.pattern.order == 2
+        assert parsed.pattern.shape is StencilShape.MULTI
+        up_taps = [t for t in parsed.taps if t.array == 1]
+        assert len(up_taps) == 1
+        assert up_taps[0].coefficient == pytest.approx(-1.0)
+
+    def test_flops_inferred(self):
+        assert parse_stencil(J3D7PT_SRC).pattern.flops >= 7
+
+    def test_comments_ignored(self):
+        src = J3D7PT_SRC.replace(
+            "inputs u", "inputs u  # the field being smoothed"
+        )
+        assert parse_stencil(src).pattern.name == "my7pt"
+
+    def test_executor_runs(self, rng):
+        parsed = parse_stencil(WAVE_SRC)
+        ex = parsed.executor()
+        out = ex.run(ex.make_inputs(rng, grid=(16, 16, 16)))
+        assert out.shape == (12, 12, 12)
+        assert np.all(np.isfinite(out))
+
+    def test_constant_field_preserved_when_weights_unit(self, rng):
+        parsed = parse_stencil(J3D7PT_SRC)
+        ex = parsed.executor()
+        arr = np.full((10, 10, 10), 2.0)
+        out = ex.run([arr])
+        assert np.allclose(out, 2.0)  # 0.4 + 6*0.1 = 1.0
+
+
+class TestErrors:
+    def test_missing_grid(self):
+        src = "stencil s { inputs u\n output o\n o[0,0,0] = u[0,0,0] }"
+        with pytest.raises(DslError, match="grid"):
+            parse_stencil(src)
+
+    def test_missing_output(self):
+        src = "stencil s { grid 8 8 8\n inputs u\n u2[0,0,0] = u[0,0,0] }"
+        with pytest.raises(DslError):
+            parse_stencil(src)
+
+    def test_undeclared_array(self):
+        src = ("stencil s { grid 8 8 8\n inputs u\n output o\n"
+               " o[0,0,0] = v[0,0,0] }")
+        with pytest.raises(DslError, match="undeclared"):
+            parse_stencil(src)
+
+    def test_output_as_input(self):
+        src = ("stencil s { grid 8 8 8\n inputs u\n output u\n"
+               " u[0,0,0] = u[0,0,0] }")
+        with pytest.raises(DslError, match="also an input"):
+            parse_stencil(src)
+
+    def test_non_centre_lhs(self):
+        src = ("stencil s { grid 8 8 8\n inputs u\n output o\n"
+               " o[1,0,0] = u[0,0,0] }")
+        with pytest.raises(DslError, match=r"\[0,0,0\]"):
+            parse_stencil(src)
+
+    def test_bad_character(self):
+        with pytest.raises(DslError, match="unexpected character"):
+            parse_stencil("stencil s @ {}")
+
+    def test_trailing_garbage(self):
+        src = J3D7PT_SRC + "\nextra"
+        with pytest.raises(DslError, match="trailing"):
+            parse_stencil(src)
+
+    def test_empty_expression(self):
+        src = "stencil s { grid 8 8 8\n inputs u\n output o\n o[0,0,0] = }"
+        with pytest.raises(DslError):
+            parse_stencil(src)
+
+
+class TestDslToTuner:
+    def test_parsed_stencil_is_tunable(self):
+        from repro.core import Budget, CsTuner, CsTunerConfig
+        from repro.core.sampling import SamplingConfig
+        from repro.gpusim.simulator import GpuSimulator
+        from repro.space.space import build_space
+
+        parsed = parse_stencil(WAVE_SRC)
+        sim = GpuSimulator(noise=0.0)
+        space = build_space(parsed.pattern, sim.device, max_factor=16)
+        tuner = CsTuner(sim, CsTunerConfig(
+            dataset_size=24, probe_limit=3,
+            sampling=SamplingConfig(ratio=0.2, pool_size=100),
+            seed=0,
+        ))
+        res = tuner.tune(parsed.pattern, Budget(max_iterations=6), space=space)
+        assert res.best_setting is not None

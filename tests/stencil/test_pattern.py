@@ -1,0 +1,73 @@
+"""Unit tests for StencilPattern metadata."""
+
+import pytest
+
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+
+def make(name="p", grid=(32, 32, 32), order=1, flops=10, io_arrays=2, **kw):
+    return StencilPattern(
+        name=name, grid=grid, order=order, flops=flops, io_arrays=io_arrays, **kw
+    )
+
+
+class TestValidation:
+    def test_rejects_non_3d_grid(self):
+        with pytest.raises(ValueError):
+            make(grid=(32, 32))
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            make(grid=(32, 0, 32))
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ValueError):
+            make(order=0)
+
+    def test_rejects_zero_flops(self):
+        with pytest.raises(ValueError):
+            make(flops=0)
+
+    def test_rejects_all_outputs(self):
+        with pytest.raises(ValueError):
+            make(io_arrays=2, outputs=2)
+
+
+class TestDerived:
+    def test_inputs_and_halo(self):
+        p = make(io_arrays=5, outputs=2, order=3)
+        assert p.inputs == 3
+        assert p.halo == 3
+
+    def test_taps_star(self):
+        assert make(order=1).taps_per_point == 7
+        assert make(order=2).taps_per_point == 13
+
+    def test_taps_box(self):
+        p = make(order=1, shape=StencilShape.BOX)
+        assert p.taps_per_point == 27
+
+    def test_points(self):
+        assert make(grid=(4, 5, 6)).points() == 120
+
+    def test_interior_shape(self):
+        assert make(grid=(32, 32, 32), order=2).interior_shape() == (28, 28, 28)
+
+    def test_compulsory_bytes(self):
+        p = make(grid=(4, 4, 4), io_arrays=3)
+        assert p.compulsory_bytes() == 64 * 8 * 3
+
+    def test_arithmetic_intensity(self):
+        p = make(grid=(8, 8, 8), flops=16, io_arrays=2)
+        assert p.arithmetic_intensity() == pytest.approx(16 / 16)
+
+    def test_describe_mentions_name_and_grid(self):
+        d = make(name="foo", grid=(64, 32, 16)).describe()
+        assert "foo" in d and "64x32x16" in d
+
+
+class TestImmutability:
+    def test_frozen(self):
+        p = make()
+        with pytest.raises(AttributeError):
+            p.order = 5  # type: ignore[misc]

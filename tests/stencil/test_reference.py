@@ -1,0 +1,124 @@
+"""Unit tests for the NumPy reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.reference import ReferenceExecutor, apply_taps
+from repro.stencil.suite import get_executor
+from repro.stencil.taps import Tap, star_taps
+
+
+def small_pattern(**kw):
+    defaults = dict(
+        name="ref", grid=(12, 12, 12), order=1, flops=8, io_arrays=2, outputs=1
+    )
+    defaults.update(kw)
+    return StencilPattern(**defaults)
+
+
+class TestApplyTaps:
+    def test_identity_tap(self, rng):
+        arr = rng.random((8, 8, 8))
+        out = apply_taps([arr], [Tap((0, 0, 0), 1.0)], halo=1)
+        assert np.allclose(out, arr[1:-1, 1:-1, 1:-1])
+
+    def test_shift_tap(self, rng):
+        arr = rng.random((8, 8, 8))
+        out = apply_taps([arr], [Tap((1, 0, 0), 1.0)], halo=1)
+        assert np.allclose(out, arr[2:, 1:-1, 1:-1])
+
+    def test_linear_combination(self, rng):
+        arr = rng.random((8, 8, 8))
+        taps = [Tap((0, 0, 0), 0.5), Tap((0, 0, 1), 0.25), Tap((0, 0, -1), 0.25)]
+        out = apply_taps([arr], taps, halo=1)
+        expected = (
+            0.5 * arr[1:-1, 1:-1, 1:-1]
+            + 0.25 * arr[1:-1, 1:-1, 2:]
+            + 0.25 * arr[1:-1, 1:-1, :-2]
+        )
+        assert np.allclose(out, expected)
+
+    def test_multi_array_taps(self, rng):
+        a, b = rng.random((6, 6, 6)), rng.random((6, 6, 6))
+        taps = [Tap((0, 0, 0), 1.0, array=0), Tap((0, 0, 0), 2.0, array=1)]
+        out = apply_taps([a, b], taps, halo=1)
+        assert np.allclose(out, a[1:-1, 1:-1, 1:-1] + 2 * b[1:-1, 1:-1, 1:-1])
+
+    def test_offset_beyond_halo_rejected(self, rng):
+        arr = rng.random((8, 8, 8))
+        with pytest.raises(ReproError):
+            apply_taps([arr], [Tap((2, 0, 0), 1.0)], halo=1)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ReproError):
+            apply_taps(
+                [rng.random((6, 6, 6)), rng.random((5, 5, 5))],
+                [Tap((0, 0, 0), 1.0)],
+                halo=1,
+            )
+
+    def test_grid_too_small(self, rng):
+        with pytest.raises(ReproError):
+            apply_taps([rng.random((2, 2, 2))], [Tap((0, 0, 0), 1.0)], halo=1)
+
+    def test_preallocated_out(self, rng):
+        arr = rng.random((8, 8, 8))
+        out = np.empty((6, 6, 6))
+        res = apply_taps([arr], [Tap((0, 0, 0), 1.0)], halo=1, out=out)
+        assert res is out
+
+
+class TestReferenceExecutor:
+    def test_run_shape(self, rng):
+        p = small_pattern()
+        ex = ReferenceExecutor(p, star_taps(1))
+        out = ex.run(ex.make_inputs(rng))
+        assert out.shape == (10, 10, 10)
+
+    def test_constant_field_invariant(self):
+        """Star taps with unit row sum leave a constant field unchanged."""
+        p = small_pattern()
+        ex = ReferenceExecutor(p, star_taps(1))
+        arr = np.full(p.grid, 3.0)
+        out = ex.run([arr])
+        assert np.allclose(out, 3.0)
+
+    def test_iterations_stay_bounded(self, rng):
+        p = small_pattern()
+        ex = ReferenceExecutor(p, star_taps(1))
+        arrays = ex.make_inputs(rng)
+        out = ex.run_iterations(arrays, iterations=5)
+        assert np.all(np.isfinite(out))
+        assert out.max() <= arrays[0].max() + 1e-9
+
+    def test_wrong_array_count(self, rng):
+        p = small_pattern()
+        ex = ReferenceExecutor(p, star_taps(1))
+        with pytest.raises(ReproError):
+            ex.run([rng.random(p.grid), rng.random(p.grid)])
+
+    def test_tap_array_out_of_range(self):
+        p = small_pattern(io_arrays=2)  # 1 input
+        with pytest.raises(ReproError):
+            ReferenceExecutor(p, [Tap((0, 0, 0), 1.0, array=1)])
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ReproError):
+            ReferenceExecutor(small_pattern(), [])
+
+
+class TestSuiteExecutors:
+    @pytest.mark.parametrize(
+        "name", ["j3d7pt", "j3d27pt", "helmholtz", "cheby", "hypterm",
+                 "addsgd4", "addsgd6", "rhs4center"]
+    )
+    def test_every_suite_stencil_runs_on_small_grid(self, name, rng):
+        ex = get_executor(name)
+        halo = ex.pattern.halo
+        grid = (4 * halo + 4,) * 3
+        arrays = ex.make_inputs(rng, grid=grid)
+        out = ex.run(arrays)
+        assert out.shape == tuple(g - 2 * halo for g in grid)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,63 @@
+"""Unit tests for the Table III suite and the stencil registry."""
+
+import pytest
+
+from repro.errors import UnknownStencilError
+from repro.stencil.pattern import StencilPattern, StencilShape
+from repro.stencil.suite import (
+    STENCIL_SUITE,
+    get_stencil,
+    register_stencil,
+    suite_names,
+)
+
+#: Table III, exactly as printed in the paper.
+TABLE_III = {
+    "j3d7pt": ((512, 512, 512), 1, 10, 2),
+    "j3d27pt": ((512, 512, 512), 1, 32, 2),
+    "helmholtz": ((512, 512, 512), 2, 17, 2),
+    "cheby": ((512, 512, 512), 1, 38, 5),
+    "hypterm": ((320, 320, 320), 4, 358, 13),
+    "addsgd4": ((320, 320, 320), 2, 373, 10),
+    "addsgd6": ((320, 320, 320), 3, 626, 10),
+    "rhs4center": ((320, 320, 320), 2, 666, 8),
+}
+
+
+class TestTableIII:
+    def test_suite_has_eight_stencils(self):
+        assert len(STENCIL_SUITE) == 8
+
+    @pytest.mark.parametrize("name", list(TABLE_III))
+    def test_metadata_matches_paper(self, name):
+        grid, order, flops, io = TABLE_III[name]
+        p = get_stencil(name)
+        assert p.grid == grid
+        assert p.order == order
+        assert p.flops == flops
+        assert p.io_arrays == io
+
+    def test_suite_names_order(self):
+        assert suite_names() == list(TABLE_III)
+
+
+class TestRegistry:
+    def test_unknown_stencil(self):
+        with pytest.raises(UnknownStencilError):
+            get_stencil("nope")
+
+    def test_register_and_fetch(self):
+        p = StencilPattern(
+            name="custom_reg_test", grid=(32, 32, 32), order=1,
+            flops=5, io_arrays=2, shape=StencilShape.STAR,
+        )
+        register_stencil(p)
+        assert get_stencil("custom_reg_test") is p
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_stencil(get_stencil("j3d7pt"))
+
+    def test_replace_allowed(self):
+        p = get_stencil("j3d7pt")
+        assert register_stencil(p, replace=True) is p

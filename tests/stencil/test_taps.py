@@ -1,0 +1,69 @@
+"""Unit tests for tap construction."""
+
+import pytest
+
+from repro.stencil.taps import Tap, axis_taps, box_taps, star_taps
+
+
+class TestTap:
+    def test_rejects_non_3d_offset(self):
+        with pytest.raises(ValueError):
+            Tap((1, 2), 0.5)  # type: ignore[arg-type]
+
+
+class TestStarTaps:
+    def test_count(self):
+        assert len(star_taps(1)) == 7
+        assert len(star_taps(2)) == 13
+
+    def test_weights_sum_to_one(self):
+        for order in (1, 2, 3):
+            total = sum(t.coefficient for t in star_taps(order))
+            assert total == pytest.approx(1.0)
+
+    def test_on_axis_only(self):
+        for t in star_taps(3):
+            nonzero = [o for o in t.offset if o != 0]
+            assert len(nonzero) <= 1
+
+    def test_custom_centre(self):
+        taps = star_taps(1, centre=0.0)
+        centre = [t for t in taps if t.offset == (0, 0, 0)]
+        assert centre[0].coefficient == 0.0
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ValueError):
+            star_taps(0)
+
+    def test_array_binding(self):
+        assert all(t.array == 3 for t in star_taps(1, array=3))
+
+
+class TestBoxTaps:
+    def test_count(self):
+        assert len(box_taps(1)) == 27
+        assert len(box_taps(2)) == 125
+
+    def test_uniform_weights_sum_to_one(self):
+        total = sum(t.coefficient for t in box_taps(1))
+        assert total == pytest.approx(1.0)
+
+
+class TestAxisTaps:
+    def test_count_symmetric(self):
+        assert len(axis_taps(2, 0)) == 5  # 4 neighbours + centre
+
+    def test_count_antisymmetric(self):
+        assert len(axis_taps(2, 0, antisymmetric=True)) == 4
+
+    def test_antisymmetric_weights_cancel(self):
+        total = sum(t.coefficient for t in axis_taps(3, 1, antisymmetric=True))
+        assert total == pytest.approx(0.0)
+
+    def test_single_axis(self):
+        for t in axis_taps(2, axis=1):
+            assert t.offset[0] == 0 and t.offset[2] == 0
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            axis_taps(1, 3)

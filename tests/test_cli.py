@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "j3d7pt"])
+        assert args.tuner == "csTuner"
+        assert args.device == "A100"
+        assert args.budget == 100.0
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["space", "j3d7pt", "--device", "H100"])
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "j3d7pt" in out and "rhs4center" in out
+
+    def test_space(self, capsys):
+        assert main(["space", "j3d7pt"]) == 0
+        out = capsys.readouterr().out
+        assert "TBx" in out and "usePrefetching" in out
+
+    def test_dataset_saves(self, capsys, tmp_path):
+        out_file = tmp_path / "ds.json"
+        assert main([
+            "dataset", "j3d7pt", "--size", "6", "--out", str(out_file)
+        ]) == 0
+        assert out_file.exists()
+        assert "collected 6" in capsys.readouterr().out
+
+    def test_tune_iterations(self, capsys):
+        assert main(["tune", "j3d7pt", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "best setting" in out
+        assert "csTuner" in out
+
+    def test_tune_baseline(self, capsys):
+        assert main([
+            "tune", "j3d7pt", "--tuner", "Artemis", "--iterations", "2"
+        ]) == 0
+        assert "Artemis" in capsys.readouterr().out
+
+    def test_motivation(self, capsys):
+        assert main(["motivation", "j3d7pt", "--samples", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig2 fraction" in out and "top-n speedup" in out

@@ -1,0 +1,43 @@
+"""Unit tests for stable hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import stable_hash, unit_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash(1, 2) != stable_hash(2, 1)
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_bits_bound(self):
+        for bits in (1, 8, 53, 64, 256):
+            assert 0 <= stable_hash("x", bits=bits) < (1 << bits)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=0)
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=300)
+
+    @given(st.tuples(st.integers(), st.text(max_size=20)))
+    def test_always_in_range(self, parts):
+        assert 0 <= stable_hash(*parts) < (1 << 64)
+
+
+class TestUnitHash:
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= unit_hash("k", i) < 1.0
+
+    def test_roughly_uniform(self):
+        vals = [unit_hash("u", i) for i in range(2000)]
+        mean = sum(vals) / len(vals)
+        assert abs(mean - 0.5) < 0.03

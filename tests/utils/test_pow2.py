@@ -1,0 +1,80 @@
+"""Unit tests for power-of-two helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.pow2 import (
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two_upto,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_rejects_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 1000):
+            assert not is_power_of_two(v)
+
+
+class TestNextPowerOfTwo:
+    def test_identity_on_powers(self):
+        for k in range(12):
+            assert next_power_of_two(1 << k) == 1 << k
+
+    def test_rounds_up(self):
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(1000) == 1024
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_result_is_power_and_geq(self, v):
+        p = next_power_of_two(v)
+        assert is_power_of_two(p)
+        assert p >= v
+        assert p // 2 < v  # minimality
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(6)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestPowersUpto:
+    def test_basic(self):
+        assert powers_of_two_upto(16) == [1, 2, 4, 8, 16]
+
+    def test_non_power_limit(self):
+        assert powers_of_two_upto(20) == [1, 2, 4, 8, 16]
+
+    def test_start(self):
+        assert powers_of_two_upto(32, start=4) == [4, 8, 16, 32]
+
+    def test_empty_when_limit_below_start(self):
+        assert powers_of_two_upto(2, start=4) == []
+
+    def test_rejects_non_power_start(self):
+        with pytest.raises(ValueError):
+            powers_of_two_upto(16, start=3)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_all_powers_sorted(self, limit):
+        vals = powers_of_two_upto(limit)
+        assert vals == sorted(vals)
+        assert all(is_power_of_two(v) for v in vals)
+        assert vals[-1] <= limit < vals[-1] * 2

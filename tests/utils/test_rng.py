@@ -1,0 +1,41 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rng
+
+
+class TestRngFromSeed:
+    def test_int_seed_reproducible(self):
+        a = rng_from_seed(7).random(5)
+        b = rng_from_seed(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert rng_from_seed(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_children_independent(self):
+        children = spawn_rng(rng_from_seed(0), 3)
+        draws = [c.random(8) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_spawn(self):
+        a = [c.random(4) for c in spawn_rng(rng_from_seed(1), 2)]
+        b = [c.random(4) for c in spawn_rng(rng_from_seed(1), 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_rng(rng_from_seed(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(rng_from_seed(0), -1)

@@ -1,0 +1,41 @@
+"""Unit tests for the phase stopwatch."""
+
+import time
+
+from repro.utils.timer import Stopwatch
+
+
+class TestStopwatch:
+    def test_phase_accumulates(self):
+        w = Stopwatch()
+        with w.phase("a"):
+            time.sleep(0.01)
+        with w.phase("a"):
+            time.sleep(0.01)
+        assert w.totals["a"] >= 0.02
+
+    def test_phases_separate(self):
+        w = Stopwatch()
+        with w.phase("x"):
+            pass
+        with w.phase("y"):
+            pass
+        assert set(w.totals) == {"x", "y"}
+
+    def test_manual_add_and_total(self):
+        w = Stopwatch()
+        w.add("a", 1.5)
+        w.add("b", 0.5)
+        w.add("a", 1.0)
+        assert w.totals["a"] == 2.5
+        assert w.total() == 3.0
+
+    def test_exception_still_records(self):
+        w = Stopwatch()
+        try:
+            with w.phase("oops"):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert w.totals["oops"] > 0
