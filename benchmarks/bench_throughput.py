@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Evaluation-throughput benchmark: ``run_batch`` vs the scalar loop.
+
+Sweeps 2000 (``REPRO_BENCH_THROUGHPUT_N``) sampled j3d7pt settings
+through fresh simulators — once per setting via :meth:`GpuSimulator.run`
+and once for the whole batch via :meth:`GpuSimulator.run_batch` — and
+reports settings/second for both paths, at the default measurement
+noise and for the noise-free ground-truth configuration the motivation
+experiments use. Results land in
+``benchmarks/results/BENCH_eval_throughput.json`` so subsequent PRs can
+track the perf trajectory.
+
+The batch path must produce *identical* results (times, tuning cost,
+every metric, cache counters); the benchmark verifies this before
+timing anything. Exits nonzero if the default-noise batch speedup falls
+below 2x.
+
+Run standalone: ``python benchmarks/bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+STENCIL = "j3d7pt"
+MIN_SPEEDUP = 2.0
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_eval_throughput.json"
+
+
+def _best_of_interleaved(fs, reps: int) -> list[float]:
+    """Best wall-clock per callable over ``reps`` interleaved rounds.
+
+    Interleaving (scalar, batch, scalar, batch, …) exposes both paths
+    to the same background-load drift, so their *ratio* stays stable
+    even on a noisy machine.
+    """
+    best = [float("inf")] * len(fs)
+    for _ in range(reps):
+        for i, f in enumerate(fs):
+            t0 = time.perf_counter()
+            f()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def _verify_identical(pattern, settings, noise: float) -> dict[str, int | None]:
+    """Assert batch == scalar on every field; return the cache counters."""
+    scalar_sim = GpuSimulator(device=A100, seed=0, noise=noise)
+    batch_sim = GpuSimulator(device=A100, seed=0, noise=noise)
+    scalar_runs = [scalar_sim.run(pattern, s) for s in settings]
+    batch_runs = batch_sim.run_batch(pattern, settings)
+    for a, b in zip(scalar_runs, batch_runs):
+        assert a.time_s == b.time_s, "measured time diverged"
+        assert a.true_time_s == b.true_time_s, "model time diverged"
+        assert a.tuning_cost_s == b.tuning_cost_s, "tuning cost diverged"
+        assert a.metrics == b.metrics, "metrics diverged"
+    assert scalar_sim.evaluations == batch_sim.evaluations
+    assert scalar_sim.cache_info() == batch_sim.cache_info()
+    return batch_sim.cache_info()
+
+
+def _sweep(pattern, settings, noise: float, reps: int) -> dict[str, object]:
+    n = len(settings)
+    scalar_s, batch_s = _best_of_interleaved(
+        [
+            lambda: [
+                GpuSimulator(device=A100, seed=0, noise=noise).run(pattern, s)
+                for s in settings
+            ],
+            lambda: GpuSimulator(device=A100, seed=0, noise=noise).run_batch(
+                pattern, settings
+            ),
+        ],
+        reps,
+    )
+    return {
+        "noise": noise,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_settings_per_sec": n / scalar_s,
+        "batch_settings_per_sec": n / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def main() -> int:
+    n = int(os.environ.get("REPRO_BENCH_THROUGHPUT_N", "2000"))
+    reps = int(os.environ.get("REPRO_BENCH_THROUGHPUT_REPS", "7"))
+
+    pattern = get_stencil(STENCIL)
+    space = build_space(pattern, A100)
+    settings = space.sample(np.random.default_rng(0), n)
+
+    # Correctness gate first — also warms per-setting caches for both
+    # timed paths equally.
+    cache = _verify_identical(pattern, settings, noise=0.01)
+
+    noisy = _sweep(pattern, settings, noise=0.01, reps=reps)
+    noise_free = _sweep(pattern, settings, noise=0.0, reps=reps)
+
+    result = {
+        "stencil": STENCIL,
+        "device": A100.name,
+        "n_settings": n,
+        "reps": reps,
+        "identical": True,
+        "default_noise": noisy,
+        "noise_free": noise_free,
+        "cache": cache,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    for label, d in (("default-noise", noisy), ("noise-free", noise_free)):
+        print(
+            f"{label}: scalar {d['scalar_settings_per_sec']:,.0f}/s  "
+            f"batch {d['batch_settings_per_sec']:,.0f}/s  "
+            f"speedup {d['speedup']:.2f}x"
+        )
+    print(f"[written to {RESULTS_PATH}]")
+
+    if noisy["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: batch speedup {noisy['speedup']:.2f}x is below the "
+            f"{MIN_SPEEDUP:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

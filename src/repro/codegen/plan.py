@@ -11,11 +11,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.codegen.registers import (
     MAX_REGISTERS_PER_THREAD,
     estimate_registers,
+    estimate_registers_array,
     estimate_shared_memory,
+    estimate_shared_memory_array,
 )
+from repro.space.parameters import PARAM_INDEX
 from repro.space.setting import Setting
 from repro.stencil.pattern import StencilPattern
 
@@ -117,6 +122,166 @@ def build_plan(pattern: StencilPattern, setting: Setting) -> KernelPlan:
         streaming=streaming,
         streaming_dim=sd,
     )
+
+
+@dataclass(frozen=True)
+class PlanArrays:
+    """Structure-of-arrays form of many kernel plans at once.
+
+    Each field is an int64/bool array with one entry per setting; the
+    quantities mirror :class:`KernelPlan` exactly (the scalar path is
+    the reference semantics — the batch engine must agree bit-for-bit).
+    """
+
+    threads_per_block: np.ndarray
+    points_per_thread: np.ndarray
+    blocks: tuple[np.ndarray, np.ndarray, np.ndarray]
+    stream_iters: np.ndarray
+    registers_per_thread: np.ndarray
+    shared_memory_per_block: np.ndarray
+    coalescing_stride: np.ndarray
+    streaming: np.ndarray  # bool
+    streaming_dim: np.ndarray  # SD value; meaningful only where streaming
+
+    def __len__(self) -> int:
+        return len(self.threads_per_block)
+
+    @property
+    def total_blocks(self) -> np.ndarray:
+        return self.blocks[0] * self.blocks[1] * self.blocks[2]
+
+    @property
+    def total_threads(self) -> np.ndarray:
+        return self.total_blocks * self.threads_per_block
+
+    def covered_points(self) -> np.ndarray:
+        return self.total_threads * self.points_per_thread * self.stream_iters
+
+    def sync_points(self, use_shared: np.ndarray) -> np.ndarray:
+        """Vectorized :attr:`KernelPlan.sync_points`."""
+        return np.where(
+            self.streaming & use_shared,
+            self.stream_iters,
+            np.where(use_shared, 1, 0),
+        )
+
+
+def build_plan_arrays(pattern: StencilPattern, values: np.ndarray) -> PlanArrays:
+    """Vectorized :func:`build_plan` over a settings matrix.
+
+    ``values`` is the ``(n, n_params)`` int64 matrix from
+    :func:`repro.space.setting.settings_matrix`. Every derived quantity
+    matches the scalar plan exactly (integer arithmetic throughout;
+    per-dimension block counts use the same float-division ceil).
+    """
+    col = PARAM_INDEX
+    n = len(values)
+    tpb = (
+        values[:, col["TBx"]] * values[:, col["TBy"]] * values[:, col["TBz"]]
+    )
+    per_thread = {}
+    ppt = np.ones(n, dtype=np.int64)
+    for s in _SUFFIX:
+        per_thread[s] = (
+            values[:, col[f"UF{s}"]]
+            * values[:, col[f"CM{s}"]]
+            * values[:, col[f"BM{s}"]]
+        )
+        ppt = ppt * per_thread[s]
+
+    streaming = values[:, col["useStreaming"]] == 2
+    sd = values[:, col["SD"]]
+    sb = values[:, col["SB"]]
+
+    blocks: list[np.ndarray] = []
+    stream_iters = np.ones(n, dtype=np.int64)
+    for dim in (1, 2, 3):
+        s = _SUFFIX[dim - 1]
+        extent = pattern.grid[dim - 1]
+        tile = values[:, col[f"TB{s}"]] * per_thread[s]
+        on_sd = streaming & (sd == dim)
+        # Non-stream block count: same float division + ceil as math.ceil.
+        regular = np.ceil(extent / tile).astype(np.int64)
+        blocks.append(np.where(on_sd, sb, regular))
+        planes = np.maximum(1, extent // np.maximum(sb, 1))
+        si = np.ceil(planes / per_thread[s]).astype(np.int64)
+        stream_iters = np.where(on_sd, si, stream_iters)
+
+    return PlanArrays(
+        threads_per_block=tpb,
+        points_per_thread=ppt,
+        blocks=(blocks[0], blocks[1], blocks[2]),
+        stream_iters=stream_iters,
+        registers_per_thread=estimate_registers_array(pattern, values),
+        shared_memory_per_block=estimate_shared_memory_array(pattern, values),
+        coalescing_stride=values[:, col["BMx"]],
+        streaming=streaming,
+        streaming_dim=sd,
+    )
+
+
+def plans_from_arrays(
+    pattern: StencilPattern,
+    settings: "list[Setting]",
+    arrays: PlanArrays,
+) -> list[KernelPlan]:
+    """Materialize per-setting :class:`KernelPlan` objects from arrays.
+
+    The objects compare equal to what :func:`build_plan` returns; the
+    batch path uses this to keep the simulator's plan cache identical
+    to the scalar path's.
+    """
+    bx, by, bz = (b.tolist() for b in arrays.blocks)
+    tpb = arrays.threads_per_block.tolist()
+    ppt = arrays.points_per_thread.tolist()
+    si = arrays.stream_iters.tolist()
+    regs = arrays.registers_per_thread.tolist()
+    smem = arrays.shared_memory_per_block.tolist()
+    stride = arrays.coalescing_stride.tolist()
+    streaming = arrays.streaming.tolist()
+    sd = arrays.streaming_dim.tolist()
+    # Frozen-dataclass __init__ pays one object.__setattr__ per field;
+    # assembling the instance dict directly yields an identical object
+    # (same fields, eq, hash) at a fraction of the cost.
+    new = KernelPlan.__new__
+    plans: list[KernelPlan] = []
+    for i, s in enumerate(settings):
+        plan = new(KernelPlan)
+        plan.__dict__.update({
+            "pattern": pattern,
+            "setting": s,
+            "threads_per_block": tpb[i],
+            "points_per_thread": ppt[i],
+            "blocks": (bx[i], by[i], bz[i]),
+            "stream_iters": si[i],
+            "registers_per_thread": regs[i],
+            "shared_memory_per_block": smem[i],
+            "coalescing_stride": stride[i],
+            "streaming": streaming[i],
+            "streaming_dim": sd[i] if streaming[i] else None,
+        })
+        plans.append(plan)
+    return plans
+
+
+def resource_ok_array(
+    pattern: StencilPattern,
+    device: "object",
+    values: np.ndarray,
+    arrays: PlanArrays | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`resource_violation` predicate (True = no violation).
+
+    Pass ``arrays`` when plan arrays were already built for these
+    settings to avoid recomputing them.
+    """
+    if arrays is None:
+        arrays = build_plan_arrays(pattern, values)
+    max_regs = min(MAX_REGISTERS_PER_THREAD, device.max_regs_per_thread)
+    ok = arrays.registers_per_thread <= max_regs
+    ok &= arrays.registers_per_thread * arrays.threads_per_block <= device.regs_per_sm
+    ok &= arrays.shared_memory_per_block <= device.max_smem_per_block
+    return ok
 
 
 def resource_violation(

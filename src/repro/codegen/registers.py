@@ -14,6 +14,9 @@ the qualitative behaviour the paper's Section II-B describes:
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.space.parameters import PARAM_INDEX
 from repro.space.setting import Setting
 from repro.stencil.pattern import StencilPattern, StencilShape
 
@@ -85,6 +88,59 @@ def estimate_registers(pattern: StencilPattern, setting: Setting) -> int:
     return _BASE_REGISTERS + accumulators + staging + extra
 
 
+def estimate_registers_array(
+    pattern: StencilPattern, values: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`estimate_registers` over a settings matrix.
+
+    ``values`` is the ``(n, n_params)`` int64 matrix from
+    :func:`repro.space.setting.settings_matrix`; returns an int64 array
+    equal element-for-element to the scalar estimate.
+    """
+    col = PARAM_INDEX
+    order = pattern.order
+    ppt = np.ones(len(values), dtype=np.int64)
+    for s in ("x", "y", "z"):
+        ppt = ppt * (
+            values[:, col[f"UF{s}"]]
+            * values[:, col[f"CM{s}"]]
+            * values[:, col[f"BM{s}"]]
+        )
+    use_shared = values[:, col["useShared"]] == 2
+    streaming = values[:, col["useStreaming"]] == 2
+    prefetch = values[:, col["usePrefetching"]] == 2
+    retiming = values[:, col["useRetiming"]] == 2
+    use_const = values[:, col["useConstant"]] == 2
+
+    accumulators = 2 * ppt * pattern.outputs + ppt
+
+    staged_inputs = min(pattern.inputs, 4)
+    width = 2 * order + 1
+    if pattern.shape is StencilShape.BOX:
+        width = width * width
+    staging = np.where(
+        use_shared, 2 * staged_inputs + order, width * staged_inputs
+    ).astype(np.int64)
+
+    extra = np.zeros(len(values), dtype=np.int64)
+    sd_ix = np.clip(values[:, col["SD"]] - 1, 0, 2)
+    uf_sd = np.choose(
+        sd_ix, [values[:, col[f"UF{s}"]] for s in ("x", "y", "z")]
+    )
+    window = 2 * order + uf_sd
+    extra += np.where(streaming, np.where(use_shared, window, 2 * window), 0)
+    extra += np.where(streaming & prefetch, order * 3 + staged_inputs, 0)
+
+    if order >= 2:
+        staging = np.where(retiming, np.maximum(4, staging * 2 // 3), staging)
+        extra += np.where(retiming, 2, 0)
+    else:
+        extra += np.where(retiming, 6, 0)
+
+    extra += np.where(use_const, 2, 0)
+    return _BASE_REGISTERS + accumulators + staging + extra
+
+
 def estimate_shared_memory(pattern: StencilPattern, setting: Setting) -> int:
     """Estimated shared-memory bytes per thread block.
 
@@ -115,3 +171,31 @@ def estimate_shared_memory(pattern: StencilPattern, setting: Setting) -> int:
         2, pattern.inputs
     )
     return tile_elems * staged_arrays * pattern.dtype_bytes
+
+
+def estimate_shared_memory_array(
+    pattern: StencilPattern, values: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`estimate_shared_memory` over a settings matrix."""
+    col = PARAM_INDEX
+    order = pattern.order
+    use_shared = values[:, col["useShared"]] == 2
+    streaming = values[:, col["useStreaming"]] == 2
+    sd = values[:, col["SD"]]
+
+    tile_elems = np.ones(len(values), dtype=np.int64)
+    for dim, s in ((1, "x"), (2, "y"), (3, "z")):
+        footprint = (
+            values[:, col[f"TB{s}"]]
+            * values[:, col[f"UF{s}"]]
+            * values[:, col[f"CM{s}"]]
+            * values[:, col[f"BM{s}"]]
+        )
+        extent = np.where(streaming & (sd == dim), 2 * order + 1, footprint + 2 * order)
+        tile_elems = tile_elems * extent
+
+    staged_arrays = 1 if pattern.shape is not StencilShape.MULTI else min(
+        2, pattern.inputs
+    )
+    smem = tile_elems * staged_arrays * pattern.dtype_bytes
+    return np.where(use_shared, smem, 0).astype(np.int64)

@@ -12,6 +12,7 @@ records the best-so-far trace.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -119,6 +120,30 @@ class Evaluator:
                 )
             )
         return run.time_s
+
+    def evaluate_many(self, settings: Sequence[Setting]) -> list[float | None]:
+        """Evaluate a batch of settings; one result slot per setting.
+
+        The noise-free model runs vectorized for all settings that are
+        neither cached here nor in the simulator, then each setting is
+        replayed through :meth:`evaluate` in order — so budget
+        accounting, caching, noise seeding and the best-so-far trace are
+        exactly what sequential :meth:`evaluate` calls would produce.
+        """
+        settings = list(settings)
+        true_run_batch = getattr(self.simulator, "_true_run_batch", None)
+        if true_run_batch is not None:  # duck-typed simulators: scalar only
+            todo = [
+                s
+                for s in settings
+                if s not in self._cache
+                and (self.pattern.name, s) not in self.simulator._true_cache
+            ]
+            if todo and not self.exhausted:
+                # Warm the simulator's cache; invalid settings are skipped
+                # here and rediscovered (for charging) by the scalar replay.
+                true_run_batch(self.pattern, todo, on_invalid="skip")
+        return [self.evaluate(s) for s in settings]
 
     # -- result assembly ------------------------------------------------------
 

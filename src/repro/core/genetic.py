@@ -135,6 +135,36 @@ class EvolutionarySearch:
         else:
             ind.fitness, ind.time_s = 1.0 / t, t
 
+    def _evaluate_many(self, inds: list[Individual]) -> None:
+        """Batched :meth:`_evaluate` over a population — same results.
+
+        Validity screening runs vectorized, the simulator model runs
+        vectorized for the uncached valid settings, and the evaluator
+        then replays each setting in order — so budget accounting and
+        measurement noise match sequential :meth:`_evaluate` calls
+        exactly.
+        """
+        decoded = [self.decode(ind.genes) for ind in inds]
+        batch_valid = getattr(self.space, "_batch_valid", None)
+        if batch_valid is not None:
+            valid = batch_valid(decoded).tolist()
+        else:  # duck-typed spaces (e.g. temporal extension): scalar check
+            valid = [self.space.is_valid(s) for s in decoded]
+        times = iter(
+            self.evaluator.evaluate_many(
+                [s for s, ok in zip(decoded, valid) if ok]
+            )
+        )
+        for ind, ok in zip(inds, valid):
+            if not ok:
+                ind.fitness, ind.time_s = 0.0, float("inf")
+                continue
+            t = next(times)
+            if t is None:
+                ind.fitness, ind.time_s = 0.0, float("inf")
+            else:
+                ind.fitness, ind.time_s = 1.0 / t, t
+
     def _genes_of(self, setting: Setting) -> tuple[int, ...]:
         """Project a sampled setting onto gene space (must be indexable)."""
         genes = []
@@ -223,12 +253,14 @@ class EvolutionarySearch:
     def _exhaust_group(self, context: Individual, pos: int) -> Individual:
         """Degenerate to exhaustive search over a small group."""
         gi = self.group_indexes[pos]
-        best = context
+        cands: list[Individual] = []
         for idx in range(len(gi)):
             genes = list(context.genes)
             genes[pos] = idx
-            cand = Individual(genes=tuple(genes))
-            self._evaluate(cand)
+            cands.append(Individual(genes=tuple(genes)))
+        self._evaluate_many(cands)
+        best = context
+        for cand in cands:
             if cand.time_s < best.time_s:
                 best = cand
         self.evaluator.end_iteration()
@@ -242,6 +274,9 @@ class EvolutionarySearch:
         gi = self.group_indexes[pos]
         init_rng = self._rngs[-1]
 
+        # Construct every sub-population first, then evaluate the whole
+        # generation in one batch (initialization consumes no randomness
+        # from the evaluation, so the RNG streams are unchanged).
         pops: list[list[Individual]] = []
         for s in range(cfg.subpopulations):
             pop = []
@@ -253,9 +288,8 @@ class EvolutionarySearch:
                 genes = list(context.genes)
                 genes[pos] = gene
                 pop.append(Individual(genes=tuple(genes)))
-            for ind in pop:
-                self._evaluate(ind)
             pops.append(pop)
+        self._evaluate_many([ind for pop in pops for ind in pop])
         self.evaluator.end_iteration()
 
         for gen in range(cfg.max_group_generations):
@@ -265,11 +299,16 @@ class EvolutionarySearch:
             if self._approximation_reached(everyone):
                 break
             self.generations += 1
+            # Breed every sub-population from the previous generation's
+            # fitnesses, then evaluate the offspring in one batch (each
+            # island has its own RNG, so breeding order is immaterial).
             for s in range(cfg.subpopulations):
                 pops[s] = self._breed(pops[s], pos, self._rngs[s])
-                for ind in pops[s]:
-                    if ind.fitness == 0.0:  # elites keep their evaluation
-                        self._evaluate(ind)
+            self._evaluate_many(
+                [  # elites keep their evaluation
+                    ind for pop in pops for ind in pop if ind.fitness == 0.0
+                ]
+            )
             if self.generations % cfg.migration_interval == 0:
                 bests = [max(pop, key=lambda x: x.fitness) for pop in pops]
                 incoming = self._ring.exchange(bests)
@@ -311,10 +350,9 @@ class EvolutionarySearch:
                 ]
             )
         context = Individual(genes=self._genes_of(seeds[0]))
-        self._evaluate(context)
-        for s in seeds[1:]:
-            cand = Individual(genes=self._genes_of(s))
-            self._evaluate(cand)
+        cands = [Individual(genes=self._genes_of(s)) for s in seeds[1:]]
+        self._evaluate_many([context, *cands])
+        for cand in cands:
             if cand.time_s < context.time_s:
                 context = cand
         self.evaluator.end_iteration()

@@ -38,6 +38,7 @@ from repro.ml.regression import (
     PMNFModel,
     fit_pmnf,
 )
+from repro.ml.stats import pearson_correlation
 from repro.profiler.dataset import PerformanceDataset
 from repro.space.setting import Setting
 from repro.space.space import SearchSpace
@@ -139,8 +140,6 @@ def sample_search_space(
     # Predicted metrics for the whole pool, oriented so larger = slower
     # and weighted by how strongly each metric tracks execution time in
     # the dataset (a weak proxy should not veto a strong one).
-    from repro.ml.stats import pearson_correlation
-
     times = dataset.times()
     badness = np.zeros(len(pool))
     passes = np.ones(len(pool), dtype=bool)

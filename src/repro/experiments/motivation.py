@@ -20,7 +20,6 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import InvalidSettingError
 from repro.gpusim.simulator import GpuSimulator
 from repro.space.setting import Setting
 from repro.space.space import SearchSpace
@@ -40,7 +39,7 @@ def _sampled_times(
 ) -> tuple[list[Setting], np.ndarray]:
     rng = rng_from_seed(seed)
     settings = space.sample(rng, n_samples)
-    times = np.array([simulator.true_time(pattern, s) for s in settings])
+    times = simulator.true_time_batch(pattern, settings)
     return settings, times
 
 
@@ -96,22 +95,34 @@ def parameter_pair_distribution(
     names = list(parameters) if parameters is not None else list(space.names)
 
     percentages: list[float] = []
+    base = best.to_dict()
     for a in names:
         for b in names:
             if a == b:
                 continue
             dom_a = space.param(a).values[:probe_limit]
+            dom_b = space.param(b).values
+            # One batch per pair: validity-screen the whole (a, b) value
+            # grid, evaluate the survivors vectorized (NaN marks the
+            # candidates the simulator itself rejects), then sweep the
+            # precomputed times. Matches the scalar double loop exactly:
+            # NaN never wins a `t < best_t` comparison.
+            cands = [
+                Setting({**base, a: va, b: vb}) for va in dom_a for vb in dom_b
+            ]
+            ok = space._batch_valid(cands).tolist()
+            valid = [c for c, good in zip(cands, ok) if good]
+            t_valid = iter(
+                simulator.true_time_batch(pattern, valid, invalid="nan").tolist()
+            )
+            times_grid = iter(
+                [next(t_valid) if good else math.nan for good in ok]
+            )
             mismatches, sweeps = 0, 0
             for va in dom_a:
                 best_t, best_vb = math.inf, None
-                for vb in space.param(b).values:
-                    cand = Setting({**best.to_dict(), a: va, b: vb})
-                    if not space.is_valid(cand):
-                        continue
-                    try:
-                        t = simulator.true_time(pattern, cand)
-                    except InvalidSettingError:
-                        continue
+                for vb in dom_b:
+                    t = next(times_grid)
                     if t < best_t:
                         best_t, best_vb = t, vb
                 if best_vb is None:

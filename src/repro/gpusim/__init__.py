@@ -13,6 +13,7 @@ from repro.gpusim.device import DeviceSpec, A100, V100, get_device, DEVICES
 from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.memory import MemoryTraffic, compute_traffic
 from repro.gpusim.timing import TimingBreakdown, compute_timing
+from repro.gpusim.batch import BatchResult, evaluate_settings, valid_mask
 from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 
 __all__ = [
@@ -27,6 +28,9 @@ __all__ = [
     "compute_traffic",
     "TimingBreakdown",
     "compute_timing",
+    "BatchResult",
+    "evaluate_settings",
+    "valid_mask",
     "GpuSimulator",
     "MeasuredRun",
 ]

@@ -1,0 +1,484 @@
+"""Vectorized batch evaluation engine.
+
+Lowers many parameter settings into structure-of-arrays form (one int64
+matrix, columns in :data:`~repro.space.parameters.PARAMETER_ORDER`) and
+runs the whole plan → occupancy → traffic → timing → roughness →
+metrics pipeline as NumPy array operations.
+
+The scalar pipeline (:mod:`repro.gpusim.occupancy`,
+:mod:`repro.gpusim.memory`, :mod:`repro.gpusim.timing`,
+:mod:`repro.gpusim.metrics`) is the *reference semantics*: every stage
+here transcribes the scalar arithmetic in the same order and
+associativity so results are bit-identical, not merely close. Integer
+quantities stay int64 (all values are far below 2^53), float
+expressions keep the scalar left-to-right evaluation order, and
+``int.bit_length()`` is vectorized via ``np.frexp`` (exact for the
+positive integers that reach it). Branches become masked selects whose
+taken-side expression is the untouched scalar expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.codegen.plan import (
+    KernelPlan,
+    PlanArrays,
+    build_plan_arrays,
+    plans_from_arrays,
+    resource_ok_array,
+)
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import _CONST_CACHE_ENTRIES, _SECTOR_DOUBLES
+from repro.gpusim.metrics import METRIC_NAMES
+from repro.gpusim.noise import roughness_factors
+from repro.gpusim.occupancy import _REG_ALLOC_UNIT, _SMEM_ALLOC_UNIT
+from repro.space.constraints import explicit_ok_array
+from repro.space.parameters import PARAM_INDEX
+from repro.space.setting import Setting, settings_matrix
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+#: Occupancy limiter names in the order the scalar calculator consults
+#: them — ``argmin`` over limits stacked in this order reproduces the
+#: scalar ``min(limits, key=...)`` first-minimum tie-breaking.
+_LIMIT_NAMES = ("threads", "blocks", "registers", "shared_memory")
+
+
+def _round_up(values: np.ndarray, unit: int) -> np.ndarray:
+    return ((values + unit - 1) // unit) * unit
+
+
+def _bit_length(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length()`` for positive int64 values."""
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)
+
+
+def _taps_per_point(pattern: StencilPattern):
+    """Scalar twin of :func:`repro.gpusim.memory._total_taps_per_point`.
+
+    Plan-independent, so it is computed once per batch. Keeps the scalar
+    function's exact return types (int for MULTI, float otherwise).
+    """
+    if pattern.shape is StencilShape.MULTI:
+        star = 1 + 6 * pattern.order
+        axis = 2 * pattern.order
+        return star + (pattern.inputs - 1) * axis
+    return float(pattern.taps_per_point)
+
+
+# ---------------------------------------------------------------------------
+# Occupancy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchOccupancy:
+    """Array form of :class:`repro.gpusim.occupancy.Occupancy`."""
+
+    blocks_per_sm: np.ndarray
+    active_warps_per_sm: np.ndarray
+    occupancy: np.ndarray
+    #: Index into :data:`_LIMIT_NAMES` of the binding resource.
+    limiter_index: np.ndarray
+
+    def limiter(self, i: int) -> str:
+        return _LIMIT_NAMES[int(self.limiter_index[i])]
+
+
+def batch_occupancy(arrays: PlanArrays, device: DeviceSpec) -> BatchOccupancy:
+    """Vectorized :func:`repro.gpusim.occupancy.compute_occupancy`."""
+    tpb = arrays.threads_per_block
+    warps_per_block = (tpb + device.warp_size - 1) // device.warp_size
+
+    lim_threads = device.max_threads_per_sm // np.maximum(1, tpb)
+    lim_blocks = np.full(len(arrays), device.max_blocks_per_sm, dtype=np.int64)
+
+    regs_per_block = (
+        _round_up(arrays.registers_per_thread * device.warp_size, _REG_ALLOC_UNIT)
+        * warps_per_block
+    )
+    lim_regs = np.where(
+        regs_per_block > 0,
+        device.regs_per_sm // np.maximum(regs_per_block, 1),
+        lim_blocks,
+    )
+
+    smem = arrays.shared_memory_per_block
+    smem_rounded = _round_up(smem, _SMEM_ALLOC_UNIT)
+    lim_smem = np.where(
+        smem > 0,
+        device.smem_per_sm // np.maximum(smem_rounded, 1),
+        lim_blocks,
+    )
+
+    limits = np.stack([lim_threads, lim_blocks, lim_regs, lim_smem])
+    limiter_index = np.argmin(limits, axis=0)
+    blocks = np.maximum(0, limits.min(axis=0))
+    warps = np.minimum(blocks * warps_per_block, device.max_warps_per_sm)
+    return BatchOccupancy(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=warps,
+        occupancy=warps / device.max_warps_per_sm,
+        limiter_index=limiter_index,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory traffic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchTraffic:
+    """Array form of :class:`repro.gpusim.memory.MemoryTraffic`."""
+
+    dram_read_bytes: np.ndarray
+    dram_write_bytes: np.ndarray
+    l1_hit_rate: np.ndarray
+    l2_hit_rate: np.ndarray
+    gld_efficiency: np.ndarray
+    gst_efficiency: np.ndarray
+    shared_bytes: np.ndarray
+    bank_conflict_factor: np.ndarray
+
+
+def batch_traffic(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    values: np.ndarray,
+    arrays: PlanArrays,
+) -> BatchTraffic:
+    """Vectorized :func:`repro.gpusim.memory.compute_traffic`."""
+    col = PARAM_INDEX
+    p = pattern
+    points = arrays.covered_points().astype(np.float64)
+    elem = float(p.dtype_bytes)
+    use_shared = values[:, col["useShared"]] == 2
+    streaming = arrays.streaming
+    sd = arrays.streaming_dim
+    total_taps = _taps_per_point(p)
+
+    # Coalescing efficiency (both branches are the scalar expressions;
+    # BMx/TBx >= 1 so neither division can blow up on the untaken side).
+    tbx = values[:, col["TBx"]]
+    stride = arrays.coalescing_stride
+    eff = np.where(stride > 1, 1.0 / np.minimum(stride, _SECTOR_DOUBLES), 1.0)
+    eff = np.where(tbx < _SECTOR_DOUBLES, eff * (tbx / _SECTOR_DOUBLES), eff)
+    gld_eff = np.clip(eff, 1.0 / _SECTOR_DOUBLES, 1.0)
+    gst_eff = gld_eff
+
+    # Tile-with-halo overhead (skipping the streaming dimension).
+    r = p.order
+    halo = np.ones(len(values), dtype=np.float64)
+    for dim, s in ((1, "x"), (2, "y"), (3, "z")):
+        tile = (
+            values[:, col[f"TB{s}"]]
+            * values[:, col[f"UF{s}"]]
+            * values[:, col[f"CM{s}"]]
+            * values[:, col[f"BM{s}"]]
+        )
+        term = (tile + 2 * r) / tile
+        halo = np.where(streaming & (sd == dim), halo, halo * term)
+
+    # --- L1 behaviour: shared-memory branch -------------------------------
+    staged = 1 if p.shape is not StencilShape.MULTI else min(2, p.inputs)
+    staged_loads_sh = points * halo * staged
+    cache_taps = total_taps * max(0, p.inputs - staged) / max(1, p.inputs)
+    cache_loads_sh = points * cache_taps
+    shared_bytes_sh = points * total_taps * elem
+
+    # --- L1 behaviour: cache-path branch ----------------------------------
+    cache_loads_ns = points * total_taps
+    l1_base = 0.80 - 0.06 * (p.order - 1)
+    if p.shape is StencilShape.BOX:
+        l1_base -= 0.10
+    l1_ns = np.where(streaming, l1_base + 0.06, l1_base)
+    l1_ns = l1_ns + 0.02 * np.minimum(5, np.maximum(0, _bit_length(tbx) - 1))
+    l1_ns = np.clip(l1_ns, 0.20, 0.92)
+
+    l1_hit = np.where(use_shared, 0.35, l1_ns)
+    staged_loads = np.where(use_shared, staged_loads_sh, 0.0)
+    cache_loads = np.where(use_shared, cache_loads_sh, cache_loads_ns)
+    shared_bytes = np.where(use_shared, shared_bytes_sh, 0.0)
+
+    l1_miss_loads = staged_loads + cache_loads * (1.0 - l1_hit)
+
+    # --- L2 behaviour (pattern/device scalars) ----------------------------
+    plane_bytes = p.grid[0] * p.grid[1] * elem * p.io_arrays
+    window = plane_bytes * (2 * p.order + 1)
+    fit = max(0.0, min(1.0, device.l2_bytes / max(window, 1.0)))
+    l2_base = 0.25 + 0.55 * fit
+    l2_hit = np.clip(np.where(streaming, l2_base + 0.08, l2_base + 0.0), 0.05, 0.90)
+
+    dram_reads = l1_miss_loads * (1.0 - l2_hit) * elem
+    compulsory_reads = float(p.points()) * p.inputs * elem
+    dram_reads = np.maximum(dram_reads, compulsory_reads)
+
+    use_const = values[:, col["useConstant"]] == 2
+    const_factor = 0.0 if p.coefficients <= _CONST_CACHE_ENTRIES else 0.06
+    coeff_factor = np.where(use_const, const_factor, 0.02)
+    dram_reads = dram_reads * (1.0 + coeff_factor)
+    dram_reads = dram_reads / gld_eff
+    dram_writes = points * p.outputs * elem / gst_eff
+
+    bank = np.where(
+        use_shared & (stride > 1),
+        np.minimum(stride, 4).astype(np.float64),
+        1.0,
+    )
+
+    return BatchTraffic(
+        dram_read_bytes=dram_reads,
+        dram_write_bytes=dram_writes,
+        l1_hit_rate=l1_hit,
+        l2_hit_rate=l2_hit,
+        gld_efficiency=gld_eff,
+        gst_efficiency=gst_eff,
+        shared_bytes=shared_bytes,
+        bank_conflict_factor=bank,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Array form of :class:`repro.gpusim.timing.TimingBreakdown`."""
+
+    compute_s: np.ndarray
+    memory_s: np.ndarray
+    sync_s: np.ndarray
+    launch_s: float
+    total_s: np.ndarray
+    compute_efficiency: np.ndarray
+    bandwidth_utilization: np.ndarray
+    waves: np.ndarray
+    tail_utilization: np.ndarray
+    warp_fill: np.ndarray
+    latency_hiding: np.ndarray
+
+
+def batch_timing(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    values: np.ndarray,
+    arrays: PlanArrays,
+    traffic: BatchTraffic,
+    occ: BatchOccupancy,
+) -> BatchTiming:
+    """Vectorized :func:`repro.gpusim.timing.compute_timing`.
+
+    Raises the scalar path's :class:`ValueError` for the first setting
+    (by batch index) whose plan has zero resident blocks — before any
+    timing is computed, keeping the batch atomic. Unreachable for
+    settings that pass the resource constraints.
+    """
+    unlaunchable = occ.blocks_per_sm < 1
+    if unlaunchable.any():
+        i = int(np.argmax(unlaunchable))
+        raise ValueError(
+            f"plan cannot launch: zero resident blocks ({occ.limiter(i)}-limited)"
+        )
+
+    col = PARAM_INDEX
+    p = pattern
+
+    # --- parallelism factors ----------------------------------------------
+    total_blocks = arrays.total_blocks
+    blocks_per_wave = occ.blocks_per_sm * device.sm_count
+    waves = np.maximum(1, np.ceil(total_blocks / blocks_per_wave).astype(np.int64))
+    tail = total_blocks / (waves * blocks_per_wave)
+    tpb = arrays.threads_per_block
+    warp_fill = tpb / (
+        np.ceil(tpb / device.warp_size).astype(np.int64) * device.warp_size
+    )
+    latency_hiding = np.clip(
+        occ.active_warps_per_sm / device.latency_hiding_warps, 0.15, 1.0
+    )
+    covered = arrays.covered_points()
+    cover = p.points() / np.maximum(1, covered)
+
+    # --- compute term -----------------------------------------------------
+    unroll = (
+        values[:, col["UFx"]] * values[:, col["UFy"]] * values[:, col["UFz"]]
+    )
+    ilp = 1.0 + 0.04 * np.minimum(4, np.maximum(0, _bit_length(unroll) - 1))
+    retiming = values[:, col["useRetiming"]] == 2
+    ilp = np.where(retiming, ilp * (1.08 if p.order >= 2 else 0.96), ilp)
+    compute_eff = np.clip(
+        latency_hiding * tail * warp_fill * ilp * np.maximum(cover, 0.05),
+        0.02,
+        1.0,
+    )
+    flops = covered.astype(np.float64) * p.flops
+    compute_s = flops / (device.peak_fp64_flops * compute_eff)
+
+    # --- memory term --------------------------------------------------------
+    bw_util = np.clip(occ.occupancy / 0.25, 0.30, 1.0) * np.clip(tail, 0.40, 1.0)
+    dram_bytes = traffic.dram_read_bytes + traffic.dram_write_bytes
+    memory_s = dram_bytes / (device.dram_bandwidth_bytes * bw_util)
+    bank = traffic.bank_conflict_factor
+    memory_s = np.where(bank > 1.0, memory_s * (1.0 + 0.08 * (bank - 1.0)), memory_s)
+
+    # --- synchronization ------------------------------------------------------
+    use_shared = values[:, col["useShared"]] == 2
+    sync_s = arrays.sync_points(use_shared) * device.sync_overhead_s * waves
+    prefetch = (values[:, col["usePrefetching"]] == 2) & arrays.streaming
+    sync_s = np.where(prefetch, sync_s * 0.30, sync_s)
+    memory_s = np.where(prefetch, memory_s * 0.95, memory_s)
+
+    # --- combine ------------------------------------------------------------
+    overlap = 0.20
+    total = (
+        np.maximum(compute_s, memory_s)
+        + overlap * np.minimum(compute_s, memory_s)
+        + sync_s
+        + device.launch_overhead_s
+    )
+    return BatchTiming(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        sync_s=sync_s,
+        launch_s=device.launch_overhead_s,
+        total_s=total,
+        compute_efficiency=compute_eff,
+        bandwidth_utilization=bw_util,
+        waves=waves,
+        tail_utilization=tail,
+        warp_fill=warp_fill,
+        latency_hiding=latency_hiding,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def batch_metrics(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    arrays: PlanArrays,
+    occ: BatchOccupancy,
+    traffic: BatchTraffic,
+    timing: BatchTiming,
+) -> list[dict[str, float]]:
+    """Vectorized :func:`repro.gpusim.metrics.derive_metrics`.
+
+    Returns one plain-float dict per setting (``elapsed_time`` is added
+    by the simulator, as in the scalar path).
+    """
+    n = len(arrays)
+    total = np.maximum(timing.total_s, 1e-12)
+    mem_fraction = timing.memory_s / np.maximum(
+        timing.compute_s + timing.memory_s, 1e-12
+    )
+
+    dram_read_tp = traffic.dram_read_bytes / total / 1e9
+    dram_write_tp = traffic.dram_write_bytes / total / 1e9
+
+    flops = arrays.covered_points().astype(np.float64) * pattern.flops
+    dp_eff = np.minimum(1.0, flops / total / device.peak_fp64_flops)
+
+    ipc = 4.0 * timing.compute_efficiency
+    eligible = occ.active_warps_per_sm * timing.compute_efficiency / 4.0
+
+    columns = {
+        "achieved_occupancy": occ.occupancy,
+        "sm_efficiency": timing.tail_utilization * timing.latency_hiding,
+        "warp_execution_efficiency": timing.warp_fill,
+        "ipc": ipc,
+        "flop_dp_efficiency": dp_eff,
+        "l1_hit_rate": traffic.l1_hit_rate,
+        "l2_hit_rate": traffic.l2_hit_rate,
+        "tex_hit_rate": np.minimum(0.98, traffic.l1_hit_rate * 1.08),
+        "gld_efficiency": traffic.gld_efficiency,
+        "gst_efficiency": traffic.gst_efficiency,
+        "dram_read_throughput": dram_read_tp,
+        "dram_write_throughput": dram_write_tp,
+        "dram_utilization": np.minimum(
+            1.0, (dram_read_tp + dram_write_tp) / device.dram_bandwidth_gbs
+        ),
+        "shared_load_transactions_per_request": traffic.bank_conflict_factor,
+        "stall_memory_dependency": mem_fraction
+        * (1.0 - timing.latency_hiding * 0.5),
+        "stall_sync": timing.sync_s / total,
+        "registers_per_thread": arrays.registers_per_thread.astype(np.float64),
+        "static_shared_memory": arrays.shared_memory_per_block.astype(np.float64),
+        "eligible_warps_per_cycle": eligible,
+    }
+    lists = [
+        np.broadcast_to(np.asarray(columns[name], dtype=np.float64), (n,)).tolist()
+        for name in METRIC_NAMES
+    ]
+    return [dict(zip(METRIC_NAMES, row)) for row in zip(*lists)]
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Noise-free batch evaluation of many settings on one pattern."""
+
+    true_times: np.ndarray
+    metrics: list[dict[str, float]]
+    plans: list[KernelPlan]
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+
+def valid_mask(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    values: np.ndarray,
+    arrays: PlanArrays | None = None,
+) -> np.ndarray:
+    """Vectorized validity predicate (explicit AND resource constraints).
+
+    Row-for-row equivalent to ``GpuSimulator.violation(...) is None``.
+    """
+    if arrays is None:
+        arrays = build_plan_arrays(pattern, values)
+    return explicit_ok_array(pattern, values) & resource_ok_array(
+        pattern, device, values, arrays
+    )
+
+
+def evaluate_settings(
+    pattern: StencilPattern,
+    device: DeviceSpec,
+    settings: Sequence[Setting],
+    *,
+    values: np.ndarray | None = None,
+    arrays: PlanArrays | None = None,
+) -> BatchResult:
+    """Run the full noise-free model pipeline over many settings at once.
+
+    Settings are assumed valid (see :func:`valid_mask`); results are
+    bit-identical to running the scalar pipeline per setting. Callers
+    that already lowered the settings can pass ``values`` (and
+    ``arrays``) to skip recomputing them.
+    """
+    settings = list(settings)
+    if values is None:
+        values = settings_matrix(settings)
+    if arrays is None:
+        arrays = build_plan_arrays(pattern, values)
+    occ = batch_occupancy(arrays, device)
+    traffic = batch_traffic(pattern, device, values, arrays)
+    timing = batch_timing(pattern, device, values, arrays, traffic, occ)
+    rough = roughness_factors(device.name, pattern.name, settings, values)
+    true_times = timing.total_s * rough
+    metrics = batch_metrics(pattern, device, arrays, occ, traffic, timing)
+    plans = plans_from_arrays(pattern, settings, arrays)
+    return BatchResult(true_times=true_times, metrics=metrics, plans=plans)

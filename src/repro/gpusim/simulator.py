@@ -12,12 +12,16 @@ iso-time comparisons (Figs 9-11).
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.codegen.plan import KernelPlan, build_plan, resource_violation
 from repro.errors import InvalidSettingError
+from repro.gpusim import batch as _batch
 from repro.gpusim.device import A100, DeviceSpec
 from repro.gpusim.memory import compute_traffic
 from repro.gpusim.metrics import derive_metrics
@@ -25,15 +29,20 @@ from repro.gpusim.noise import roughness_factor
 from repro.gpusim.occupancy import compute_occupancy
 from repro.gpusim.timing import compute_timing
 from repro.space.constraints import explicit_violation
-from repro.space.setting import Setting
+from repro.space.setting import Setting, settings_matrix
 from repro.stencil.pattern import StencilPattern
-from repro.utils.hashing import stable_hash
+from repro.utils.hashing import hash_prefix, stable_hash, stable_hash_with_prefix
 
 #: NVCC compilation cost charged per distinct kernel variant (seconds).
 DEFAULT_COMPILE_COST_S = 0.25
 
 #: Timed repetitions per evaluation (median-of-N measurement).
 DEFAULT_TRIALS = 3
+
+#: Default bound on the noise-free evaluation cache (entries). Large
+#: enough to hold any single tuning campaign; small enough that
+#: paper-scale multi-stencil sweeps cannot grow memory without bound.
+DEFAULT_TRUE_CACHE_CAPACITY = 50_000
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,10 @@ class GpuSimulator:
         hardware.
     compile_cost_s / trials:
         Parameters of the tuning-cost accounting.
+    true_cache_capacity:
+        Bound on the noise-free evaluation cache (LRU eviction); ``None``
+        disables the bound. Hits/misses are counted in ``cache_hits`` /
+        ``cache_misses`` (see :meth:`cache_info`).
     """
 
     device: DeviceSpec = field(default_factory=lambda: A100)
@@ -83,9 +96,12 @@ class GpuSimulator:
     compile_cost_s: float = DEFAULT_COMPILE_COST_S
     trials: int = DEFAULT_TRIALS
     evaluations: int = 0
-    _true_cache: dict[tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]] = field(
-        default_factory=dict, repr=False
-    )
+    true_cache_capacity: int | None = DEFAULT_TRUE_CACHE_CAPACITY
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _true_cache: OrderedDict[
+        tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]
+    ] = field(default_factory=OrderedDict, repr=False)
     _compiled: set[tuple[str, Setting]] = field(default_factory=set, repr=False)
 
     # -- validity ------------------------------------------------------------
@@ -97,13 +113,47 @@ class GpuSimulator:
             return reason
         return resource_violation(pattern, setting, self.device)
 
+    # -- evaluation cache ----------------------------------------------------
+
+    def _cache_get(
+        self, key: tuple[str, Setting]
+    ) -> tuple[float, dict[str, float], KernelPlan] | None:
+        cached = self._true_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._true_cache.move_to_end(key)
+        else:
+            self.cache_misses += 1
+        return cached
+
+    def _cache_put(
+        self,
+        key: tuple[str, Setting],
+        value: tuple[float, dict[str, float], KernelPlan],
+    ) -> None:
+        self._true_cache[key] = value
+        self._true_cache.move_to_end(key)
+        cap = self.true_cache_capacity
+        if cap is not None:
+            while len(self._true_cache) > cap:
+                self._true_cache.popitem(last=False)
+
+    def cache_info(self) -> dict[str, int | None]:
+        """Hit/miss counters and occupancy of the noise-free cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._true_cache),
+            "capacity": self.true_cache_capacity,
+        }
+
     # -- core model ---------------------------------------------------------
 
     def _true_run(
         self, pattern: StencilPattern, setting: Setting
     ) -> tuple[float, dict[str, float], KernelPlan]:
         key = (pattern.name, setting)
-        cached = self._true_cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         reason = self.violation(pattern, setting)
@@ -117,8 +167,100 @@ class GpuSimulator:
         true_time = timing.total_s * rough
         metrics = derive_metrics(plan, self.device, occ, traffic, timing)
         metrics["elapsed_time"] = true_time
-        self._true_cache[key] = (true_time, metrics, plan)
-        return self._true_cache[key]
+        value = (true_time, metrics, plan)
+        self._cache_put(key, value)
+        return value
+
+    def _true_run_batch(
+        self,
+        pattern: StencilPattern,
+        settings: Sequence[Setting],
+        *,
+        on_invalid: str = "raise",
+    ) -> list[tuple[float, dict[str, float], KernelPlan] | None]:
+        """Vectorized :meth:`_true_run` over many settings.
+
+        The uncached settings are validated and evaluated through
+        :mod:`repro.gpusim.batch` in one shot; results are then committed
+        to the cache in setting order, so hit/miss counters and LRU
+        eviction behave exactly as a sequential scalar loop would.
+
+        ``on_invalid`` selects what happens when a setting violates a
+        constraint: ``"raise"`` raises :class:`InvalidSettingError` for
+        the first invalid setting (by position) *before any state is
+        mutated* — unlike a scalar loop, no earlier settings have been
+        evaluated or charged yet; ``"skip"`` returns ``None`` in that
+        setting's slot instead.
+        """
+        if on_invalid not in ("raise", "skip"):
+            raise ValueError(f"on_invalid must be 'raise' or 'skip': {on_invalid!r}")
+        settings = list(settings)
+        keys = [(pattern.name, s) for s in settings]
+
+        # Peek (no counter/LRU mutation yet — keeps "raise" atomic).
+        need: list[int] = []
+        seen: set[tuple[str, Setting]] = set()
+        for i, key in enumerate(keys):
+            if key not in self._true_cache and key not in seen:
+                seen.add(key)
+                need.append(i)
+
+        computed: dict[tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]] = {}
+        invalid: set[tuple[str, Setting]] = set()
+        if need:
+            todo = [settings[i] for i in need]
+            values = settings_matrix(todo)
+            arrays = _batch.build_plan_arrays(pattern, values)
+            ok = _batch.valid_mask(pattern, self.device, values, arrays)
+            if not ok.all():
+                if on_invalid == "raise":
+                    bad = settings[need[int(np.argmax(~ok))]]
+                    reason = self.violation(pattern, bad)
+                    raise InvalidSettingError(f"{pattern.name}: {reason}")
+                invalid = {keys[need[j]] for j in np.flatnonzero(~ok)}
+                todo = [s for s, good in zip(todo, ok) if good]
+                values, arrays = values[ok], None
+            if todo:
+                result = _batch.evaluate_settings(
+                    pattern, self.device, todo, values=values, arrays=arrays
+                )
+                name = pattern.name
+                for s, metrics, true_time, plan in zip(
+                    todo, result.metrics, result.true_times.tolist(), result.plans
+                ):
+                    metrics["elapsed_time"] = true_time
+                    computed[(name, s)] = (true_time, metrics, plan)
+
+        # Commit in setting order: counters, LRU order and evictions all
+        # match what the equivalent scalar loop would have produced
+        # (the cache helpers are inlined here — this loop dominates the
+        # batch path's Python overhead).
+        out: list[tuple[float, dict[str, float], KernelPlan] | None] = []
+        append = out.append
+        cache = self._true_cache
+        get, move = cache.get, cache.move_to_end
+        cap = self.true_cache_capacity
+        hits = misses = 0
+        for key in keys:
+            if key in invalid:
+                misses += 1  # a scalar attempt would have missed
+                append(None)
+                continue
+            cached = get(key)
+            if cached is not None:
+                hits += 1
+                move(key)
+            else:
+                misses += 1
+                cached = computed[key]
+                cache[key] = cached  # fresh key lands last: already MRU
+                if cap is not None:
+                    while len(cache) > cap:
+                        cache.popitem(last=False)
+            append(cached)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        return out
 
     def run(self, pattern: StencilPattern, setting: Setting) -> MeasuredRun:
         """Evaluate one setting: compile (first time), run, profile.
@@ -129,7 +271,36 @@ class GpuSimulator:
         search codes".
         """
         true_time, metrics, plan = self._true_run(pattern, setting)
+        return self._measured_run(pattern, setting, true_time, metrics)
 
+    def run_batch(
+        self, pattern: StencilPattern, settings: Sequence[Setting]
+    ) -> list[MeasuredRun]:
+        """Evaluate many settings at once — bit-identical to a loop of
+        :meth:`run` calls, at array speed.
+
+        The noise-free model runs vectorized over the whole batch; the
+        per-evaluation bookkeeping (compile cost, measurement noise
+        seeded by the running evaluation index, cache updates) then
+        replays in setting order, so every returned
+        :class:`MeasuredRun` equals what the scalar path would produce.
+        The one intentional difference: when a setting is invalid, the
+        :class:`InvalidSettingError` is raised *before* any setting in
+        the batch is evaluated or charged (a scalar loop would have
+        processed the earlier ones first).
+        """
+        settings = list(settings)
+        results = self._true_run_batch(pattern, settings, on_invalid="raise")
+        return self._measured_run_batch(pattern, settings, results)
+
+    def _measured_run(
+        self,
+        pattern: StencilPattern,
+        setting: Setting,
+        true_time: float,
+        metrics: dict[str, float],
+    ) -> MeasuredRun:
+        """Per-evaluation bookkeeping: tuning cost, noise, eval counter."""
         key = (pattern.name, setting)
         cost = true_time * self.trials
         if key not in self._compiled:
@@ -158,9 +329,99 @@ class GpuSimulator:
             metrics=dict(metrics),
         )
 
+    def _measured_run_batch(
+        self,
+        pattern: StencilPattern,
+        settings: list[Setting],
+        results: list[tuple[float, dict[str, float], KernelPlan]],
+    ) -> list[MeasuredRun]:
+        """Batched :meth:`_measured_run` — identical bookkeeping, in order.
+
+        Compile-cost charging and noise seeding walk the settings in
+        order (the noise RNG is seeded per evaluation index, so each
+        generator is constructed exactly as the scalar path would);
+        the arithmetic on the draws and the median-of-trials reduction
+        then run as array operations, which reproduce the scalar
+        elementwise float ops bit for bit.
+        """
+        n = len(settings)
+        name = pattern.name
+        true_times = np.array([r[0] for r in results], dtype=np.float64)
+        costs = true_times * self.trials
+        compiled = self._compiled
+        for i, s in enumerate(settings):
+            key = (name, s)
+            if key not in compiled:
+                compiled.add(key)
+                costs[i] += self.compile_cost_s
+
+        measured = true_times
+        if self.noise > 0.0:
+            prefix = hash_prefix(self.seed, name)
+            trials = self.trials
+            draws = np.empty((n, trials), dtype=np.float64)
+            base = self.evaluations
+            default_rng = np.random.default_rng
+            sep = "\x1f"
+            for i, s in enumerate(settings):
+                draws[i] = default_rng(
+                    stable_hash_with_prefix(
+                        prefix + s.values_repr() + sep, base + i
+                    )
+                ).standard_normal(trials)
+            samples = true_times[:, None] * (1.0 + self.noise * draws)
+            measured = np.median(np.abs(samples), axis=1)
+        self.evaluations += n
+
+        # Fast MeasuredRun construction (see plans_from_arrays): build
+        # the instance dict directly instead of paying the frozen
+        # dataclass __init__ per run.
+        device_name = self.device.name
+        new = MeasuredRun.__new__
+        runs: list[MeasuredRun] = []
+        append = runs.append
+        for s, r, time_s, true_time, cost in zip(
+            settings, results, measured.tolist(), true_times.tolist(), costs.tolist()
+        ):
+            run = new(MeasuredRun)
+            run.__dict__.update({
+                "stencil": name,
+                "device": device_name,
+                "setting": s,
+                "time_s": time_s,
+                "true_time_s": true_time,
+                "tuning_cost_s": cost,
+                "metrics": dict(r[1]),
+            })
+            append(run)
+        return runs
+
     def true_time(self, pattern: StencilPattern, setting: Setting) -> float:
         """Noise-free model time (ground truth for motivation studies)."""
         return self._true_run(pattern, setting)[0]
+
+    def true_time_batch(
+        self,
+        pattern: StencilPattern,
+        settings: Sequence[Setting],
+        *,
+        invalid: str = "raise",
+    ) -> np.ndarray:
+        """Vectorized :meth:`true_time` over many settings.
+
+        ``invalid="raise"`` rejects the batch on the first invalid
+        setting (before evaluating anything); ``invalid="nan"`` yields
+        NaN in that setting's slot instead.
+        """
+        if invalid not in ("raise", "nan"):
+            raise ValueError(f"invalid must be 'raise' or 'nan': {invalid!r}")
+        results = self._true_run_batch(
+            pattern, settings, on_invalid="raise" if invalid == "raise" else "skip"
+        )
+        return np.array(
+            [r[0] if r is not None else math.nan for r in results],
+            dtype=np.float64,
+        )
 
     def plan(self, pattern: StencilPattern, setting: Setting) -> KernelPlan:
         """The kernel plan backing an evaluation (for diagnostics)."""

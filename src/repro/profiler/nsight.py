@@ -29,16 +29,32 @@ class NsightCollector:
     def profile(self, pattern: StencilPattern, setting: Setting) -> DatasetRecord:
         """Profile one setting: kernel time plus the full metric set."""
         run = self.simulator.run(pattern, setting)
+        return self._record(run)
+
+    @staticmethod
+    def _record(run) -> DatasetRecord:
         metrics = {k: v for k, v in run.metrics.items() if k != "elapsed_time"}
-        return DatasetRecord(setting=setting, time_s=run.time_s, metrics=metrics)
+        return DatasetRecord(
+            setting=run.setting, time_s=run.time_s, metrics=metrics
+        )
 
     def profile_many(
         self, pattern: StencilPattern, settings: Sequence[Setting]
     ) -> PerformanceDataset:
-        """Profile an explicit list of settings."""
+        """Profile an explicit list of settings (batched model evaluation).
+
+        Duck-typed simulators (e.g. the temporal-blocking extension)
+        that don't implement ``run_batch`` are profiled one setting at
+        a time — same results, scalar speed.
+        """
         ds = PerformanceDataset(pattern.name, self.simulator.device.name)
-        for s in settings:
-            ds.add(self.profile(pattern, s))
+        run_batch = getattr(self.simulator, "run_batch", None)
+        if run_batch is not None:
+            runs = run_batch(pattern, settings)
+        else:
+            runs = (self.simulator.run(pattern, s) for s in settings)
+        for run in runs:
+            ds.add(self._record(run))
         return ds
 
     def collect_dataset(

@@ -29,6 +29,9 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+import numpy as np
+
+from repro.space.parameters import PARAM_INDEX
 from repro.stencil.pattern import StencilPattern
 
 #: Hard CUDA limit on threads per block.
@@ -88,6 +91,51 @@ def explicit_violation(
                 f"work tile {tile} along dimension {dim} exceeds extent {extent}"
             )
     return None
+
+
+def explicit_ok_array(pattern: StencilPattern, values: np.ndarray) -> np.ndarray:
+    """Vectorized form of :func:`explicit_violation` over many settings.
+
+    ``values`` is the ``(n, n_params)`` int64 matrix produced by
+    :func:`repro.space.setting.settings_matrix`. Returns a boolean array
+    where entry ``i`` is ``True`` iff setting ``i`` violates *no*
+    explicit constraint — row-for-row equivalent to
+    ``explicit_violation(pattern, s) is None``. Reasons are not
+    materialized; callers needing the message fall back to the scalar
+    check for the (rare) failing rows.
+    """
+    col = PARAM_INDEX
+    tb = [values[:, col[f"TB{s}"]] for s in ("x", "y", "z")]
+    uf = [values[:, col[f"UF{s}"]] for s in ("x", "y", "z")]
+    cm = [values[:, col[f"CM{s}"]] for s in ("x", "y", "z")]
+    bm = [values[:, col[f"BM{s}"]] for s in ("x", "y", "z")]
+    sd = values[:, col["SD"]]
+    sb = values[:, col["SB"]]
+    streaming = values[:, col["useStreaming"]] == 2
+    prefetch = values[:, col["usePrefetching"]] == 2
+
+    ok = tb[0] * tb[1] * tb[2] <= MAX_THREADS_PER_BLOCK
+
+    # Gating: SD/SB pinned to 1 and no prefetching unless streaming.
+    ok &= streaming | ((sd == 1) & (sb == 1) & ~prefetch)
+
+    # Streaming-specific rules, evaluated with SD gathered per row.
+    grid = np.array(pattern.grid, dtype=np.int64)
+    sd_ix = np.clip(sd - 1, 0, 2)  # out-of-range SD only matters when streaming
+    m_sd = grid[sd_ix]
+    tb_sd = np.choose(sd_ix, tb)
+    uf_sd = np.choose(sd_ix, uf)
+    stream_ok = (sb <= m_sd) & (tb_sd == 1) & ((sb <= 1) | (uf_sd <= sb))
+    ok &= ~streaming | stream_ok
+
+    # Per-dimension work tiles must fit the (stream-adjusted) extent.
+    for dim in (1, 2, 3):
+        extent = np.full(len(values), pattern.grid[dim - 1], dtype=np.int64)
+        on_sd = streaming & (sd == dim)
+        extent[on_sd] = np.maximum(1, extent[on_sd] // sb[on_sd])
+        tile = tb[dim - 1] * uf[dim - 1] * cm[dim - 1] * bm[dim - 1]
+        ok &= tile <= extent
+    return ok
 
 
 def canonicalize_values(

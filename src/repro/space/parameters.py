@@ -46,6 +46,10 @@ PARAMETER_ORDER: tuple[str, ...] = (
     "useRetiming", "usePrefetching",
 )
 
+#: Column index of each parameter in the canonical ordering — the
+#: structure-of-arrays layout used by the batch evaluation engine.
+PARAM_INDEX: dict[str, int] = {name: i for i, name in enumerate(PARAMETER_ORDER)}
+
 #: Boolean switches where 1 = disabled, 2 = enabled (paper's convention).
 BOOL_PARAMETERS: frozenset[str] = frozenset(
     {"useShared", "useConstant", "useStreaming", "useRetiming", "usePrefetching"}

@@ -9,7 +9,9 @@ the grouping statistics and the PMNF regression.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import UnknownParameterError
 from repro.space.parameters import BOOL_PARAMETERS, PARAMETER_ORDER
@@ -23,7 +25,7 @@ class Setting(Mapping[str, int]):
     orders compare equal.
     """
 
-    __slots__ = ("_values", "_key")
+    __slots__ = ("_values", "_key", "_hash", "_vt", "_vtr")
 
     def __init__(self, values: Mapping[str, int]) -> None:
         for name, v in values.items():
@@ -31,6 +33,9 @@ class Setting(Mapping[str, int]):
                 raise TypeError(f"parameter {name} must be an int, got {v!r}")
         self._values: dict[str, int] = dict(values)
         self._key = tuple(sorted(self._values.items()))
+        self._hash = hash(self._key)
+        self._vt: tuple[int, ...] | None = None
+        self._vtr: str | None = None
 
     # -- Mapping protocol ------------------------------------------------
 
@@ -47,7 +52,7 @@ class Setting(Mapping[str, int]):
         return len(self._values)
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Setting):
@@ -80,8 +85,29 @@ class Setting(Mapping[str, int]):
         return Setting(merged)
 
     def values_tuple(self, order: tuple[str, ...] = PARAMETER_ORDER) -> tuple[int, ...]:
-        """Values in a fixed parameter order (vector encoding)."""
+        """Values in a fixed parameter order (vector encoding).
+
+        The default-order tuple is cached — it keys the simulator's
+        hashing on every evaluation.
+        """
+        if order is PARAMETER_ORDER:
+            vt = self._vt
+            if vt is None:
+                vt = self._vt = tuple(self[name] for name in order)
+            return vt
         return tuple(self[name] for name in order)
+
+    def values_repr(self) -> str:
+        """``repr(self.values_tuple())``, cached.
+
+        The simulator hashes the value tuple on every evaluation (noise
+        seeding); rendering it once per setting keeps that off the
+        batch path's per-evaluation cost.
+        """
+        r = self._vtr
+        if r is None:
+            r = self._vtr = repr(self.values_tuple())
+        return r
 
     def log2_value(self, name: str) -> float:
         """log2 of the value.
@@ -107,3 +133,16 @@ class Setting(Mapping[str, int]):
         if len(values) != len(order):
             raise ValueError(f"expected {len(order)} values, got {len(values)}")
         return cls(dict(zip(order, values)))
+
+
+def settings_matrix(settings: Sequence[Setting]) -> np.ndarray:
+    """Lower settings into structure-of-arrays form.
+
+    Returns an ``(n_settings, n_parameters)`` int64 matrix with columns
+    in :data:`~repro.space.parameters.PARAMETER_ORDER` — the layout every
+    vectorized (batch) pipeline stage consumes. Column ``j`` of the
+    result is the array of values of parameter ``PARAMETER_ORDER[j]``.
+    """
+    if not settings:
+        return np.empty((0, len(PARAMETER_ORDER)), dtype=np.int64)
+    return np.array([s.values_tuple() for s in settings], dtype=np.int64)

@@ -16,19 +16,27 @@ from itertools import product
 import numpy as np
 
 from repro.errors import SearchError, UnknownParameterError
-from repro.space.constraints import canonicalize_values, explicit_violation
+from repro.space.constraints import (
+    canonicalize_values,
+    explicit_ok_array,
+    explicit_violation,
+)
 from repro.space.parameters import (
     PARAMETER_ORDER,
     Parameter,
     build_parameters,
 )
-from repro.space.setting import Setting
+from repro.space.setting import Setting, settings_matrix
 from repro.stencil.pattern import StencilPattern
 
 #: Optional implicit-constraint hook: returns a reason string or None.
 ResourceCheck = Callable[[Setting], "str | None"]
 
 _DIM_SUFFIX = {1: "x", 2: "y", 3: "z"}
+
+#: Construction attempts before the sampler declares the space
+#: over-constrained (per valid setting drawn).
+_MAX_DRAW_TRIES = 500
 
 
 class SearchSpace:
@@ -44,6 +52,11 @@ class SearchSpace:
     resource_check:
         Optional implicit-constraint predicate (register/shared-memory
         pressure). ``None`` means only explicit constraints apply.
+    resource_device:
+        Optional :class:`repro.gpusim.DeviceSpec` backing
+        ``resource_check``. When given, batched validity screening uses
+        the vectorized resource rules instead of calling the scalar
+        predicate per setting (results are identical).
     """
 
     def __init__(
@@ -51,6 +64,7 @@ class SearchSpace:
         pattern: StencilPattern,
         parameters: Sequence[Parameter] | None = None,
         resource_check: ResourceCheck | None = None,
+        resource_device: "object | None" = None,
     ) -> None:
         self.pattern = pattern
         self.parameters: tuple[Parameter, ...] = tuple(
@@ -65,6 +79,7 @@ class SearchSpace:
                 f"unexpected {sorted(extra)}"
             )
         self.resource_check = resource_check
+        self.resource_device = resource_device
         self._dim_tuples_cache: dict[int, list[tuple[int, int, int, int]]] = {}
         self._candidate_cache: dict[
             tuple[int, int, int | None, bool],
@@ -106,6 +121,32 @@ class SearchSpace:
 
     def is_valid(self, setting: Setting) -> bool:
         return self.violation(setting) is None
+
+    def _batch_valid(self, settings: Sequence[Setting]) -> np.ndarray:
+        """Vectorized :meth:`is_valid` over many settings.
+
+        Domain and explicit constraints run as array ops; the resource
+        check runs vectorized too when the space knows its device,
+        otherwise the scalar predicate is called only for settings that
+        survived the cheap screens.
+        """
+        if not settings:
+            return np.zeros(0, dtype=bool)
+        values = settings_matrix(settings)
+        ok = np.ones(len(settings), dtype=bool)
+        for j, name in enumerate(PARAMETER_ORDER):
+            ok &= np.isin(values[:, j], np.asarray(self.param(name).values))
+        ok &= explicit_ok_array(self.pattern, values)
+        if self.resource_check is not None and ok.any():
+            if self.resource_device is not None:
+                from repro.codegen.plan import resource_ok_array
+
+                ok &= resource_ok_array(self.pattern, self.resource_device, values)
+            else:
+                for i in np.flatnonzero(ok):
+                    if self.resource_check(settings[i]) is not None:
+                        ok[i] = False
+        return ok
 
     def repair(self, values: dict[str, int]) -> Setting:
         """Clip values into their domains and fix gated parameters.
@@ -231,8 +272,65 @@ class SearchSpace:
         """
         return max(4, 200 // (2 * self.pattern.outputs + 1))
 
+    def _draw_candidate(
+        self, rng: np.random.Generator, ppt_cap: int
+    ) -> Setting | None:
+        """One constraint-aware construction attempt (no validity check).
+
+        Returns ``None`` when the attempt dead-ends (no feasible tile
+        tuple for a dimension, or an oversized thread block). Validity
+        checking consumes no randomness, so callers may check candidates
+        one at a time or in batches without perturbing the RNG stream.
+        """
+        values: dict[str, int] = {}
+        for switch in ("useShared", "useConstant", "useStreaming",
+                       "useRetiming", "usePrefetching"):
+            domain = self.param(switch).values
+            values[switch] = domain[int(rng.integers(len(domain)))]
+        streaming = values["useStreaming"] == 2
+        if streaming:
+            sd_domain = self.param("SD").values
+            sd = sd_domain[int(rng.integers(len(sd_domain)))]
+            m_sd = self.pattern.grid[sd - 1]
+            sb_domain = [v for v in self.param("SB").values if v <= m_sd]
+            sb = sb_domain[int(rng.integers(len(sb_domain)))]
+        else:
+            sd, sb = 1, 1
+            values["usePrefetching"] = 1
+        values["SD"], values["SB"] = sd, sb
+
+        budget = ppt_cap
+        dims = [1, 2, 3]
+        rng.shuffle(dims)  # avoid biasing early dimensions to big work
+        for dim in dims:
+            s = _DIM_SUFFIX[dim]
+            if streaming and dim == sd:
+                extent = max(1, self.pattern.grid[dim - 1] // sb)
+                uf_cap = sb if sb > 1 else extent
+                groups = self._candidate_groups(
+                    dim, min(budget, extent), uf_cap=uf_cap, stream=True
+                )
+            else:
+                groups = self._candidate_groups(dim, budget)
+            if not groups:
+                return None
+            # Two-stage draw: TB first (uniform over its feasible
+            # values), then the merge triple uniform among combos
+            # that still fit. Tuple-uniform sampling would weight
+            # TB towards 1 (small TBs admit far more merge combos),
+            # skewing the sample towards low-parallelism settings.
+            sub = groups[int(rng.integers(len(groups)))]
+            tb, uf, cm, bm = sub[int(rng.integers(len(sub)))]
+            budget //= max(1, uf * cm * bm)
+            values[f"TB{s}"], values[f"UF{s}"] = tb, uf
+            values[f"CM{s}"], values[f"BM{s}"] = cm, bm
+
+        if values["TBx"] * values["TBy"] * values["TBz"] > 1024:
+            return None
+        return Setting(values)
+
     def random_setting(
-        self, rng: np.random.Generator, *, max_tries: int = 500
+        self, rng: np.random.Generator, *, max_tries: int = _MAX_DRAW_TRIES
     ) -> Setting:
         """Draw one valid setting, approximately uniform over valid space.
 
@@ -244,57 +342,8 @@ class SearchSpace:
         """
         ppt_cap = self._ppt_budget()
         for _ in range(max_tries):
-            values: dict[str, int] = {}
-            for switch in ("useShared", "useConstant", "useStreaming",
-                           "useRetiming", "usePrefetching"):
-                domain = self.param(switch).values
-                values[switch] = domain[int(rng.integers(len(domain)))]
-            streaming = values["useStreaming"] == 2
-            if streaming:
-                sd_domain = self.param("SD").values
-                sd = sd_domain[int(rng.integers(len(sd_domain)))]
-                m_sd = self.pattern.grid[sd - 1]
-                sb_domain = [v for v in self.param("SB").values if v <= m_sd]
-                sb = sb_domain[int(rng.integers(len(sb_domain)))]
-            else:
-                sd, sb = 1, 1
-                values["usePrefetching"] = 1
-            values["SD"], values["SB"] = sd, sb
-
-            ok = True
-            budget = ppt_cap
-            dims = [1, 2, 3]
-            rng.shuffle(dims)  # avoid biasing early dimensions to big work
-            for dim in dims:
-                s = _DIM_SUFFIX[dim]
-                if streaming and dim == sd:
-                    extent = max(1, self.pattern.grid[dim - 1] // sb)
-                    uf_cap = sb if sb > 1 else extent
-                    groups = self._candidate_groups(
-                        dim, min(budget, extent), uf_cap=uf_cap, stream=True
-                    )
-                else:
-                    groups = self._candidate_groups(dim, budget)
-                if not groups:
-                    ok = False
-                    break
-                # Two-stage draw: TB first (uniform over its feasible
-                # values), then the merge triple uniform among combos
-                # that still fit. Tuple-uniform sampling would weight
-                # TB towards 1 (small TBs admit far more merge combos),
-                # skewing the sample towards low-parallelism settings.
-                sub = groups[int(rng.integers(len(groups)))]
-                tb, uf, cm, bm = sub[int(rng.integers(len(sub)))]
-                budget //= max(1, uf * cm * bm)
-                values[f"TB{s}"], values[f"UF{s}"] = tb, uf
-                values[f"CM{s}"], values[f"BM{s}"] = cm, bm
-            if not ok:
-                continue
-
-            if values["TBx"] * values["TBy"] * values["TBz"] > 1024:
-                continue
-            setting = Setting(values)
-            if self.is_valid(setting):
+            setting = self._draw_candidate(rng, ppt_cap)
+            if setting is not None and self.is_valid(setting):
                 return setting
         raise SearchError(
             f"could not draw a valid setting in {max_tries} tries "
@@ -309,21 +358,48 @@ class SearchSpace:
         unique: bool = True,
         max_tries_factor: int = 50,
     ) -> list[Setting]:
-        """Draw ``n`` valid settings (distinct by default)."""
+        """Draw ``n`` valid settings (distinct by default).
+
+        Candidates are constructed in chunks and validity-screened in
+        batch (see :meth:`_batch_valid`); the construction sequence —
+        and hence the RNG stream and the returned settings — is
+        identical to drawing settings one at a time with
+        :meth:`random_setting`.
+        """
         if n < 0:
             raise ValueError(f"cannot sample a negative count: {n}")
         out: list[Setting] = []
         seen: set[Setting] = set()
-        tries = 0
+        draws = 0  # valid settings drawn (duplicates included)
+        misses = 0  # consecutive attempts without a valid setting
         limit = max(1, n) * max_tries_factor
-        while len(out) < n and tries < limit:
-            tries += 1
-            s = self.random_setting(rng)
-            if unique:
-                if s in seen:
+        ppt_cap = self._ppt_budget()
+        while len(out) < n and draws < limit:
+            # Never constructs more attempts than the sequential loop
+            # would: each valid draw takes at least one attempt, so the
+            # sequential loop performs >= chunk further attempts before
+            # reaching either stop condition.
+            chunk = min(n - len(out), limit - draws)
+            cands = [self._draw_candidate(rng, ppt_cap) for _ in range(chunk)]
+            built = [c for c in cands if c is not None]
+            verdicts = iter(self._batch_valid(built).tolist())
+            for cand in cands:
+                if cand is None or not next(verdicts):
+                    misses += 1
+                    if misses >= _MAX_DRAW_TRIES:
+                        raise SearchError(
+                            f"could not draw a valid setting in "
+                            f"{_MAX_DRAW_TRIES} tries "
+                            f"(space may be over-constrained)"
+                        )
                     continue
-                seen.add(s)
-            out.append(s)
+                misses = 0
+                draws += 1
+                if unique:
+                    if cand in seen:
+                        continue
+                    seen.add(cand)
+                out.append(cand)
         if len(out) < n:
             raise SearchError(
                 f"only found {len(out)} of {n} distinct valid settings"
@@ -424,4 +500,6 @@ def build_space(
         def check(setting: Setting, _pattern=pattern, _device=device) -> str | None:
             return resource_violation(_pattern, setting, _device)
 
-    return SearchSpace(pattern, parameters, resource_check=check)
+    return SearchSpace(
+        pattern, parameters, resource_check=check, resource_device=device
+    )

@@ -32,3 +32,33 @@ def unit_hash(*parts: Any) -> float:
     Used for the simulator's multiplicative "hardware roughness" terms.
     """
     return stable_hash(*parts, bits=53) / float(1 << 53)
+
+
+def hash_prefix(*parts: Any) -> str:
+    """Render leading hash parts once, for batched hashing.
+
+    ``stable_hash(a, b, x)`` equals
+    ``stable_hash_with_prefix(hash_prefix(a, b), x)`` — batch loops hoist
+    the constant leading parts out of their per-item hash calls.
+    """
+    return "\x1f".join(repr(p) for p in parts) + "\x1f"
+
+
+def stable_hash_with_prefix(prefix: str, *parts: Any, bits: int = 64) -> int:
+    """:func:`stable_hash` with the leading parts pre-rendered."""
+    if bits <= 0 or bits > 256:
+        raise ValueError(f"bits must be in (0, 256], got {bits}")
+    payload = (prefix + "\x1f".join(map(repr, parts))).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=32).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+def unit_hash_with_prefix(prefix: str, parts: Any) -> float:
+    """:func:`unit_hash` over ``prefix`` plus an iterable of trailing parts.
+
+    ``unit_hash(a, b, *xs)`` equals
+    ``unit_hash_with_prefix(hash_prefix(a, b), xs)``.
+    """
+    payload = (prefix + "\x1f".join(map(repr, parts))).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=32).digest()
+    return (int.from_bytes(digest, "big") % (1 << 53)) / float(1 << 53)

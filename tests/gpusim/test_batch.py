@@ -1,0 +1,212 @@
+"""Batch evaluation engine: exact equivalence with the scalar path.
+
+The contract of :meth:`GpuSimulator.run_batch` (and the batch helpers
+under it) is *bit-identical* results: same measured times, tuning
+costs, metrics, cache state and evaluation counters as a sequential
+loop of :meth:`GpuSimulator.run` calls.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.budget import Budget, Evaluator
+from repro.errors import InvalidSettingError
+from repro.gpusim.batch import evaluate_settings, valid_mask
+from repro.gpusim.device import A100, V100
+from repro.gpusim.simulator import GpuSimulator
+from repro.profiler.nsight import NsightCollector
+from repro.space.setting import settings_matrix
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil, suite_names
+
+DEVICES = {"a100": A100, "v100": V100}
+
+
+@pytest.fixture(scope="module")
+def suite_samples():
+    """200 sampled valid settings per (device, stencil), shared."""
+    out = {}
+    for dev_key, device in DEVICES.items():
+        for name in suite_names():
+            pattern = get_stencil(name)
+            space = build_space(pattern, device)
+            rng = np.random.default_rng(11)
+            out[dev_key, name] = (pattern, space.sample(rng, 200))
+    return out
+
+
+@pytest.mark.parametrize("dev_key", sorted(DEVICES))
+@pytest.mark.parametrize("stencil", suite_names())
+def test_run_batch_matches_scalar(suite_samples, dev_key, stencil):
+    device = DEVICES[dev_key]
+    pattern, settings = suite_samples[dev_key, stencil]
+    scalar_sim = GpuSimulator(device=device, seed=3)
+    batch_sim = GpuSimulator(device=device, seed=3)
+
+    scalar_runs = [scalar_sim.run(pattern, s) for s in settings]
+    batch_runs = batch_sim.run_batch(pattern, settings)
+
+    assert len(batch_runs) == len(settings)
+    for a, b in zip(scalar_runs, batch_runs):
+        assert a.setting == b.setting
+        assert a.time_s == b.time_s
+        assert a.true_time_s == b.true_time_s
+        assert a.tuning_cost_s == b.tuning_cost_s
+        assert a.metrics == b.metrics
+    assert scalar_sim.evaluations == batch_sim.evaluations
+    assert scalar_sim.cache_info() == batch_sim.cache_info()
+
+
+def test_run_batch_repeats_settings_like_scalar(small_pattern, small_space, rng):
+    """Duplicates hit the cache but draw fresh per-evaluation noise."""
+    base = small_space.sample(rng, 8)
+    settings = base + base[:4] + base[:2]
+    scalar_sim = GpuSimulator(device=A100, seed=1)
+    batch_sim = GpuSimulator(device=A100, seed=1)
+    scalar_runs = [scalar_sim.run(small_pattern, s) for s in settings]
+    batch_runs = batch_sim.run_batch(small_pattern, settings)
+    for a, b in zip(scalar_runs, batch_runs):
+        assert a.time_s == b.time_s
+        assert a.tuning_cost_s == b.tuning_cost_s
+    # Same setting, different evaluation index -> different noise draw.
+    assert scalar_runs[0].time_s != scalar_runs[8].time_s
+    assert scalar_sim.cache_info() == batch_sim.cache_info()
+
+
+def test_run_batch_invalid_raises_before_any_state_change(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 5)
+    bad = settings[2].replace(TBx=4096)  # thread block far beyond 1024
+    batch = settings[:2] + [bad] + settings[2:]
+
+    scalar_sim = GpuSimulator(device=A100, seed=0)
+    with pytest.raises(InvalidSettingError) as scalar_err:
+        for s in batch:
+            scalar_sim.run(small_pattern, s)
+
+    batch_sim = GpuSimulator(device=A100, seed=0)
+    with pytest.raises(InvalidSettingError) as batch_err:
+        batch_sim.run_batch(small_pattern, batch)
+
+    assert str(batch_err.value) == str(scalar_err.value)
+    # Unlike the scalar loop, the batch rejects atomically: nothing was
+    # evaluated, charged or cached.
+    assert batch_sim.evaluations == 0
+    assert batch_sim.cache_info()["size"] == 0
+    assert batch_sim.cache_info()["misses"] == 0
+    assert not batch_sim._compiled
+
+
+def test_true_time_batch_matches_scalar_and_nan_mode(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 10)
+    bad = settings[0].replace(TBy=4096)
+    mixed = settings[:3] + [bad] + settings[3:]
+
+    sim = GpuSimulator(device=A100, seed=0)
+    ref = [sim.true_time(small_pattern, s) for s in settings]
+
+    sim2 = GpuSimulator(device=A100, seed=0)
+    times = sim2.true_time_batch(small_pattern, settings)
+    assert times.tolist() == ref
+
+    nan_times = sim2.true_time_batch(small_pattern, mixed, invalid="nan")
+    assert math.isnan(nan_times[3])
+    assert nan_times[:3].tolist() == ref[:3]
+    assert nan_times[4:].tolist() == ref[3:]
+
+    with pytest.raises(InvalidSettingError):
+        sim2.true_time_batch(small_pattern, mixed)
+
+
+def test_valid_mask_matches_scalar_violation(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 20)
+    perturbed = [s.replace(TBx=s["TBx"] * 64) for s in settings[:10]]
+    candidates = settings + perturbed
+    sim = GpuSimulator(device=A100)
+    mask = valid_mask(small_pattern, A100, settings_matrix(candidates))
+    for s, ok in zip(candidates, mask.tolist()):
+        assert ok == (sim.violation(small_pattern, s) is None)
+
+
+def test_evaluate_settings_matches_scalar_model(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 25)
+    sim = GpuSimulator(device=A100, seed=0)
+    result = evaluate_settings(small_pattern, A100, settings)
+    for i, s in enumerate(settings):
+        true_time, metrics, plan = sim._true_run(small_pattern, s)
+        assert result.true_times[i] == true_time
+        assert result.plans[i] == plan
+        scalar_metrics = {k: v for k, v in metrics.items() if k != "elapsed_time"}
+        assert result.metrics[i] == scalar_metrics
+
+
+def test_true_cache_lru_eviction_and_counters(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 6, unique=True)
+    sim = GpuSimulator(device=A100, seed=0, true_cache_capacity=4)
+    sim.run_batch(small_pattern, settings)
+    info = sim.cache_info()
+    assert info == {"hits": 0, "misses": 6, "size": 4, "capacity": 4}
+    # The two oldest entries were evicted; re-running the newest four
+    # hits, re-running the oldest two misses and recomputes.
+    sim.run_batch(small_pattern, settings[2:])
+    assert sim.cache_info()["hits"] == 4
+    sim.run(small_pattern, settings[0])
+    assert sim.cache_info()["misses"] == 7
+    assert sim.cache_info()["size"] == 4
+
+
+def test_unbounded_cache(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 8, unique=True)
+    sim = GpuSimulator(device=A100, true_cache_capacity=None)
+    sim.run_batch(small_pattern, settings)
+    assert sim.cache_info() == {
+        "hits": 0, "misses": 8, "size": 8, "capacity": None,
+    }
+
+
+def test_evaluator_evaluate_many_matches_sequential(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 12)
+    bad = settings[0].replace(TBz=4096)
+    batch = settings[:6] + [bad] + settings[6:]
+
+    seq = Evaluator(
+        GpuSimulator(device=A100, seed=2), small_pattern, Budget(max_iterations=100)
+    )
+    seq_results = [seq.evaluate(s) for s in batch]
+
+    many = Evaluator(
+        GpuSimulator(device=A100, seed=2), small_pattern, Budget(max_iterations=100)
+    )
+    many_results = many.evaluate_many(batch)
+
+    assert many_results == seq_results
+    assert many_results[6] is None  # the invalid candidate
+    assert many.cost_s == seq.cost_s
+    assert many.evaluations == seq.evaluations
+    assert many.best_setting == seq.best_setting
+    assert many.trace == seq.trace
+
+
+def test_profile_many_matches_per_setting_profiles(small_pattern, small_space, rng):
+    settings = small_space.sample(rng, 10)
+    one = NsightCollector(GpuSimulator(device=A100, seed=4))
+    records = [one.profile(small_pattern, s) for s in settings]
+    many = NsightCollector(GpuSimulator(device=A100, seed=4))
+    ds = many.profile_many(small_pattern, settings)
+    assert len(ds) == len(records)
+    for a, b in zip(records, ds):
+        assert a.setting == b.setting
+        assert a.time_s == b.time_s
+        assert a.metrics == b.metrics
+
+
+def test_sample_is_deterministic_and_valid(small_space):
+    a = small_space.sample(np.random.default_rng(9), 40)
+    b = small_space.sample(np.random.default_rng(9), 40)
+    assert a == b
+    assert all(small_space.is_valid(s) for s in a)
+    uniq = small_space.sample(np.random.default_rng(9), 40, unique=True)
+    assert len(set(uniq)) == len(uniq) == 40

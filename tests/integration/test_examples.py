@@ -4,6 +4,7 @@ Examples are part of the public contract; these tests execute them as
 subprocesses, exactly as a user would, with tight timeouts.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,14 +12,20 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 480) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
     return proc.stdout
