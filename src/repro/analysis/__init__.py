@@ -1,16 +1,69 @@
-"""Post-hoc analysis: explain settings, diff them, chart convergence."""
+"""Analysis: static checks on generated kernels and spaces, plus
+post-hoc result tooling (explain settings, diff them, chart convergence).
 
-from repro.analysis.explain import explain_setting, SettingReport
+The static-analysis subsystem (``diagnostics`` / ``cudalint`` /
+``crosscheck`` / ``prover`` / ``gate``) lints generated CUDA, verifies
+emitted source against its :class:`~repro.codegen.plan.KernelPlan`, and
+proves the Table I constraint system consistent; ``python -m
+repro.analysis --all`` runs it over the whole suite.
+"""
+
+from repro.analysis.charts import convergence_chart, sparkline
+from repro.analysis.crosscheck import crosscheck_kernel, extract_facts
+from repro.analysis.cudalint import lint_kernel, parse_kernel
+from repro.analysis.diagnostics import (
+    RULES,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Rule,
+    Severity,
+    SourceSpan,
+    merge_reports,
+    register_rule,
+)
 from repro.analysis.diff import compare_settings, setting_diff
-from repro.analysis.charts import sparkline, convergence_chart
+from repro.analysis.explain import SettingReport, explain_setting
+from repro.analysis.gate import (
+    DEFAULT_STRICT_EVERY,
+    analyze_kernel,
+    analyze_space,
+    analyze_stencil,
+    analyze_suite,
+    gate_selected,
+    strict_gate,
+)
+from repro.analysis.prover import ProofResult, prove_space
 from repro.analysis.summary import dataset_summary
 
 __all__ = [
-    "explain_setting",
+    "RULES",
+    "AnalysisError",
+    "AnalysisReport",
+    "DEFAULT_STRICT_EVERY",
+    "Diagnostic",
+    "ProofResult",
+    "Rule",
+    "Severity",
     "SettingReport",
+    "SourceSpan",
+    "analyze_kernel",
+    "analyze_space",
+    "analyze_stencil",
+    "analyze_suite",
     "compare_settings",
+    "convergence_chart",
+    "crosscheck_kernel",
+    "dataset_summary",
+    "explain_setting",
+    "extract_facts",
+    "gate_selected",
+    "lint_kernel",
+    "merge_reports",
+    "parse_kernel",
+    "prove_space",
+    "register_rule",
     "setting_diff",
     "sparkline",
-    "convergence_chart",
-    "dataset_summary",
+    "strict_gate",
 ]

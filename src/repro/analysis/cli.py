@@ -1,0 +1,82 @@
+"""CLI driver for the static-analysis passes.
+
+Shared between ``repro analyze`` (the main CLI) and the standalone
+``python -m repro.analysis`` entry point used as the make-lint-style
+gate in CI. Exit status is the gate predicate: 0 iff no analyzed
+subject produced an ERROR-severity diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections.abc import Sequence
+
+from repro.analysis.gate import analyze_suite
+from repro.gpusim.device import get_device
+from repro.stencil.suite import get_stencil, suite_names
+
+
+def run_analysis(
+    *,
+    stencils: Sequence[str] | None = None,
+    devices: Sequence[str] = ("A100", "V100"),
+    samples: int = 32,
+    seed: int = 0,
+    as_json: bool = False,
+    verbose: bool = False,
+) -> int:
+    """Analyze the requested stencil × device grid; print, return exit code."""
+    patterns = [get_stencil(name) for name in stencils] if stencils else None
+    reports = analyze_suite(
+        stencils=patterns,
+        devices=tuple(get_device(d) for d in devices),
+        samples=samples,
+        seed=seed,
+    )
+    if as_json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render_text(verbose=verbose))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def add_analyze_arguments(p: argparse.ArgumentParser) -> None:
+    """Install the shared ``analyze`` arguments on a (sub)parser."""
+    p.add_argument("stencils", nargs="*", metavar="stencil",
+                   help="stencil names (default: whole suite with --all)")
+    p.add_argument("--all", action="store_true",
+                   help="analyze the full Table III suite")
+    p.add_argument("--device", action="append", choices=["A100", "V100"],
+                   help="device(s) to analyze on (default: both)")
+    p.add_argument("--samples", type=int, default=32,
+                   help="kernels sampled per stencil x device (default 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit JSON reports")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print INFO findings (dead values, redundancy)")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if not args.stencils and not getattr(args, "all", False):
+        raise SystemExit("analyze: name at least one stencil or pass --all")
+    stencils = args.stencils or list(suite_names())
+    return run_analysis(
+        stencils=stencils,
+        devices=tuple(args.device) if args.device else ("A100", "V100"),
+        samples=args.samples,
+        seed=args.seed,
+        as_json=args.json,
+        verbose=args.verbose,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static analysis: lint generated CUDA, cross-check "
+                    "plans, prove constraint consistency",
+    )
+    add_analyze_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

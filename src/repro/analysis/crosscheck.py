@@ -1,0 +1,241 @@
+"""Plan-vs-source cross-checker.
+
+:func:`crosscheck_kernel` re-derives the resource and work figures of a
+generated kernel *from its emitted source alone* — merge/unroll factors
+from the loop nest, staging mode from the declarations, streaming shape
+from the stream loop — and fails when they diverge from the
+:class:`~repro.codegen.plan.KernelPlan` the simulator consumes. The
+recount deliberately duplicates the arithmetic of
+:mod:`repro.codegen.registers` instead of importing it: the point is to
+catch drift between what codegen emitted and what the planner promised
+(this reproduction's equivalent of a miscompile), so the two sides must
+not share the code being checked.
+
+``PLAN201``
+    Registers/thread recounted from source disagree with the plan.
+``PLAN202``
+    Shared bytes/block declared in source disagree with the plan.
+``PLAN203``
+    Per-point global/tile loads or stores in the update body disagree
+    with the stencil's tap contract.
+``PLAN204``
+    ``__launch_bounds__`` disagrees with the plan's threads/block.
+``PLAN205``
+    Work decomposition (points/thread, stream iterations) recounted
+    from the loop nest disagrees with the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cudalint import ParsedKernel, parse_kernel
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    emit,
+    register_rule,
+)
+from repro.codegen.plan import KernelPlan
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+register_rule("PLAN201", Severity.ERROR,
+              "registers/thread: source recount != plan")
+register_rule("PLAN202", Severity.ERROR,
+              "shared bytes/block: source declaration != plan")
+register_rule("PLAN203", Severity.ERROR,
+              "per-point loads/stores != stencil tap contract")
+register_rule("PLAN204", Severity.ERROR,
+              "__launch_bounds__ != plan threads/block")
+register_rule("PLAN205", Severity.ERROR,
+              "work decomposition: loop nest != plan")
+
+#: Baseline registers charged per thread — must track the codegen
+#: contract (indexing, loop counters, base pointers).
+_BASE_REGISTERS = 22
+
+_SUFFIX = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class SourceFacts:
+    """Resource-relevant facts recovered purely from an emitted source."""
+
+    points_per_thread: int
+    factors: dict[str, int]  # UFx..BMz trip counts recovered per dim
+    use_shared: bool
+    streaming: bool
+    stream_dim: int | None
+    stream_iters: int
+    prefetching: bool
+    retiming: bool
+    use_constant: bool
+    shared_elems: int
+    reads_per_point: int
+    writes_per_point: int
+
+
+def extract_facts(parsed: ParsedKernel) -> SourceFacts:
+    """Recover the resource-relevant structure of one kernel source."""
+    factors: dict[str, int] = {}
+    ppt = 1
+    for s in _SUFFIX:
+        for prefix, var in (("UF", f"u{s}"), ("CM", f"c{s}"), ("BM", f"b{s}")):
+            f = parsed.loop_factor(var)
+            factors[f"{prefix}{s}"] = f
+            ppt *= f
+
+    stream_loop = parsed.stream_loop
+    stream_dim = None
+    for marker in parsed.markers:
+        if marker.startswith("stream-dim:"):
+            stream_dim = _SUFFIX.index(marker.split(":", 1)[1]) + 1
+
+    shared_elems = sum(n for n, _ in parsed.shared_arrays.values())
+
+    # Update-body tap counts: reads from the staging source (the shared
+    # tile or the first input array), the store into the output array.
+    read_names = set(parsed.shared_arrays) | {
+        p for p in parsed.params if p.startswith("in")
+    }
+    # Prefetch fills (stores into pf_next) read the *next* plane; they
+    # are staging traffic, not update-body taps.
+    pf_lines = {a.line for a in parsed.accesses if a.name == "pf_next"}
+    reads = sum(
+        1 for a in parsed.accesses
+        if a.name in read_names and not a.is_store and a.line not in pf_lines
+    )
+    writes = sum(
+        1 for a in parsed.accesses
+        if a.is_store and a.name.startswith("out")
+    )
+
+    return SourceFacts(
+        points_per_thread=ppt,
+        factors=factors,
+        use_shared=bool(parsed.shared_arrays),
+        streaming=stream_loop is not None,
+        stream_dim=stream_dim,
+        stream_iters=stream_loop.bound if stream_loop is not None else 1,
+        prefetching="pf_next" in parsed.local_arrays,
+        retiming="retimed" in parsed.markers,
+        use_constant=bool(parsed.constant_arrays),
+        shared_elems=shared_elems,
+        reads_per_point=reads,
+        writes_per_point=writes,
+    )
+
+
+def recount_registers(pattern: StencilPattern, facts: SourceFacts) -> int:
+    """Registers/thread recounted from source facts.
+
+    Intentionally re-states the register model of
+    :mod:`repro.codegen.registers` driven *only* by what the source
+    shows (see module docstring) — keep the two in sync by contract.
+    """
+    ppt = facts.points_per_thread
+    order = pattern.order
+
+    accumulators = 2 * ppt * pattern.outputs + ppt
+
+    staged_inputs = min(pattern.inputs, 4)
+    if facts.use_shared:
+        staging = 2 * staged_inputs + order
+    else:
+        width = 2 * order + 1
+        if pattern.shape is StencilShape.BOX:
+            width = width * width
+        staging = width * staged_inputs
+
+    extra = 0
+    if facts.streaming:
+        sd = facts.stream_dim if facts.stream_dim is not None else 1
+        uf_sd = facts.factors[f"UF{_SUFFIX[sd - 1]}"]
+        window = 2 * order + uf_sd
+        extra += window if facts.use_shared else 2 * window
+        if facts.prefetching:
+            extra += order * 3 + staged_inputs
+
+    if facts.retiming:
+        if order >= 2:
+            staging = max(4, staging * 2 // 3)
+            extra += 2
+        else:
+            extra += 6
+
+    if facts.use_constant:
+        extra += 2
+
+    return _BASE_REGISTERS + accumulators + staging + extra
+
+
+def crosscheck_kernel(
+    pattern: StencilPattern,
+    plan: KernelPlan,
+    source: str,
+    *,
+    parsed: ParsedKernel | None = None,
+) -> list[Diagnostic]:
+    """Run every PLAN2xx rule for one (plan, emitted source) pair."""
+    if parsed is None:
+        parsed = parse_kernel(source)
+    facts = extract_facts(parsed)
+    out: list[Diagnostic] = []
+    subject = pattern.name
+
+    # PLAN204 — launch geometry.
+    if parsed.launch_bounds != plan.threads_per_block:
+        emit(out, "PLAN204",
+             f"__launch_bounds__({parsed.launch_bounds}) but plan launches "
+             f"{plan.threads_per_block} threads/block",
+             subject=subject,
+             span=SourceSpan.at(parsed.launch_bounds_line or 1))
+
+    # PLAN205 — work decomposition.
+    if facts.points_per_thread != plan.points_per_thread:
+        emit(out, "PLAN205",
+             f"loop nest merges {facts.points_per_thread} points/thread; "
+             f"plan expects {plan.points_per_thread}",
+             subject=subject)
+    if facts.stream_iters != plan.stream_iters:
+        emit(out, "PLAN205",
+             f"stream loop runs {facts.stream_iters} iteration(s); "
+             f"plan expects {plan.stream_iters}",
+             subject=subject)
+    if facts.streaming != plan.streaming:
+        emit(out, "PLAN205",
+             f"source {'has' if facts.streaming else 'lacks'} a stream loop "
+             f"but plan.streaming={plan.streaming}",
+             subject=subject)
+
+    # PLAN202 — shared memory.
+    declared_bytes = facts.shared_elems * pattern.dtype_bytes
+    if declared_bytes != plan.shared_memory_per_block:
+        emit(out, "PLAN202",
+             f"source declares {declared_bytes} shared B/block; "
+             f"plan allocates {plan.shared_memory_per_block}",
+             subject=subject)
+
+    # PLAN201 — registers.
+    recount = recount_registers(pattern, facts)
+    if recount != plan.registers_per_thread:
+        emit(out, "PLAN201",
+             f"source recount gives {recount} regs/thread; "
+             f"plan budgets {plan.registers_per_thread}",
+             subject=subject)
+
+    # PLAN203 — update-body tap contract.
+    expected_reads = (3 if facts.retiming else 1) + 2 * pattern.order
+    if facts.reads_per_point != expected_reads:
+        emit(out, "PLAN203",
+             f"update body performs {facts.reads_per_point} staged read(s) "
+             f"per point; tap contract requires {expected_reads}",
+             subject=subject)
+    if facts.writes_per_point != 1:
+        emit(out, "PLAN203",
+             f"update body performs {facts.writes_per_point} store(s) "
+             f"per point; tap contract requires 1",
+             subject=subject)
+
+    return out

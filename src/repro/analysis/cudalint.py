@@ -1,0 +1,361 @@
+"""Static linter for generated CUDA kernel source.
+
+:func:`parse_kernel` builds a light structural model of one emitted
+kernel — declarations, loop nest, barrier placement, array accesses —
+by tokenizing the source line by line with brace tracking. The model is
+shared with the plan-vs-source cross-checker
+(:mod:`repro.analysis.crosscheck`); the lint rules here check
+*intra-source* invariants that must hold for any kernel
+:func:`repro.codegen.cuda.generate_cuda` claims to have produced:
+
+``CUDA101``
+    ``__syncthreads()`` inside a divergent branch (an ``if`` block).
+    Generated kernels hoist tile-edge handling out of the barrier path;
+    a barrier under a conditional deadlocks real hardware.
+``CUDA102``
+    Shared-memory tile declared but no ``__syncthreads()`` anywhere —
+    threads would read the tile before their neighbours staged it.
+``CUDA103``
+    Shared tile smaller than the block's work footprint plus halo.
+``CUDA104``
+    Constant index beyond a declared array extent.
+``CUDA105``
+    Use of an undeclared identifier (register or array).
+``CUDA106``
+    Malformed structure: unbalanced braces, missing kernel signature.
+``CUDA107``
+    Missing or out-of-range ``__launch_bounds__`` annotation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    emit,
+    register_rule,
+)
+from repro.space.setting import Setting
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+register_rule("CUDA101", Severity.ERROR,
+              "__syncthreads() inside a divergent branch")
+register_rule("CUDA102", Severity.ERROR,
+              "shared-memory tile staged without a barrier")
+register_rule("CUDA103", Severity.ERROR,
+              "shared tile under-allocated for tile+halo")
+register_rule("CUDA104", Severity.ERROR,
+              "constant index outside declared array extent")
+register_rule("CUDA105", Severity.ERROR, "use of undeclared identifier")
+register_rule("CUDA106", Severity.ERROR, "malformed kernel structure")
+register_rule("CUDA107", Severity.ERROR,
+              "missing or out-of-range __launch_bounds__")
+
+#: Identifiers CUDA defines in every kernel scope.
+_BUILTINS = frozenset({
+    "blockIdx", "blockDim", "threadIdx", "gridDim", "warpSize",
+    "__syncthreads", "void", "int", "double", "const", "for", "if",
+    "else", "extern", "pragma", "unroll", "x", "y", "z", "s",
+})
+
+_RE_COMMENT = re.compile(r"//.*$|/\*.*?\*/")
+_RE_LAUNCH_BOUNDS = re.compile(r"__launch_bounds__\((\d+)\)")
+_RE_SIGNATURE = re.compile(r"(\w+)_kernel\((.*)\)")
+_RE_PARAM = re.compile(r"(?:const\s+)?double\*\s+__restrict__\s+(\w+)")
+_RE_SHARED = re.compile(r"__shared__\s+double\s+(\w+)\[(\d+)\]")
+_RE_CONSTANT = re.compile(r"__constant__\s+double\s+(\w+)\[(\d+)\]")
+_RE_LOCAL_ARRAY = re.compile(r"^\s*double\s+(\w+)\[(\d+)\]")
+_RE_SCALAR_DECL = re.compile(r"(?:const\s+)?(?:int|double)\s+(\w+)\s*[=;]")
+_RE_PRAGMA = re.compile(r"#pragma\s+unroll\s+(\d+)")
+_RE_FOR = re.compile(r"for\s*\(int\s+(\w+)\s*=\s*0;\s*\1\s*<\s*(\d+);")
+_RE_ACCESS = re.compile(r"(\w+)\[([^\]]*)\]")
+_RE_IDENT = re.compile(r"[A-Za-z_]\w*")
+_RE_INT = re.compile(r"^\d+$")
+
+_SUFFIX = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One counted ``for`` loop of the kernel body."""
+
+    var: str
+    bound: int
+    line: int
+    depth: int
+    unroll_pragma: int | None
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One subscripted use ``name[index]``."""
+
+    name: str
+    index: str
+    line: int
+    is_store: bool
+
+
+@dataclass
+class ParsedKernel:
+    """Structural model of one emitted kernel source."""
+
+    source: str
+    kernel_name: str | None = None
+    launch_bounds: int | None = None
+    launch_bounds_line: int = 0
+    params: list[str] = field(default_factory=list)
+    #: name -> (element count, declaration line); one dict per storage class.
+    shared_arrays: dict[str, tuple[int, int]] = field(default_factory=dict)
+    constant_arrays: dict[str, tuple[int, int]] = field(default_factory=dict)
+    local_arrays: dict[str, tuple[int, int]] = field(default_factory=dict)
+    scalars: dict[str, int] = field(default_factory=dict)
+    loops: list[Loop] = field(default_factory=list)
+    #: (line, enclosing block kinds innermost-last) per barrier.
+    syncthreads: list[tuple[int, tuple[str, ...]]] = field(default_factory=list)
+    accesses: list[ArrayAccess] = field(default_factory=list)
+    #: Free-form emission markers recovered from comments ("retimed",
+    #: "stream-dim:z", ...) — part of the codegen contract.
+    markers: set[str] = field(default_factory=set)
+    brace_balance: int = 0
+
+    def array_extent(self, name: str) -> int | None:
+        for table in (self.shared_arrays, self.constant_arrays, self.local_arrays):
+            if name in table:
+                return table[name][0]
+        return None
+
+    def declared_names(self) -> set[str]:
+        names = set(self.params) | set(self.scalars)
+        names |= set(self.shared_arrays) | set(self.constant_arrays)
+        names |= set(self.local_arrays)
+        names |= {loop.var for loop in self.loops}
+        return names
+
+    def loop_factor(self, var: str) -> int:
+        """Trip count of the loop with counter ``var`` (1 when absent)."""
+        for loop in self.loops:
+            if loop.var == var:
+                return loop.bound
+        return 1
+
+    @property
+    def stream_loop(self) -> Loop | None:
+        for loop in self.loops:
+            if loop.var == "s":
+                return loop
+        return None
+
+
+def parse_kernel(source: str) -> ParsedKernel:
+    """Tokenize one generated kernel into its structural model."""
+    parsed = ParsedKernel(source=source)
+    stack: list[str] = []
+    pending_pragma: int | None = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        comment = raw
+        line = _RE_COMMENT.sub("", raw)
+
+        # Emission markers ride in comments.
+        if "retimed" in comment:
+            parsed.markers.add("retimed")
+        m = re.search(r"streaming over dimension (\w)", comment)
+        if m:
+            parsed.markers.add(f"stream-dim:{m.group(1)}")
+
+        m = _RE_LAUNCH_BOUNDS.search(line)
+        if m:
+            parsed.launch_bounds = int(m.group(1))
+            parsed.launch_bounds_line = lineno
+
+        m = _RE_SIGNATURE.search(line)
+        if m:
+            parsed.kernel_name = m.group(1)
+            parsed.params = _RE_PARAM.findall(m.group(2))
+
+        array_decl = False
+        m = _RE_SHARED.search(line)
+        if m:
+            parsed.shared_arrays[m.group(1)] = (int(m.group(2)), lineno)
+            array_decl = True
+        else:
+            m = _RE_CONSTANT.search(line)
+            if m:
+                parsed.constant_arrays[m.group(1)] = (int(m.group(2)), lineno)
+                array_decl = True
+            else:
+                m = _RE_LOCAL_ARRAY.search(line)
+                if m:
+                    parsed.local_arrays[m.group(1)] = (int(m.group(2)), lineno)
+                    array_decl = True
+                elif "for" not in line:
+                    m = _RE_SCALAR_DECL.search(line)
+                    if m and "__restrict__" not in line:
+                        parsed.scalars.setdefault(m.group(1), lineno)
+
+        m = _RE_PRAGMA.search(line)
+        if m:
+            pending_pragma = int(m.group(1))
+        else:
+            m = _RE_FOR.search(line)
+            if m:
+                parsed.loops.append(Loop(
+                    var=m.group(1),
+                    bound=int(m.group(2)),
+                    line=lineno,
+                    depth=len(stack),
+                    unroll_pragma=pending_pragma,
+                ))
+                pending_pragma = None
+
+        if "__syncthreads" in line:
+            parsed.syncthreads.append((lineno, tuple(stack)))
+
+        if not array_decl:  # a declaration's [N] is an extent, not an access
+            for m in _RE_ACCESS.finditer(line):
+                after = line[m.end():].lstrip()
+                is_store = after.startswith("=") and not after.startswith("==")
+                parsed.accesses.append(ArrayAccess(
+                    name=m.group(1), index=m.group(2).strip(),
+                    line=lineno, is_store=is_store,
+                ))
+
+        # Brace tracking: classify each opened block by its header.
+        for ch in line:
+            if ch == "{":
+                if "for" in line:
+                    kind = "for"
+                elif re.search(r"\bif\s*\(", line):
+                    kind = "if"
+                elif "_kernel(" in line or "__global__" in line:
+                    kind = "kernel"
+                else:
+                    kind = "block"
+                stack.append(kind)
+                parsed.brace_balance += 1
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                parsed.brace_balance -= 1
+
+    return parsed
+
+
+def required_tile_elems(pattern: StencilPattern, setting: Setting) -> int:
+    """Shared-tile element count the staging contract requires.
+
+    The tile must cover the block's work footprint plus an ``order``-wide
+    halo on each face; along an active streaming dimension only a
+    ``2*order + 1``-plane sliding window is resident. This mirrors the
+    codegen sizing rule independently of :mod:`repro.codegen.registers`
+    so the linter can catch under-allocation either side introduces.
+    """
+    order = pattern.order
+    streaming = setting.enabled("useStreaming")
+    sd = setting["SD"] if streaming else None
+    elems = 1
+    for dim, s in enumerate(_SUFFIX, start=1):
+        if streaming and dim == sd:
+            elems *= 2 * order + 1
+            continue
+        footprint = (
+            setting[f"TB{s}"] * setting[f"UF{s}"]
+            * setting[f"CM{s}"] * setting[f"BM{s}"]
+        )
+        elems *= footprint + 2 * order
+    staged = 1 if pattern.shape is not StencilShape.MULTI else min(2, pattern.inputs)
+    return elems * staged
+
+
+def lint_kernel(
+    pattern: StencilPattern,
+    setting: Setting,
+    source: str,
+    *,
+    parsed: ParsedKernel | None = None,
+) -> list[Diagnostic]:
+    """Run every CUDA1xx rule over one emitted kernel source."""
+    if parsed is None:
+        parsed = parse_kernel(source)
+    out: list[Diagnostic] = []
+    subject = f"{pattern.name}"
+
+    # CUDA106 — structure.
+    if parsed.brace_balance != 0:
+        emit(out, "CUDA106",
+             f"unbalanced braces (net depth {parsed.brace_balance:+d})",
+             subject=subject)
+    if parsed.kernel_name is None:
+        emit(out, "CUDA106", "no __global__ kernel signature found",
+             subject=subject)
+    elif parsed.kernel_name != pattern.name:
+        emit(out, "CUDA106",
+             f"kernel named {parsed.kernel_name!r}, expected {pattern.name!r}",
+             subject=subject)
+
+    # CUDA107 — launch bounds.
+    if parsed.launch_bounds is None:
+        emit(out, "CUDA107", "__launch_bounds__ annotation missing",
+             subject=subject)
+    elif not 1 <= parsed.launch_bounds <= 1024:
+        emit(out, "CUDA107",
+             f"__launch_bounds__({parsed.launch_bounds}) outside [1, 1024]",
+             subject=subject, span=SourceSpan.at(parsed.launch_bounds_line))
+
+    # CUDA101 — barrier under divergence.
+    for line, contexts in parsed.syncthreads:
+        if "if" in contexts:
+            emit(out, "CUDA101",
+                 "__syncthreads() executed under a divergent branch",
+                 subject=subject, span=SourceSpan.at(line))
+
+    # CUDA102 — staged tile without any barrier.
+    if parsed.shared_arrays and not parsed.syncthreads:
+        name, (_, line) = next(iter(parsed.shared_arrays.items()))
+        emit(out, "CUDA102",
+             f"shared tile {name!r} is never synchronized "
+             f"(__syncthreads() missing)",
+             subject=subject, span=SourceSpan.at(line))
+
+    # CUDA103 — tile+halo sizing.
+    if parsed.shared_arrays:
+        need = required_tile_elems(pattern, setting)
+        for name, (elems, line) in parsed.shared_arrays.items():
+            if elems < need:
+                emit(out, "CUDA103",
+                     f"shared tile {name!r} holds {elems} elements; "
+                     f"tile+halo needs {need}",
+                     subject=subject, span=SourceSpan.at(line))
+
+    # CUDA104 — constant indices vs declared extents.
+    for acc in parsed.accesses:
+        extent = parsed.array_extent(acc.name)
+        if extent is None:
+            continue
+        index = _RE_COMMENT.sub("", acc.index).strip()
+        if _RE_INT.match(index) and int(index) >= extent:
+            emit(out, "CUDA104",
+                 f"{acc.name}[{index}] exceeds declared extent {extent}",
+                 subject=subject, span=SourceSpan.at(acc.line))
+
+    # CUDA105 — undeclared identifiers.
+    declared = parsed.declared_names() | _BUILTINS
+    seen: set[str] = set()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _RE_COMMENT.sub("", raw)
+        if "__launch_bounds__" in line or "_kernel(" in line:
+            continue  # signature tokens (extern "C", restrict) are not uses
+        for m in _RE_IDENT.finditer(line):
+            name = m.group(0)
+            if name.startswith("__") or name in declared or name in seen:
+                continue
+            seen.add(name)
+            emit(out, "CUDA105", f"identifier {name!r} is never declared",
+                 subject=subject, span=SourceSpan.at(lineno))
+
+    return out

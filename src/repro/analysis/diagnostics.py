@@ -1,0 +1,233 @@
+"""Shared diagnostic framework for the static-analysis passes.
+
+Every analysis pass (CUDA linter, plan-vs-source cross-checker,
+space/constraint prover) reports through the same vocabulary: a
+:class:`Diagnostic` carries a registered rule ID, a severity, a message
+and an optional source span, and an :class:`AnalysisReport` aggregates
+them per analyzed subject with text and JSON renderers.
+
+The rule registry is the contract surface: rule IDs are stable across
+releases (``docs/analysis.md`` documents them), distinct failure
+classes always map to distinct IDs, and a pass may only emit IDs it
+registered — misuse fails loudly at emission time, not in a reviewer's
+diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """A strict-mode gate rejected a kernel or space.
+
+    Raised by :class:`~repro.gpusim.simulator.GpuSimulator` in strict
+    mode and by the CLI driver when any ERROR-severity diagnostic is
+    produced. The offending diagnostics are kept on :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics: "list[Diagnostic]") -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+class Severity(str, Enum):
+    """How seriously a finding gates the pipeline.
+
+    ``ERROR`` findings fail strict mode and the CLI exit code;
+    ``WARNING`` findings are surfaced but do not gate; ``INFO`` findings
+    are observations (dead values, redundant constraints) that are
+    expected on healthy spaces.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """1-based line range into an analyzed source text.
+
+    ``line_end`` is inclusive; single-line findings use
+    ``line == line_end``. ``None`` spans (space-level findings) render
+    without a location.
+    """
+
+    line: int
+    line_end: int
+
+    def __post_init__(self) -> None:
+        if self.line < 1 or self.line_end < self.line:
+            raise ValueError(f"malformed span: {self.line}..{self.line_end}")
+
+    @classmethod
+    def at(cls, line: int) -> "SourceSpan":
+        return cls(line, line)
+
+    def __str__(self) -> str:
+        if self.line == self.line_end:
+            return f"L{self.line}"
+        return f"L{self.line}-{self.line_end}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule: stable ID plus its default severity."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+
+
+#: Global rule registry, keyed by rule ID (populated at import time by
+#: the passes via :func:`register_rule`).
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, severity: Severity, summary: str) -> Rule:
+    """Register a rule ID (idempotent for identical re-registration)."""
+    rule = Rule(rule_id, severity, summary)
+    existing = RULES.get(rule_id)
+    if existing is not None and existing != rule:
+        raise ValueError(f"rule {rule_id} already registered differently")
+    RULES[rule_id] = rule
+    return rule
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation (or observation) with its context."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    span: SourceSpan | None = None
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unregistered rule ID {self.rule_id!r}")
+
+    def render(self) -> str:
+        loc = f" {self.span}" if self.span is not None else ""
+        subj = f"{self.subject}: " if self.subject else ""
+        return f"[{self.rule_id}:{self.severity.value}]{loc} {subj}{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "span": (
+                None
+                if self.span is None
+                else {"line": self.span.line, "line_end": self.span.line_end}
+            ),
+        }
+
+
+def emit(
+    diagnostics: list[Diagnostic],
+    rule_id: str,
+    message: str,
+    *,
+    subject: str = "",
+    span: SourceSpan | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Append a diagnostic for a registered rule (its default severity)."""
+    rule = RULES.get(rule_id)
+    if rule is None:
+        raise ValueError(f"unregistered rule ID {rule_id!r}")
+    d = Diagnostic(
+        rule_id=rule_id,
+        severity=severity if severity is not None else rule.severity,
+        message=message,
+        subject=subject,
+        span=span,
+    )
+    diagnostics.append(d)
+    return d
+
+
+@dataclass
+class AnalysisReport:
+    """Findings of one or more passes over one analyzed subject.
+
+    ``subject`` identifies what was analyzed (``"j3d7pt@A100"``,
+    ``"space:helmholtz@V100"``); ``passes`` records which analysis
+    passes ran, so an empty diagnostics list is distinguishable from a
+    pass that never executed.
+    """
+
+    subject: str
+    passes: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no ERROR-severity finding (the gate predicate)."""
+        return not self.errors
+
+    def rule_ids(self) -> list[str]:
+        """Distinct rule IDs present, in first-occurrence order."""
+        seen: dict[str, None] = {}
+        for d in self.diagnostics:
+            seen.setdefault(d.rule_id, None)
+        return list(seen)
+
+    # -- renderers ---------------------------------------------------------
+
+    def render_text(self, *, verbose: bool = False) -> str:
+        """Human-readable report; INFO findings only under ``verbose``."""
+        shown = [
+            d
+            for d in self.diagnostics
+            if verbose or d.severity is not Severity.INFO
+        ]
+        counts = {s: len(self.by_severity(s)) for s in Severity}
+        status = "PASS" if self.ok else "FAIL"
+        head = (
+            f"{status} {self.subject} "
+            f"[{'+'.join(self.passes) or 'no passes'}] — "
+            f"{counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info"
+        )
+        return "\n".join([head] + [f"  {d.render()}" for d in shown])
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "subject": self.subject,
+            "passes": list(self.passes),
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def merge_reports(subject: str, reports: list[AnalysisReport]) -> AnalysisReport:
+    """Fold several per-pass reports into one per-subject report."""
+    merged = AnalysisReport(subject=subject)
+    for r in reports:
+        merged.passes.extend(p for p in r.passes if p not in merged.passes)
+        merged.diagnostics.extend(r.diagnostics)
+    return merged

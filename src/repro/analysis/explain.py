@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.codegen.plan import build_plan
+from repro.codegen.plan import KernelPlan, build_plan
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.memory import compute_traffic
-from repro.gpusim.occupancy import compute_occupancy
-from repro.gpusim.timing import compute_timing
+from repro.gpusim.memory import MemoryTraffic, compute_traffic
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.timing import TimingBreakdown, compute_timing
 from repro.space.setting import Setting
 from repro.stencil.pattern import StencilPattern
 
@@ -60,7 +60,13 @@ class SettingReport:
         return "\n".join(lines)
 
 
-def _advisory_notes(plan, occ, traffic, timing, setting: Setting) -> list[str]:
+def _advisory_notes(
+    plan: KernelPlan,
+    occ: Occupancy,
+    traffic: MemoryTraffic,
+    timing: TimingBreakdown,
+    setting: Setting,
+) -> list[str]:
     notes: list[str] = []
     if traffic.gld_efficiency < 0.5:
         notes.append(

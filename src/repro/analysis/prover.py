@@ -1,0 +1,313 @@
+"""Space/constraint consistency prover.
+
+Checks one :class:`~repro.space.space.SearchSpace` (per stencil ×
+device) for three pathologies of the Table I constraint system:
+
+``SPACE301`` (error)
+    The constraint set is unsatisfiable — no valid setting exists (or
+    none could be found; see below).
+``SPACE302`` (info)
+    A dead parameter value: a domain value no valid setting uses. Dead
+    values inflate the nominal space and waste sampler draws; they are
+    reported, not gated, because Table I deliberately keeps uniform
+    power-of-two domains per dimension.
+``SPACE303`` (info)
+    A redundant constraint: over the probe set, every candidate it
+    rejects is also rejected by some other constraint.
+
+Small spaces (``nominal_size() <= exhaustive_limit``) are proved
+*exhaustively* — the full cartesian product is materialized and
+screened with the vectorized constraint kernels, so SPACE301/302 are
+exact. Large (paper-scale) spaces use stratified witness search: every
+``(parameter, value)`` pair gets a deterministic family of minimal
+targeted candidates (all other numeric parameters at their minimum,
+every optimization-switch combination, every streaming dimension),
+plus a seeded constraint-aware sample pool. A value is reported dead
+when *no witness was found* in either set; because the resource models
+are monotone in the merge/unroll factors, the minimal targeted family
+makes this exact for the shipped constraint system.
+
+Everything is deterministic: the targeted families are enumerated in a
+fixed order and the pool is drawn from a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    emit,
+    register_rule,
+)
+from repro.codegen.plan import build_plan_arrays
+from repro.codegen.registers import MAX_REGISTERS_PER_THREAD
+from repro.errors import SearchError
+from repro.gpusim.device import DeviceSpec
+from repro.space.constraints import MAX_THREADS_PER_BLOCK
+from repro.space.parameters import PARAM_INDEX, PARAMETER_ORDER
+from repro.space.setting import Setting
+from repro.space.space import SearchSpace
+from repro.utils.rng import rng_from_seed
+
+register_rule("SPACE301", Severity.ERROR, "unsatisfiable constraint set")
+register_rule("SPACE302", Severity.INFO, "dead parameter value")
+register_rule("SPACE303", Severity.INFO, "redundant constraint")
+
+_SUFFIX = ("x", "y", "z")
+_SWITCHES = ("useShared", "useConstant", "useStreaming",
+             "useRetiming", "usePrefetching")
+
+
+@dataclass
+class ProofResult:
+    """Machine-readable outcome of one prover run."""
+
+    satisfiable: bool
+    exhaustive: bool
+    #: (parameter, value) pairs with no valid witness, sorted.
+    dead_values: list[tuple[str, int]] = field(default_factory=list)
+    #: Constraint names whose rejections are covered by the others.
+    redundant_constraints: list[str] = field(default_factory=list)
+    probes: int = 0
+    valid_probes: int = 0
+
+
+def _rule_reject_masks(
+    space: SearchSpace, device: DeviceSpec | None, values: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Per-constraint reject masks (True = this rule rejects the row).
+
+    Mirrors :func:`repro.space.constraints.explicit_violation` rule by
+    rule, plus the implicit resource rules when a device is known. The
+    union of all masks equals ``~valid`` for in-domain rows.
+    """
+    pattern = space.pattern
+    col = PARAM_INDEX
+    tb = [values[:, col[f"TB{s}"]] for s in _SUFFIX]
+    uf = [values[:, col[f"UF{s}"]] for s in _SUFFIX]
+    sd = values[:, col["SD"]]
+    sb = values[:, col["SB"]]
+    streaming = values[:, col["useStreaming"]] == 2
+    prefetch = values[:, col["usePrefetching"]] == 2
+
+    grid = np.array(pattern.grid, dtype=np.int64)
+    sd_ix = np.clip(sd - 1, 0, 2)
+    m_sd = grid[sd_ix]
+    tb_sd = np.choose(sd_ix, tb)
+    uf_sd = np.choose(sd_ix, uf)
+
+    masks: dict[str, np.ndarray] = {
+        "tb_limit": tb[0] * tb[1] * tb[2] > MAX_THREADS_PER_BLOCK,
+        "sd_gate": ~streaming & (sd != 1),
+        "sb_gate": ~streaming & (sb != 1),
+        "prefetch_gate": ~streaming & prefetch,
+        "sb_extent": streaming & (sb > m_sd),
+        "stream_tb": streaming & (tb_sd != 1),
+        "stream_uf": streaming & (sb > 1) & (uf_sd > sb),
+    }
+    for dim, s in enumerate(_SUFFIX, start=1):
+        extent = np.full(len(values), pattern.grid[dim - 1], dtype=np.int64)
+        on_sd = streaming & (sd == dim)
+        extent[on_sd] = np.maximum(1, extent[on_sd] // sb[on_sd])
+        tile = (
+            values[:, col[f"TB{s}"]] * values[:, col[f"UF{s}"]]
+            * values[:, col[f"CM{s}"]] * values[:, col[f"BM{s}"]]
+        )
+        masks[f"tile_fit_{s}"] = tile > extent
+
+    if device is not None:
+        arrays = build_plan_arrays(pattern, values)
+        max_regs = min(MAX_REGISTERS_PER_THREAD, device.max_regs_per_thread)
+        masks["regs_spill"] = arrays.registers_per_thread > max_regs
+        masks["regs_block"] = (
+            arrays.registers_per_thread * arrays.threads_per_block
+            > device.regs_per_sm
+        )
+        masks["smem_block"] = (
+            arrays.shared_memory_per_block > device.max_smem_per_block
+        )
+    return masks
+
+
+def _valid_mask(
+    space: SearchSpace, device: DeviceSpec | None, values: np.ndarray
+) -> np.ndarray:
+    """Validity of in-domain rows via the per-rule reject masks."""
+    masks = _rule_reject_masks(space, device, values)
+    ok = np.ones(len(values), dtype=bool)
+    for mask in masks.values():
+        ok &= ~mask
+    if device is None and space.resource_check is not None:
+        for i in np.flatnonzero(ok):
+            if space.resource_check(Setting(
+                dict(zip(PARAMETER_ORDER, values[i].tolist()))
+            )) is not None:
+                ok[i] = False
+    return ok
+
+
+def _all_ones_row(space: SearchSpace) -> np.ndarray:
+    """The minimal candidate: every parameter at its smallest value."""
+    return np.array(
+        [space.param(n).values[0] for n in PARAMETER_ORDER], dtype=np.int64
+    )
+
+
+def targeted_candidates(
+    space: SearchSpace, param: str, value: int
+) -> np.ndarray:
+    """Deterministic minimal-context witness family for ``param=value``.
+
+    Starts from the all-minimum row, pins ``param=value``, and
+    enumerates every optimization-switch combination × streaming
+    dimension (resource relief is not monotone in the switches:
+    shared-memory staging and retiming *reduce* register pressure).
+    Rows that violate gating constraints are included and simply fail
+    the screen — completeness matters here, not draw efficiency.
+    """
+    base = _all_ones_row(space)
+    base[PARAM_INDEX[param]] = value
+    rows: list[np.ndarray] = []
+    sd_options = (
+        (value,) if param == "SD" else (1, 2, 3)
+    )
+    for combo in range(2 ** len(_SWITCHES)):
+        row = base.copy()
+        for bit, name in enumerate(_SWITCHES):
+            if param == name:
+                continue  # pinned
+            row[PARAM_INDEX[name]] = 2 if combo >> bit & 1 else 1
+        streaming = row[PARAM_INDEX["useStreaming"]] == 2
+        if not streaming:
+            rows.append(row)
+            continue
+        for sd in sd_options:
+            r = row.copy()
+            if param != "SD":
+                r[PARAM_INDEX["SD"]] = sd
+            rows.append(r)
+    return np.unique(np.stack(rows), axis=0)
+
+
+def _enumerate_space(space: SearchSpace) -> np.ndarray:
+    """Full cartesian product of the domains as an int64 matrix."""
+    domains = [np.asarray(space.param(n).values, dtype=np.int64)
+               for n in PARAMETER_ORDER]
+    mesh = np.meshgrid(*domains, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+def prove_space(
+    space: SearchSpace,
+    device: DeviceSpec | None = None,
+    *,
+    seed: int = 0,
+    pool: int = 256,
+    exhaustive_limit: int = 1 << 17,
+) -> tuple[ProofResult, list[Diagnostic]]:
+    """Run the SPACE3xx consistency proof over one search space."""
+    device = device if device is not None else _space_device(space)
+    subject = f"space:{space.pattern.name}" + (
+        f"@{device.name}" if device is not None else ""
+    )
+    out: list[Diagnostic] = []
+
+    exhaustive = space.nominal_size() <= exhaustive_limit
+    if exhaustive:
+        values = _enumerate_space(space)
+        ok = _valid_mask(space, device, values)
+        alive: set[tuple[str, int]] = set()
+        for j, name in enumerate(PARAMETER_ORDER):
+            for v in np.unique(values[ok, j]).tolist():
+                alive.add((name, int(v)))
+        satisfiable = bool(ok.any())
+        probe_values, probe_ok = values, ok
+    else:
+        # Phase 1 — constraint-aware pool (marks most values alive).
+        rng = rng_from_seed(seed)
+        try:
+            sampled = space.sample(rng, pool, unique=True)
+        except SearchError:
+            sampled = []
+        alive = set()
+        for s in sampled:
+            for name in PARAMETER_ORDER:
+                alive.add((name, s[name]))
+        # Phase 2 — deterministic minimal witnesses for the remainder.
+        probe_rows: list[np.ndarray] = []
+        probe_valid: list[np.ndarray] = []
+        for name in PARAMETER_ORDER:
+            for v in space.param(name).values:
+                cands = targeted_candidates(space, name, int(v))
+                ok = _valid_mask(space, device, cands)
+                probe_rows.append(cands)
+                probe_valid.append(ok)
+                if (name, v) not in alive and ok.any():
+                    alive.add((name, int(v)))
+        probe_values = np.concatenate(probe_rows)
+        probe_ok = np.concatenate(probe_valid)
+        satisfiable = bool(sampled) or bool(probe_ok.any())
+
+    dead = sorted(
+        (name, int(v))
+        for name in PARAMETER_ORDER
+        for v in space.param(name).values
+        if (name, v) not in alive
+    )
+
+    if not satisfiable:
+        emit(out, "SPACE301",
+             "no valid setting exists"
+             + ("" if exhaustive else " (no witness found)"),
+             subject=subject)
+    for name, v in dead:
+        emit(out, "SPACE302",
+             f"{name}={v} appears in no valid setting"
+             + ("" if exhaustive else " (no witness found)"),
+             subject=subject)
+
+    # Redundancy: union the probe set with uniform domain draws so each
+    # rule sees rejections the constraint-aware candidates avoid.
+    rng = rng_from_seed(seed + 1)
+    uniform = np.stack([
+        np.asarray(space.param(n).values, dtype=np.int64)[
+            rng.integers(space.param(n).cardinality, size=2048)
+        ]
+        for n in PARAMETER_ORDER
+    ], axis=1)
+    probe_all = np.concatenate([probe_values, uniform])
+    masks = _rule_reject_masks(space, device, probe_all)
+    redundant: list[str] = []
+    for name, mask in masks.items():
+        if not mask.any():
+            continue  # never fires on the probes: nothing to judge
+        others = np.zeros(len(probe_all), dtype=bool)
+        for other, m in masks.items():
+            if other != name:
+                others |= m
+        if bool(np.all(others[mask])):
+            redundant.append(name)
+            emit(out, "SPACE303",
+                 f"constraint {name!r} is redundant over "
+                 f"{len(probe_all)} probes ({int(mask.sum())} rejection(s) "
+                 f"all covered by other constraints)",
+                 subject=subject)
+
+    result = ProofResult(
+        satisfiable=satisfiable,
+        exhaustive=exhaustive,
+        dead_values=dead,
+        redundant_constraints=redundant,
+        probes=int(len(probe_all)),
+        valid_probes=int(probe_ok.sum()),
+    )
+    return result, out
+
+
+def _space_device(space: SearchSpace) -> DeviceSpec | None:
+    dev = space.resource_device
+    return dev if isinstance(dev, DeviceSpec) else None

@@ -17,6 +17,8 @@ Section V-A2):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.baselines.base import ITERATION_BATCH, BaselineTuner
@@ -25,7 +27,7 @@ from repro.core.reindex import build_group_indexes
 from repro.errors import DatasetError
 from repro.ml.forest import RandomForestRegressor
 from repro.profiler.dataset import PerformanceDataset
-from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting
 from repro.space.space import SearchSpace
 from repro.stencil.pattern import StencilPattern
 
@@ -43,7 +45,7 @@ DIMENSION_GROUPS: tuple[tuple[str, ...], ...] = (
 MEMORY_PARAMS: tuple[str, str] = ("useShared", "useConstant")
 
 
-def _features(settings) -> np.ndarray:
+def _features(settings: Sequence[Setting]) -> np.ndarray:
     return np.array([s.log2_vector() for s in settings], dtype=np.float64)
 
 

@@ -14,6 +14,9 @@ Subcommands cover the common workflows:
     Print the Fig 2-4 distributions for a stencil.
 ``compare``
     Iso-time comparison of all four tuners on one stencil.
+``analyze``
+    Static analysis: lint generated kernels, cross-check plans, prove
+    constraint consistency (see ``docs/analysis.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.analysis.cli import add_analyze_arguments, run_from_args
 from repro.core import Budget, CsTuner, CsTunerConfig
 from repro.experiments import (
     compare_stencil,
@@ -210,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=100.0)
     p.add_argument("--reps", type=int, default=2)
 
+    p = sub.add_parser("analyze", help="static analysis of kernels and spaces")
+    add_analyze_arguments(p)
+
     return parser
 
 
@@ -220,6 +227,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "motivation": _cmd_motivation,
     "compare": _cmd_compare,
+    "analyze": run_from_args,
 }
 
 

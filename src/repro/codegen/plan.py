@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.codegen.registers import (
 from repro.space.parameters import PARAM_INDEX
 from repro.space.setting import Setting
 from repro.stencil.pattern import StencilPattern
+
+if TYPE_CHECKING:  # import-light at runtime: gpusim imports this module
+    from repro.gpusim.device import DeviceSpec
 
 _SUFFIX = ("x", "y", "z")
 
@@ -266,7 +270,7 @@ def plans_from_arrays(
 
 def resource_ok_array(
     pattern: StencilPattern,
-    device: "object",
+    device: "DeviceSpec",
     values: np.ndarray,
     arrays: PlanArrays | None = None,
 ) -> np.ndarray:
@@ -285,13 +289,13 @@ def resource_ok_array(
 
 
 def resource_violation(
-    pattern: StencilPattern, setting: Setting, device: "object"
+    pattern: StencilPattern, setting: Setting, device: "DeviceSpec"
 ) -> str | None:
     """Implicit (resource) constraint check — Section IV-B.
 
-    ``device`` is a :class:`repro.gpusim.device.DeviceSpec`; typed as
-    object to keep this layer import-light. Returns the first violated
-    resource rule or ``None``.
+    ``device`` is imported for typing only, keeping this layer
+    import-light at runtime. Returns the first violated resource rule
+    or ``None``.
     """
     plan = build_plan(pattern, setting)
     max_regs = min(MAX_REGISTERS_PER_THREAD, device.max_regs_per_thread)

@@ -124,25 +124,14 @@ class EvolutionarySearch:
             values.update(gi.decode(gene))
         return self.space.repair_full(values)
 
-    def _evaluate(self, ind: Individual) -> None:
-        setting = self.decode(ind.genes)
-        if not self.space.is_valid(setting):
-            ind.fitness, ind.time_s = 0.0, float("inf")
-            return
-        t = self.evaluator.evaluate(setting)
-        if t is None:
-            ind.fitness, ind.time_s = 0.0, float("inf")
-        else:
-            ind.fitness, ind.time_s = 1.0 / t, t
-
     def _evaluate_many(self, inds: list[Individual]) -> None:
-        """Batched :meth:`_evaluate` over a population — same results.
+        """Batch-evaluate a population.
 
         Validity screening runs vectorized, the simulator model runs
         vectorized for the uncached valid settings, and the evaluator
         then replays each setting in order — so budget accounting and
-        measurement noise match sequential :meth:`_evaluate` calls
-        exactly.
+        measurement noise match sequential per-individual evaluation
+        exactly. Invalid individuals get zero fitness and infinite time.
         """
         decoded = [self.decode(ind.genes) for ind in inds]
         batch_valid = getattr(self.space, "_batch_valid", None)

@@ -25,8 +25,8 @@ from collections.abc import Mapping, Sequence
 
 import math
 
-from repro.gpusim.simulator import GpuSimulator
 from repro.errors import InvalidSettingError
+from repro.gpusim.simulator import GpuSimulator
 from repro.ml.stats import coefficient_of_variation
 from repro.space.setting import Setting
 from repro.space.space import SearchSpace
@@ -57,26 +57,39 @@ def best_response_values(
     Combinations violating any constraint are skipped — the paper skips
     settings "not existing" in the evaluated space; an ``a`` value with
     no feasible ``b`` contributes nothing.
+
+    Each per-``va`` sweep is validity-screened and evaluated in batch;
+    the winner is the first strictly-smallest feasible time in domain
+    order, exactly as the scalar loop selected it.
     """
     dom_a = _probe_values(space.param(a).values, probe_limit)
     dom_b = space.param(b).values
     responses: list[float] = []
     base_dict = base.to_dict()
+    batch_valid = getattr(space, "_batch_valid", None)
+    time_batch = getattr(simulator, "true_time_batch", None)
     for va in dom_a:
+        cands = [Setting({**base_dict, a: va, b: vb}) for vb in dom_b]
+        if batch_valid is not None:
+            ok = batch_valid(cands).tolist()
+        else:  # duck-typed spaces (e.g. temporal extension)
+            ok = [space.is_valid(c) for c in cands]
+        feasible = [c for c, good in zip(cands, ok) if good]
+        if not feasible:
+            continue
+        if time_batch is not None:
+            times = time_batch(pattern, feasible, invalid="nan").tolist()
+        else:  # duck-typed simulators: scalar evaluation, skip on raise
+            times = []
+            for c in feasible:
+                try:
+                    times.append(simulator.true_time(pattern, c))
+                except InvalidSettingError:
+                    times.append(math.nan)
         best_time = math.inf
         best_vb: int | None = None
-        for vb in dom_b:
-            values = dict(base_dict)
-            values[a] = va
-            values[b] = vb
-            setting = Setting(values)
-            if not space.is_valid(setting):
-                continue
-            try:
-                t = simulator.true_time(pattern, setting)
-            except InvalidSettingError:
-                continue
-            if t < best_time:
+        for vb, t in zip((v for v, good in zip(dom_b, ok) if good), times):
+            if not math.isnan(t) and t < best_time:
                 best_time, best_vb = t, vb
         if best_vb is not None:
             responses.append(math.log2(best_vb))

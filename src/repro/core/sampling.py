@@ -27,7 +27,6 @@ import numpy as np
 from repro.core.metricsel import (
     combine_metrics,
     metric_pccs,
-    metric_time_direction,
     select_representatives,
 )
 from repro.core.reindex import GroupIndex, build_group_indexes

@@ -33,9 +33,10 @@ from repro.experiments.motivation import (
 from repro.experiments.overhead import PHASES, overhead_breakdown
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.sensitivity import DEFAULT_RATIOS, sampling_ratio_sweep
-from repro.gpusim.device import A100, V100
+from repro.gpusim.device import A100, V100, DeviceSpec
 from repro.gpusim.simulator import GpuSimulator
-from repro.space.space import build_space
+from repro.space.space import SearchSpace, build_space
+from repro.stencil.pattern import StencilPattern
 from repro.stencil.suite import get_stencil, suite_names
 
 _BIN_LABELS = ["[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)", "[.8,1]"]
@@ -69,7 +70,9 @@ class ExperimentRunner:
         self.reports[name] = text
         (self.out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
-    def _sim_space(self, stencil: str, device):
+    def _sim_space(
+        self, stencil: str, device: DeviceSpec
+    ) -> tuple[StencilPattern, GpuSimulator, SearchSpace]:
         pattern = get_stencil(stencil)
         return pattern, GpuSimulator(device=device, seed=self.seed), build_space(
             pattern, device
@@ -110,7 +113,9 @@ class ExperimentRunner:
             title="Fig 4 — top-n speedup over the optimum",
         ))
 
-    def run_comparisons(self, device=A100, tag: str = "") -> dict[str, dict]:
+    def run_comparisons(
+        self, device: DeviceSpec = A100, tag: str = ""
+    ) -> dict[str, dict]:
         """Figs 8 and 9 (A100) or the Fig 10 inputs (V100)."""
         all_results = {}
         fig8_blocks, fig9_blocks, norm_rows = [], [], []

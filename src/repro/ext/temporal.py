@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import InvalidSettingError
+from repro.gpusim.device import DeviceSpec
 from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 from repro.space.parameters import Parameter, ParameterKind
 from repro.space.setting import Setting
@@ -178,7 +179,7 @@ class TemporalSimulator:
     _compiled: set[Setting] = field(default_factory=set, repr=False)
 
     @property
-    def device(self):
+    def device(self) -> DeviceSpec:
         return self.base.device
 
     @property

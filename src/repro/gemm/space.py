@@ -22,6 +22,7 @@ evaluator require — csTuner tunes GEMM through the identical pipeline.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from itertools import product
 
 import numpy as np
@@ -249,7 +250,7 @@ class GemmSpace:
                         out.append(cand)
         return out
 
-    def enumerate_valid(self, *, limit: int | None = None):
+    def enumerate_valid(self, *, limit: int | None = None) -> Iterator[Setting]:
         """Lazily yield valid settings (small space: fully enumerable)."""
         domains = [self.param(n).values for n in GEMM_PARAMETER_ORDER]
         count = 0

@@ -56,7 +56,7 @@ def _bit_length(values: np.ndarray) -> np.ndarray:
     return np.frexp(values.astype(np.float64))[1].astype(np.int64)
 
 
-def _taps_per_point(pattern: StencilPattern):
+def _taps_per_point(pattern: StencilPattern) -> int | float:
     """Scalar twin of :func:`repro.gpusim.memory._total_taps_per_point`.
 
     Plan-independent, so it is computed once per batch. Keeps the scalar

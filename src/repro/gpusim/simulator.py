@@ -88,6 +88,16 @@ class GpuSimulator:
         Bound on the noise-free evaluation cache (LRU eviction); ``None``
         disables the bound. Hits/misses are counted in ``cache_hits`` /
         ``cache_misses`` (see :meth:`cache_info`).
+    strict / strict_every:
+        Strict mode runs the static-analysis gate
+        (:func:`repro.analysis.gate.strict_gate`) on evaluated settings
+        before they enter the cache, raising
+        :class:`~repro.analysis.diagnostics.AnalysisError` when the
+        generated kernel fails a lint or plan-consistency rule. Deep
+        source analysis is ~40x the cost of a batched model evaluation,
+        so only a deterministic hash-selected 1-in-``strict_every``
+        subset is checked (identical across scalar and batch paths);
+        ``strict_every=1`` checks every uncached setting.
     """
 
     device: DeviceSpec = field(default_factory=lambda: A100)
@@ -96,6 +106,8 @@ class GpuSimulator:
     compile_cost_s: float = DEFAULT_COMPILE_COST_S
     trials: int = DEFAULT_TRIALS
     evaluations: int = 0
+    strict: bool = False
+    strict_every: int = 1024
     true_cache_capacity: int | None = DEFAULT_TRUE_CACHE_CAPACITY
     cache_hits: int = 0
     cache_misses: int = 0
@@ -112,6 +124,18 @@ class GpuSimulator:
         if reason is not None:
             return reason
         return resource_violation(pattern, setting, self.device)
+
+    def _strict_check(
+        self, pattern: StencilPattern, setting: Setting, plan: KernelPlan
+    ) -> None:
+        """Run the hash-sampled static-analysis gate on one setting.
+
+        Imported lazily: ``repro.analysis`` depends on this module's
+        package, and non-strict simulators never pay for the import.
+        """
+        from repro.analysis.gate import strict_gate
+
+        strict_gate(pattern, setting, plan, every=self.strict_every)
 
     # -- evaluation cache ----------------------------------------------------
 
@@ -160,6 +184,8 @@ class GpuSimulator:
         if reason is not None:
             raise InvalidSettingError(f"{pattern.name}: {reason}")
         plan = build_plan(pattern, setting)
+        if self.strict:
+            self._strict_check(pattern, setting, plan)
         occ = compute_occupancy(plan, self.device)
         traffic = compute_traffic(plan, self.device)
         timing = compute_timing(plan, self.device, traffic, occ)
@@ -225,9 +251,20 @@ class GpuSimulator:
                     pattern, self.device, todo, values=values, arrays=arrays
                 )
                 name = pattern.name
-                for s, metrics, true_time, plan in zip(
+                if self.strict:
+                    from repro.analysis.gate import gate_selected_batch
+
+                    # Same selection rule as the scalar path, screened
+                    # in one vectorized pass; raises before the commit
+                    # loop touches any state.
+                    gate = gate_selected_batch(name, values, self.strict_every)
+                else:
+                    gate = None
+                for j, (s, metrics, true_time, plan) in enumerate(zip(
                     todo, result.metrics, result.true_times.tolist(), result.plans
-                ):
+                )):
+                    if gate is not None and gate[j]:
+                        self._strict_check(pattern, s, plan)
                     metrics["elapsed_time"] = true_time
                     computed[(name, s)] = (true_time, metrics, plan)
 

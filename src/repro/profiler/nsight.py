@@ -12,7 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.gpusim.simulator import GpuSimulator
+from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 from repro.profiler.dataset import DatasetRecord, PerformanceDataset
 from repro.space.setting import Setting
 from repro.space.space import SearchSpace
@@ -32,7 +32,7 @@ class NsightCollector:
         return self._record(run)
 
     @staticmethod
-    def _record(run) -> DatasetRecord:
+    def _record(run: MeasuredRun) -> DatasetRecord:
         metrics = {k: v for k, v in run.metrics.items() if k != "elapsed_time"}
         return DatasetRecord(
             setting=run.setting, time_s=run.time_s, metrics=metrics

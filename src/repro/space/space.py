@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Sequence
 from itertools import product
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.space.parameters import (
 )
 from repro.space.setting import Setting, settings_matrix
 from repro.stencil.pattern import StencilPattern
+
+if TYPE_CHECKING:  # import-light at runtime: gpusim sits above this layer
+    from repro.gpusim.device import DeviceSpec
 
 #: Optional implicit-constraint hook: returns a reason string or None.
 ResourceCheck = Callable[[Setting], "str | None"]
@@ -64,7 +68,7 @@ class SearchSpace:
         pattern: StencilPattern,
         parameters: Sequence[Parameter] | None = None,
         resource_check: ResourceCheck | None = None,
-        resource_device: "object | None" = None,
+        resource_device: "DeviceSpec | None" = None,
     ) -> None:
         self.pattern = pattern
         self.parameters: tuple[Parameter, ...] = tuple(
@@ -426,19 +430,25 @@ class SearchSpace:
                     return
 
     def neighbors(self, setting: Setting) -> list[Setting]:
-        """Valid one-step moves: one parameter nudged one domain index."""
-        out: list[Setting] = []
+        """Valid one-step moves: one parameter nudged one domain index.
+
+        Candidates are constructed first and validity-screened in one
+        :meth:`_batch_valid` call (the resource model dominates the
+        cost); the returned list is identical to checking each
+        candidate with :meth:`is_valid` in construction order.
+        """
+        cands: list[Setting] = []
+        base = setting.to_dict()
         for p in self.parameters:
             idx = p.index_of(setting[p.name])
             for step in (-1, 1):
                 j = idx + step
                 if 0 <= j < p.cardinality:
-                    cand = self.repair(
-                        {**setting.to_dict(), p.name: p.values[j]}
-                    )
-                    if cand != setting and self.is_valid(cand):
-                        out.append(cand)
-        return out
+                    cand = self.repair({**base, p.name: p.values[j]})
+                    if cand != setting:
+                        cands.append(cand)
+        ok = self._batch_valid(cands)
+        return [c for c, good in zip(cands, ok.tolist()) if good]
 
     # -- encodings ---------------------------------------------------------
 
@@ -468,20 +478,22 @@ class SearchSpace:
         """Monte-Carlo estimate of the valid fraction of the nominal space."""
         if n <= 0:
             raise ValueError(f"sample count must be positive, got {n}")
-        hits = 0
-        for _ in range(n):
-            values = {
+        # Draw in the exact order the scalar loop would (one integer per
+        # parameter per iteration, so the RNG stream is unchanged), then
+        # validity-screen the whole batch at once.
+        drawn = [
+            Setting({
                 p.name: int(p.values[rng.integers(p.cardinality)])
                 for p in self.parameters
-            }
-            if self.violation(Setting(values)) is None:
-                hits += 1
-        return hits / n
+            })
+            for _ in range(n)
+        ]
+        return int(self._batch_valid(drawn).sum()) / n
 
 
 def build_space(
     pattern: StencilPattern,
-    device: "object | None" = None,
+    device: "DeviceSpec | None" = None,
     *,
     max_factor: int | None = None,
 ) -> SearchSpace:
@@ -497,7 +509,11 @@ def build_space(
     if device is not None:
         from repro.codegen.plan import resource_violation
 
-        def check(setting: Setting, _pattern=pattern, _device=device) -> str | None:
+        def check(
+            setting: Setting,
+            _pattern: StencilPattern = pattern,
+            _device: "DeviceSpec" = device,
+        ) -> str | None:
             return resource_violation(_pattern, setting, _device)
 
     return SearchSpace(

@@ -1,0 +1,100 @@
+"""Diagnostic-framework unit tests (rules, reports, renderers)."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    emit,
+    merge_reports,
+    register_rule,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+class TestRuleRegistry:
+    def test_passes_registered_their_rules(self):
+        # Importing the passes registers the full catalogue.
+        import repro.analysis.crosscheck  # noqa: F401
+        import repro.analysis.cudalint  # noqa: F401
+        import repro.analysis.prover  # noqa: F401
+
+        for rule_id in ("CUDA101", "CUDA102", "CUDA103", "CUDA104",
+                        "CUDA105", "CUDA106", "CUDA107",
+                        "PLAN201", "PLAN202", "PLAN203", "PLAN204", "PLAN205",
+                        "SPACE301", "SPACE302", "SPACE303"):
+            assert rule_id in RULES
+
+    def test_reregistration_is_idempotent(self):
+        rule = RULES["CUDA101"]
+        assert register_rule(rule.rule_id, rule.severity, rule.summary) == rule
+
+    def test_conflicting_reregistration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule("CUDA101", Severity.INFO, "something else")
+
+    def test_unregistered_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic("NOPE999", Severity.ERROR, "boom")
+        with pytest.raises(ValueError, match="unregistered"):
+            emit([], "NOPE999", "boom")
+
+
+class TestSourceSpan:
+    def test_single_line(self):
+        assert str(SourceSpan.at(7)) == "L7"
+
+    def test_range(self):
+        assert str(SourceSpan(3, 9)) == "L3-9"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpan(0, 4)
+        with pytest.raises(ValueError):
+            SourceSpan(5, 4)
+
+
+class TestReport:
+    def _report(self) -> AnalysisReport:
+        r = AnalysisReport(subject="kernel:demo", passes=["cudalint"])
+        emit(r.diagnostics, "CUDA103", "tile too small",
+             subject="demo", span=SourceSpan.at(4))
+        emit(r.diagnostics, "SPACE302", "dead value", subject="demo")
+        return r
+
+    def test_gate_predicate_is_no_errors(self):
+        r = self._report()
+        assert not r.ok
+        assert len(r.errors) == 1
+        clean = AnalysisReport(subject="s", passes=["p"])
+        assert clean.ok
+
+    def test_info_hidden_unless_verbose(self):
+        r = self._report()
+        assert "dead value" not in r.render_text()
+        assert "dead value" in r.render_text(verbose=True)
+        assert "FAIL" in r.render_text()
+
+    def test_rule_ids_first_occurrence_order(self):
+        assert self._report().rule_ids() == ["CUDA103", "SPACE302"]
+
+    def test_json_round_trip(self):
+        data = json.loads(self._report().render_json())
+        assert data["subject"] == "kernel:demo"
+        assert data["ok"] is False
+        assert data["diagnostics"][0]["rule_id"] == "CUDA103"
+        assert data["diagnostics"][0]["span"] == {"line": 4, "line_end": 4}
+
+    def test_merge_reports(self):
+        a = self._report()
+        b = AnalysisReport(subject="x", passes=["cudalint", "prover"])
+        merged = merge_reports("both", [a, b])
+        assert merged.subject == "both"
+        assert merged.passes == ["cudalint", "prover"]
+        assert len(merged.diagnostics) == 2
