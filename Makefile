@@ -1,0 +1,33 @@
+# Developer entry points. `make verify` is the pre-merge gate: it runs
+# the same lint / type-check / test steps as .github/workflows/ci.yml,
+# but skips lint or type-check gracefully when the tool is not
+# installed (offline environments carry only the runtime deps).
+
+PYTHON ?= python
+PYTEST_ARGS ?= -x -q -m "not slow"
+
+.PHONY: verify lint typecheck test bench
+
+verify: lint typecheck test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed - skipping lint"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed - skipping type-check"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest tests $(PYTEST_ARGS)
+
+bench:
+	$(PYTHON) benchmarks/bench_throughput.py
+	$(PYTHON) benchmarks/bench_strict_overhead.py
+	$(PYTHON) benchmarks/bench_runner_parallel.py

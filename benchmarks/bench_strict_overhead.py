@@ -5,7 +5,8 @@ Sweeps 2000 (``REPRO_BENCH_STRICT_N``) sampled j3d7pt settings through
 ``GpuSimulator.run_batch`` twice — once with ``strict=False`` and once
 with ``strict=True`` at the default 1-in-1024 hash subsampling — and
 reports the relative overhead of the pre-simulation analysis gate.
-Results land in ``benchmarks/results/BENCH_strict_overhead.json``.
+Results land in ``benchmarks/results/BENCH_strict_overhead.json``
+(mirrored at the repository root, see ``_artifacts.py``).
 
 The gate's contract (docs/analysis.md) is that strict mode costs < 5 %
 on a default-noise 2000-setting sweep; the benchmark exits nonzero if
@@ -18,7 +19,6 @@ Run standalone: ``python benchmarks/bench_strict_overhead.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -31,6 +31,7 @@ if __package__ in (None, ""):  # standalone: make src/ importable
 
 import numpy as np
 
+from _artifacts import write_result
 from repro.analysis.gate import DEFAULT_STRICT_EVERY, gate_selected
 from repro.gpusim.device import A100
 from repro.gpusim.simulator import GpuSimulator
@@ -39,9 +40,6 @@ from repro.stencil.suite import get_stencil
 
 STENCIL = "j3d7pt"
 MAX_OVERHEAD = 0.05
-RESULTS_PATH = (
-    Path(__file__).resolve().parent / "results" / "BENCH_strict_overhead.json"
-)
 
 
 def _best_of_interleaved(fs, reps: int) -> list[float]:
@@ -119,8 +117,7 @@ def main() -> int:
             "overhead_fraction": dense_s / loose_s - 1.0,
         },
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    paths = write_result("strict_overhead", result)
 
     print(
         f"loose {loose_s:.4f}s  strict {strict_s:.4f}s  "
@@ -132,7 +129,7 @@ def main() -> int:
         f"overhead {(dense_s / loose_s - 1.0) * 100:+.2f}%  "
         f"({dense_gated}/{n} deep-checked)"
     )
-    print(f"[written to {RESULTS_PATH}]")
+    print(f"[written to {paths[0]} and {paths[1]}]")
 
     if overhead > MAX_OVERHEAD:
         print(

@@ -7,8 +7,9 @@ and once for the whole batch via :meth:`GpuSimulator.run_batch` — and
 reports settings/second for both paths, at the default measurement
 noise and for the noise-free ground-truth configuration the motivation
 experiments use. Results land in
-``benchmarks/results/BENCH_eval_throughput.json`` so subsequent PRs can
-track the perf trajectory.
+``benchmarks/results/BENCH_eval_throughput.json`` (mirrored at the
+repository root, see ``_artifacts.py``) so subsequent PRs can track
+the perf trajectory.
 
 The batch path must produce *identical* results (times, tuning cost,
 every metric, cache counters); the benchmark verifies this before
@@ -20,7 +21,6 @@ Run standalone: ``python benchmarks/bench_throughput.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -33,6 +33,7 @@ if __package__ in (None, ""):  # standalone: make src/ importable
 
 import numpy as np
 
+from _artifacts import write_result
 from repro.gpusim.device import A100
 from repro.gpusim.simulator import GpuSimulator
 from repro.space.space import build_space
@@ -40,7 +41,6 @@ from repro.stencil.suite import get_stencil
 
 STENCIL = "j3d7pt"
 MIN_SPEEDUP = 2.0
-RESULTS_PATH = Path(__file__).resolve().parent / "results" / "BENCH_eval_throughput.json"
 
 
 def _best_of_interleaved(fs, reps: int) -> list[float]:
@@ -124,8 +124,7 @@ def main() -> int:
         "noise_free": noise_free,
         "cache": cache,
     }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    paths = write_result("eval_throughput", result)
 
     for label, d in (("default-noise", noisy), ("noise-free", noise_free)):
         print(
@@ -133,7 +132,7 @@ def main() -> int:
             f"batch {d['batch_settings_per_sec']:,.0f}/s  "
             f"speedup {d['speedup']:.2f}x"
         )
-    print(f"[written to {RESULTS_PATH}]")
+    print(f"[written to {paths[0]} and {paths[1]}]")
 
     if noisy["speedup"] < MIN_SPEEDUP:
         print(

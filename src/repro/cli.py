@@ -22,8 +22,9 @@ Subcommands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.analysis.cli import add_analyze_arguments, run_from_args
 from repro.core import Budget, CsTuner, CsTunerConfig
@@ -48,6 +49,27 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("stencil", help="stencil name (see `repro suite`)")
     p.add_argument("--device", default="A100", choices=["A100", "V100"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent evaluation-cache directory; reruns "
+                        "warm-start from the journal kept there")
+
+
+@contextlib.contextmanager
+def _evaluation_store(args: argparse.Namespace) -> Iterator[None]:
+    """Attach ``--cache-dir``'s store for the duration of a command."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        yield
+        return
+    from repro.gpusim.diskcache import EvaluationStore, set_default_store
+
+    store = EvaluationStore(cache_dir)
+    previous = set_default_store(store)
+    try:
+        yield
+    finally:
+        set_default_store(previous)
+        store.close()
 
 
 def _cmd_suite(_args: argparse.Namespace) -> int:
@@ -84,12 +106,13 @@ def _cmd_space(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     pattern = get_stencil(args.stencil)
     device = get_device(args.device)
-    simulator = GpuSimulator(device=device, seed=args.seed)
-    space = build_space(pattern, device)
-    tuner = CsTuner(
-        simulator, CsTunerConfig(seed=args.seed, dataset_size=args.size)
-    )
-    dataset = tuner.collect_dataset(pattern, space)
+    with _evaluation_store(args):
+        simulator = GpuSimulator(device=device, seed=args.seed)
+        space = build_space(pattern, device)
+        tuner = CsTuner(
+            simulator, CsTunerConfig(seed=args.seed, dataset_size=args.size)
+        )
+        dataset = tuner.collect_dataset(pattern, space)
     print(f"collected {len(dataset)} profiled settings for "
           f"{pattern.name} on {device.name}; best "
           f"{dataset.best().time_s * 1e3:.3f} ms")
@@ -102,24 +125,25 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_tune(args: argparse.Namespace) -> int:
     pattern = get_stencil(args.stencil)
     device = get_device(args.device)
-    simulator = GpuSimulator(device=device, seed=args.seed)
-    space = build_space(pattern, device)
-    budget = (
-        Budget(max_iterations=args.iterations)
-        if args.iterations
-        else Budget(max_cost_s=args.budget)
-    )
-    result = run_tuner(
-        args.tuner,
-        simulator,
-        pattern,
-        space,
-        budget,
-        dataset=None if args.tuner in ("OpenTuner", "Artemis") else CsTuner(
-            simulator, CsTunerConfig(seed=args.seed)
-        ).collect_dataset(pattern, space),
-        seed=args.seed,
-    )
+    with _evaluation_store(args):
+        simulator = GpuSimulator(device=device, seed=args.seed)
+        space = build_space(pattern, device)
+        budget = (
+            Budget(max_iterations=args.iterations)
+            if args.iterations
+            else Budget(max_cost_s=args.budget)
+        )
+        result = run_tuner(
+            args.tuner,
+            simulator,
+            pattern,
+            space,
+            budget,
+            dataset=None if args.tuner in ("OpenTuner", "Artemis") else CsTuner(
+                simulator, CsTunerConfig(seed=args.seed)
+            ).collect_dataset(pattern, space),
+            seed=args.seed,
+        )
     print(result.summary())
     print(f"best setting: {result.best_setting!r}")
     return 0
@@ -128,19 +152,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_motivation(args: argparse.Namespace) -> int:
     pattern = get_stencil(args.stencil)
     device = get_device(args.device)
-    simulator = GpuSimulator(device=device, seed=args.seed)
-    space = build_space(pattern, device)
-    fig2 = speedup_distribution(
-        simulator, pattern, space, n_samples=args.samples, seed=args.seed
-    )
-    fig4 = topn_speedups(
-        simulator, pattern, space, n_samples=args.samples, seed=args.seed
-    )
-    fig3 = parameter_pair_distribution(
-        simulator, pattern, space, n_samples=min(args.samples, 500),
-        probe_limit=4, seed=args.seed,
-        parameters=["TBx", "TBy", "UFx", "UFy", "BMx", "useShared"],
-    )
+    with _evaluation_store(args):
+        simulator = GpuSimulator(device=device, seed=args.seed)
+        space = build_space(pattern, device)
+        fig2 = speedup_distribution(
+            simulator, pattern, space, n_samples=args.samples, seed=args.seed
+        )
+        fig4 = topn_speedups(
+            simulator, pattern, space, n_samples=args.samples, seed=args.seed
+        )
+        fig3 = parameter_pair_distribution(
+            simulator, pattern, space, n_samples=min(args.samples, 500),
+            probe_limit=4, seed=args.seed,
+            parameters=["TBx", "TBy", "UFx", "UFy", "BMx", "useShared"],
+        )
     labels = ["[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)", "[.8,1]"]
     print(format_table(["bin"] + labels,
                        [["Fig2 fraction"] + list(fig2["fractions"]),
@@ -162,6 +187,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         Budget(max_cost_s=args.budget),
         repetitions=args.reps,
         seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     checkpoints = [args.budget * f for f in (0.1, 0.25, 0.5, 0.75, 1.0)]
     print(format_series(
@@ -213,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--budget", type=float, default=100.0)
     p.add_argument("--reps", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for the tuner runs "
+                        "(1 = in-process, serial)")
 
     p = sub.add_parser("analyze", help="static analysis of kernels and spaces")
     add_analyze_arguments(p)

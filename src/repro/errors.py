@@ -54,5 +54,9 @@ class CommunicatorError(ReproError):
     """Misuse of the MPI-like communicator (bad rank, mismatched calls)."""
 
 
+class OrchestrationError(ReproError):
+    """One or more work units of a parallel experiment sweep failed."""
+
+
 class DatasetError(ReproError):
     """A performance dataset is empty, malformed or incompatible."""

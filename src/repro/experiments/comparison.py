@@ -65,8 +65,38 @@ def compare_stencil(
     repetitions: int = 3,
     seed: int = 0,
     dataset_size: int = 128,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, list[TuningResult]]:
-    """All tuners x repetitions on one stencil; shared offline dataset."""
+    """All tuners x repetitions on one stencil; shared offline dataset.
+
+    ``workers > 1`` fans the (tuner, repetition) runs across a process
+    pool (optionally backed by a persistent evaluation cache at
+    ``cache_dir``); results are bit-identical to the sequential path —
+    each work unit rebuilds the same simulator, dataset and seeds, and
+    per-run simulator state resets identically in both orders (see
+    :mod:`repro.experiments.tasks`).
+    """
+    if workers > 1 or cache_dir is not None:
+        from repro.experiments.tasks import tuner_run_task
+        from repro.parallel.pool import Task, run_tasks
+
+        tasks = [
+            Task(
+                fn=tuner_run_task,
+                args=(pattern.name, device.name, name, budget, rep, seed,
+                      dataset_size),
+                tag=f"compare:{pattern.name}@{device.name}/{name}/{rep}",
+            )
+            for name in tuners
+            for rep in range(repetitions)
+        ]
+        flat = run_tasks(tasks, workers=workers, cache_dir=cache_dir)
+        return {
+            name: flat[i * repetitions: (i + 1) * repetitions]
+            for i, name in enumerate(tuners)
+        }
+
     simulator = GpuSimulator(device=device, seed=seed)
     space = build_space(pattern, device)
     config = CsTunerConfig(seed=seed, dataset_size=dataset_size)

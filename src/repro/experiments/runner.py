@@ -6,6 +6,18 @@ devices, the sampling-ratio sweep and the overhead breakdown — and
 writes one text report per artifact (plus a combined summary). The
 pytest benchmarks wrap the same drivers individually; this runner is
 the batteries-included path for someone who just wants the numbers.
+
+Every phase decomposes into independent work units (see
+:mod:`repro.experiments.tasks`) which ``--workers N`` fans across a
+process pool; ``--cache-dir DIR`` additionally persists every
+noise-free model evaluation to an on-disk journal, so a second
+invocation warm-starts from mostly cache hits. Both knobs are
+result-neutral: artifacts are bit-identical to the serial, cache-less
+run. The only exceptions report host wall-clock time and so differ
+between *any* two runs, parallel or not: ``fig12``'s pre-processing
+phase seconds (its simulated ``search(s)`` column is deterministic),
+``summary.txt``'s total wall time and the ``orchestration.txt``
+counters.
 """
 
 from __future__ import annotations
@@ -20,30 +32,28 @@ import numpy as np
 from repro.core import Budget
 from repro.experiments.comparison import (
     TUNER_NAMES,
-    compare_stencil,
     iso_iteration_series,
     iso_time_best,
     normalized_to_garvey,
 )
-from repro.experiments.motivation import (
-    parameter_pair_distribution,
-    speedup_distribution,
-    topn_speedups,
-)
-from repro.experiments.overhead import PHASES, overhead_breakdown
+from repro.experiments.overhead import PHASES
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.sensitivity import DEFAULT_RATIOS, sampling_ratio_sweep
+from repro.experiments.sensitivity import DEFAULT_RATIOS
+from repro.experiments.tasks import (
+    motivation_task,
+    overhead_task,
+    sensitivity_task,
+    tuner_run_task,
+)
 from repro.gpusim.device import A100, V100, DeviceSpec
-from repro.gpusim.simulator import GpuSimulator
-from repro.space.space import SearchSpace, build_space
-from repro.stencil.pattern import StencilPattern
-from repro.stencil.suite import get_stencil, suite_names
+from repro.parallel.pool import Task, WorkerPool
+from repro.stencil.suite import suite_names
 
 _BIN_LABELS = ["[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)", "[.8,1]"]
 
 
 class ExperimentRunner:
-    """Drives all artifacts with shared scale knobs."""
+    """Drives all artifacts with shared scale and orchestration knobs."""
 
     def __init__(
         self,
@@ -54,6 +64,8 @@ class ExperimentRunner:
         repetitions: int = 2,
         budget_s: float = 100.0,
         seed: int = 0,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
@@ -62,7 +74,11 @@ class ExperimentRunner:
         self.repetitions = repetitions
         self.budget_s = budget_s
         self.seed = seed
+        self.workers = max(1, int(workers))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.reports: dict[str, str] = {}
+        self._pool: WorkerPool | None = None
+        self.orchestration: dict[str, int | float] = {}
 
     # -- helpers --------------------------------------------------------------
 
@@ -70,36 +86,38 @@ class ExperimentRunner:
         self.reports[name] = text
         (self.out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
-    def _sim_space(
-        self, stencil: str, device: DeviceSpec
-    ) -> tuple[StencilPattern, GpuSimulator, SearchSpace]:
-        pattern = get_stencil(stencil)
-        return pattern, GpuSimulator(device=device, seed=self.seed), build_space(
-            pattern, device
-        )
+    def _map(self, tasks: Sequence[Task]) -> list:
+        """Run tasks on the shared pool (inside :meth:`run_all`) or an
+        ephemeral one (phases invoked standalone)."""
+        if self._pool is not None:
+            return self._pool.map(tasks)
+        with WorkerPool(self.workers, self.cache_dir) as pool:
+            results = pool.map(tasks)
+        self._merge_stats(pool.stats())
+        return results
+
+    def _merge_stats(self, stats: dict[str, int | float]) -> None:
+        for key, value in stats.items():
+            if key == "workers":
+                self.orchestration["workers"] = value
+            else:
+                self.orchestration[key] = self.orchestration.get(key, 0) + value
 
     # -- artifacts ------------------------------------------------------------
 
     def run_motivation(self) -> None:
-        """Figs 2, 3 and 4."""
-        fig2_rows, fig3_rows, fig4_rows = [], [], []
-        for name in self.stencils:
-            pattern, sim, space = self._sim_space(name, A100)
-            d2 = speedup_distribution(
-                sim, pattern, space, n_samples=self.samples, seed=self.seed
+        """Figs 2, 3 and 4 — one task per stencil."""
+        rows = self._map([
+            Task(
+                fn=motivation_task,
+                args=(name, self.samples, self.seed),
+                tag=f"motivation:{name}",
             )
-            fig2_rows.append([name] + list(d2["fractions"]))
-            d3 = parameter_pair_distribution(
-                sim, pattern, space,
-                n_samples=min(self.samples, 500), probe_limit=4, seed=self.seed,
-                parameters=["TBx", "TBy", "TBz", "UFx", "UFy", "BMx",
-                            "CMy", "useShared"],
-            )
-            fig3_rows.append([name] + list(d3["fractions"]))
-            d4 = topn_speedups(
-                sim, pattern, space, n_samples=self.samples, seed=self.seed
-            )
-            fig4_rows.append([name] + list(d4["speedups"].values()))
+            for name in self.stencils
+        ])
+        fig2_rows = [[name] + r["fig2"] for name, r in zip(self.stencils, rows)]
+        fig3_rows = [[name] + r["fig3"] for name, r in zip(self.stencils, rows)]
+        fig4_rows = [[name] + r["fig4"] for name, r in zip(self.stencils, rows)]
         self._write("fig02", format_table(
             ["stencil"] + _BIN_LABELS, fig2_rows,
             title="Fig 2 — speedup distribution over the optimum",
@@ -116,15 +134,34 @@ class ExperimentRunner:
     def run_comparisons(
         self, device: DeviceSpec = A100, tag: str = ""
     ) -> dict[str, dict]:
-        """Figs 8 and 9 (A100) or the Fig 10 inputs (V100)."""
-        all_results = {}
-        fig8_blocks, fig9_blocks, norm_rows = [], [], []
-        for name in self.stencils:
-            pattern = get_stencil(name)
-            results = compare_stencil(
-                pattern, device, Budget(max_cost_s=self.budget_s),
-                repetitions=self.repetitions, seed=self.seed,
+        """Figs 8 and 9 (A100) or the Fig 10 inputs (V100).
+
+        One task per (stencil, tuner, repetition) — the full sweep fans
+        out flat, then regroups into the sequential layout.
+        """
+        budget = Budget(max_cost_s=self.budget_s)
+        tasks = [
+            Task(
+                fn=tuner_run_task,
+                args=(name, device.name, tuner, budget, rep, self.seed),
+                tag=f"compare:{name}@{device.name}/{tuner}/{rep}",
             )
+            for name in self.stencils
+            for tuner in TUNER_NAMES
+            for rep in range(self.repetitions)
+        ]
+        flat = self._map(tasks)
+
+        all_results: dict[str, dict] = {}
+        fig8_blocks, fig9_blocks, norm_rows = [], [], []
+        reps = self.repetitions
+        per_stencil = len(TUNER_NAMES) * reps
+        for si, name in enumerate(self.stencils):
+            chunk = flat[si * per_stencil: (si + 1) * per_stencil]
+            results = {
+                tuner: chunk[ti * reps: (ti + 1) * reps]
+                for ti, tuner in enumerate(TUNER_NAMES)
+            }
             all_results[name] = results
             fig8_blocks.append(format_series(
                 iso_iteration_series(results, 10),
@@ -153,13 +190,16 @@ class ExperimentRunner:
 
     def run_sensitivity(self) -> None:
         """Fig 11 (csTuner only; first two stencils by default)."""
-        rows = []
-        for name in self.stencils[:2]:
-            sweep = sampling_ratio_sweep(
-                get_stencil(name), A100, Budget(max_cost_s=self.budget_s * 0.6),
-                ratios=DEFAULT_RATIOS, repetitions=1, seed=self.seed,
+        names = self.stencils[:2]
+        rows_data = self._map([
+            Task(
+                fn=sensitivity_task,
+                args=(name, self.budget_s * 0.6, self.seed),
+                tag=f"sensitivity:{name}",
             )
-            rows.append([name] + list(sweep["relative"]))
+            for name in names
+        ])
+        rows = [[name] + row for name, row in zip(names, rows_data)]
         self._write("fig11", format_table(
             ["stencil"] + [f"{int(r * 100)}%" for r in DEFAULT_RATIOS], rows,
             title="Fig 11 — normalized best per sampling ratio",
@@ -167,30 +207,62 @@ class ExperimentRunner:
         ))
 
     def run_overhead(self) -> None:
-        """Fig 12."""
-        rows = []
-        for name in self.stencils:
-            b = overhead_breakdown(
-                get_stencil(name), A100, Budget(max_cost_s=self.budget_s),
-                seed=self.seed,
+        """Fig 12 — one task per stencil."""
+        rows_data = self._map([
+            Task(
+                fn=overhead_task,
+                args=(name, self.budget_s, self.seed),
+                tag=f"overhead:{name}",
             )
-            rows.append(
-                [name] + [b["phase_seconds"][p] for p in PHASES]
-                + [b["search_s"], b["preprocessing_pct_of_search"]]
-            )
+            for name in self.stencils
+        ])
+        rows = [[name] + row for name, row in zip(self.stencils, rows_data)]
         self._write("fig12", format_table(
             ["stencil"] + [f"{p}(s)" for p in PHASES]
             + ["search(s)", "pre/search %"],
             rows, title="Fig 12 — pre-processing overhead breakdown",
         ))
 
+    # -- orchestration report --------------------------------------------------
+
+    def _orchestration_report(self) -> str:
+        o = self.orchestration
+        hits = int(o.get("cache_hits", 0))
+        misses = int(o.get("cache_misses", 0))
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        lines = [
+            "orchestration — parallel pool and persistent cache",
+            f"  workers:          {int(o.get('workers', self.workers))}",
+            f"  tasks:            {int(o.get('tasks', 0))}",
+            f"  cache hits:       {hits}",
+            f"  cache misses:     {misses}",
+            f"  cache hit rate:   {rate}",
+            f"  cache puts:       {int(o.get('cache_puts', 0))}",
+            f"  records loaded:   {int(o.get('records_loaded', 0))}",
+            f"  bad records:      {int(o.get('bad_records', 0))}",
+            f"  shards merged:    {int(o.get('shards_merged', 0))}",
+        ]
+        if self.cache_dir is None:
+            lines.append("  cache dir:        (disabled)")
+        else:
+            lines.append(f"  cache dir:        {self.cache_dir}")
+        return "\n".join(lines)
+
     def run_all(self) -> dict[str, str]:
         t0 = time.perf_counter()
-        self.run_motivation()
-        self.run_comparisons(A100)
-        self.run_comparisons(V100)
-        self.run_sensitivity()
-        self.run_overhead()
+        with WorkerPool(self.workers, self.cache_dir) as pool:
+            self._pool = pool
+            try:
+                self.run_motivation()
+                self.run_comparisons(A100)
+                self.run_comparisons(V100)
+                self.run_sensitivity()
+                self.run_overhead()
+            finally:
+                self._pool = None
+        self._merge_stats(pool.stats())
+        self._write("orchestration", self._orchestration_report())
         summary = "\n\n".join(
             self.reports[k] for k in sorted(self.reports)
         ) + f"\n\ntotal wall time: {time.perf_counter() - t0:.0f}s"
@@ -206,6 +278,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=2)
     parser.add_argument("--budget", type=float, default=100.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = in-process, serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation-cache directory; reruns "
+                             "warm-start from the journal kept there")
     args = parser.parse_args(argv)
     runner = ExperimentRunner(
         args.out,
@@ -214,6 +291,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         repetitions=args.reps,
         budget_s=args.budget,
         seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     runner.run_all()
     print(f"wrote {len(runner.reports)} reports to {runner.out_dir}/")

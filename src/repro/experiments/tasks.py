@@ -1,0 +1,126 @@
+"""Picklable work units for parallel experiment orchestration.
+
+Each function here is one independent unit of the paper's evaluation —
+a per-stencil motivation study, a single (stencil, device, tuner,
+repetition) tuning run, a sensitivity sweep or an overhead breakdown —
+shaped so :class:`repro.parallel.pool.WorkerPool` can fan them across
+spawn-context workers: module-level (picklable), taking only primitive
+arguments plus :class:`~repro.core.Budget`, and returning plain data.
+
+**Bit-identity contract.** Every task rebuilds its own simulator, space
+and (when the tuner consumes one) offline dataset from the same seeds
+the sequential drivers use. That reproduces the sequential results
+exactly, because all cross-run simulator state is either reset per run
+— :class:`~repro.core.budget.Evaluator` zeroes the evaluation counter
+(which seeds measurement noise) and the compile set (which prices
+tuning cost) — or is a pure cache of deterministic noise-free values.
+Dataset collection starts from a fresh simulator in both orders, so
+even its noisy measurements land on identical draws.
+"""
+
+from __future__ import annotations
+
+from repro.core import Budget, CsTuner, CsTunerConfig, TuningResult
+from repro.experiments.comparison import run_tuner
+from repro.experiments.motivation import (
+    parameter_pair_distribution,
+    speedup_distribution,
+    topn_speedups,
+)
+from repro.experiments.overhead import PHASES, overhead_breakdown
+from repro.experiments.sensitivity import sampling_ratio_sweep
+from repro.gpusim.device import A100, get_device
+from repro.gpusim.simulator import GpuSimulator
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+#: Fig 3 parameter subset probed by the experiment runner.
+FIG3_PARAMETERS: tuple[str, ...] = (
+    "TBx", "TBy", "TBz", "UFx", "UFy", "BMx", "CMy", "useShared",
+)
+
+#: Tuners that consume the shared offline dataset (see ``run_tuner``).
+_DATASET_TUNERS = frozenset({"csTuner", "Garvey"})
+
+
+def motivation_task(stencil: str, samples: int, seed: int) -> dict[str, list]:
+    """Figs 2-4 rows for one stencil (the A100 motivation study)."""
+    pattern = get_stencil(stencil)
+    simulator = GpuSimulator(device=A100, seed=seed)
+    space = build_space(pattern, A100)
+    d2 = speedup_distribution(
+        simulator, pattern, space, n_samples=samples, seed=seed
+    )
+    d3 = parameter_pair_distribution(
+        simulator, pattern, space,
+        n_samples=min(samples, 500), probe_limit=4, seed=seed,
+        parameters=list(FIG3_PARAMETERS),
+    )
+    d4 = topn_speedups(
+        simulator, pattern, space, n_samples=samples, seed=seed
+    )
+    return {
+        "fig2": list(d2["fractions"]),
+        "fig3": list(d3["fractions"]),
+        "fig4": list(d4["speedups"].values()),
+    }
+
+
+def tuner_run_task(
+    stencil: str,
+    device_name: str,
+    tuner: str,
+    budget: Budget,
+    rep: int,
+    seed: int,
+    dataset_size: int = 128,
+) -> TuningResult:
+    """One (stencil, device, tuner, repetition) comparison run.
+
+    Mirrors one inner-loop step of
+    :func:`repro.experiments.comparison.compare_stencil`: base-seeded
+    simulator and dataset, repetition-derived search seed
+    (``seed + 1000 * rep``).
+    """
+    pattern = get_stencil(stencil)
+    device = get_device(device_name)
+    simulator = GpuSimulator(device=device, seed=seed)
+    space = build_space(pattern, device)
+    config = CsTunerConfig(seed=seed, dataset_size=dataset_size)
+    dataset = None
+    if tuner in _DATASET_TUNERS:
+        dataset = CsTuner(simulator, config).collect_dataset(pattern, space)
+    return run_tuner(
+        tuner,
+        simulator,
+        pattern,
+        space,
+        budget,
+        dataset=dataset,
+        seed=seed + 1000 * rep,
+        cstuner_config=config,
+    )
+
+
+def sensitivity_task(
+    stencil: str, budget_s: float, seed: int
+) -> list[float]:
+    """Fig 11 relative-quality row for one stencil."""
+    from repro.experiments.sensitivity import DEFAULT_RATIOS
+
+    sweep = sampling_ratio_sweep(
+        get_stencil(stencil), A100, Budget(max_cost_s=budget_s),
+        ratios=DEFAULT_RATIOS, repetitions=1, seed=seed,
+    )
+    return list(sweep["relative"])
+
+
+def overhead_task(stencil: str, budget_s: float, seed: int) -> list[float]:
+    """Fig 12 row for one stencil (phase seconds + search + percentage)."""
+    b = overhead_breakdown(
+        get_stencil(stencil), A100, Budget(max_cost_s=budget_s), seed=seed
+    )
+    return (
+        [b["phase_seconds"][p] for p in PHASES]
+        + [b["search_s"], b["preprocessing_pct_of_search"]]
+    )

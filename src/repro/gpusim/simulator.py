@@ -19,9 +19,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.codegen.plan import KernelPlan, build_plan, resource_violation
+from repro.codegen.plan import (
+    KernelPlan,
+    build_plan,
+    build_plan_arrays,
+    plans_from_arrays,
+    resource_violation,
+)
 from repro.errors import InvalidSettingError
 from repro.gpusim import batch as _batch
+from repro.gpusim import diskcache as _diskcache
 from repro.gpusim.device import A100, DeviceSpec
 from repro.gpusim.memory import compute_traffic
 from repro.gpusim.metrics import derive_metrics
@@ -98,6 +105,16 @@ class GpuSimulator:
         so only a deterministic hash-selected 1-in-``strict_every``
         subset is checked (identical across scalar and batch paths);
         ``strict_every=1`` checks every uncached setting.
+    store:
+        Persistent evaluation store
+        (:class:`repro.gpusim.diskcache.EvaluationStore`). ``None``
+        attaches the process-wide default store installed by the
+        orchestration layer (also usually ``None``). Disk hits skip the
+        model pipeline — validity is still re-checked and the kernel
+        plan rebuilt, so stale journal entries can never resurrect an
+        invalid setting — and fresh evaluations are journaled. Stored
+        values are noise-free, so warm-started runs reproduce measured
+        runs bit-for-bit.
     """
 
     device: DeviceSpec = field(default_factory=lambda: A100)
@@ -111,10 +128,19 @@ class GpuSimulator:
     true_cache_capacity: int | None = DEFAULT_TRUE_CACHE_CAPACITY
     cache_hits: int = 0
     cache_misses: int = 0
+    store: _diskcache.EvaluationStore | None = None
+    disk_hits: int = 0
+    _device_token: str = field(default="", repr=False, init=False)
     _true_cache: OrderedDict[
         tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]
     ] = field(default_factory=OrderedDict, repr=False)
     _compiled: set[tuple[str, Setting]] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = _diskcache.get_default_store()
+        if self.store is not None:
+            self._device_token = _diskcache.device_token(self.device)
 
     # -- validity ------------------------------------------------------------
 
@@ -169,7 +195,35 @@ class GpuSimulator:
             "misses": self.cache_misses,
             "size": len(self._true_cache),
             "capacity": self.true_cache_capacity,
+            "disk_hits": self.disk_hits,
         }
+
+    # -- persistent store ----------------------------------------------------
+
+    def _store_lookup(
+        self, stencil: str, setting: Setting
+    ) -> tuple[float, dict[str, float]] | None:
+        if self.store is None:
+            return None
+        value = self.store.lookup(
+            self._device_token, stencil, setting.values_tuple()
+        )
+        if value is not None:
+            self.disk_hits += 1
+        return value
+
+    def _store_record(
+        self,
+        stencil: str,
+        setting: Setting,
+        true_time: float,
+        metrics: dict[str, float],
+    ) -> None:
+        if self.store is not None:
+            self.store.record(
+                self._device_token, stencil, setting.values_tuple(),
+                true_time, metrics,
+            )
 
     # -- core model ---------------------------------------------------------
 
@@ -186,6 +240,12 @@ class GpuSimulator:
         plan = build_plan(pattern, setting)
         if self.strict:
             self._strict_check(pattern, setting, plan)
+        stored = self._store_lookup(pattern.name, setting)
+        if stored is not None:
+            true_time, stored_metrics = stored
+            value = (true_time, dict(stored_metrics), plan)
+            self._cache_put(key, value)
+            return value
         occ = compute_occupancy(plan, self.device)
         traffic = compute_traffic(plan, self.device)
         timing = compute_timing(plan, self.device, traffic, occ)
@@ -194,6 +254,7 @@ class GpuSimulator:
         metrics = derive_metrics(plan, self.device, occ, traffic, timing)
         metrics["elapsed_time"] = true_time
         value = (true_time, metrics, plan)
+        self._store_record(pattern.name, setting, true_time, metrics)
         self._cache_put(key, value)
         return value
 
@@ -247,26 +308,59 @@ class GpuSimulator:
                 todo = [s for s, good in zip(todo, ok) if good]
                 values, arrays = values[ok], None
             if todo:
-                result = _batch.evaluate_settings(
-                    pattern, self.device, todo, values=values, arrays=arrays
-                )
                 name = pattern.name
+                stored_vals: list[tuple[float, dict[str, float]] | None]
+                stored_vals = [None] * len(todo)
+                if self.store is not None:
+                    tok, store = self._device_token, self.store
+                    stored_vals = [
+                        store.lookup(tok, name, s.values_tuple()) for s in todo
+                    ]
                 if self.strict:
                     from repro.analysis.gate import gate_selected_batch
 
                     # Same selection rule as the scalar path, screened
-                    # in one vectorized pass; raises before the commit
-                    # loop touches any state.
+                    # in one vectorized pass over every uncached row
+                    # (disk hits included, as in the scalar path).
                     gate = gate_selected_batch(name, values, self.strict_every)
                 else:
                     gate = None
-                for j, (s, metrics, true_time, plan) in enumerate(zip(
-                    todo, result.metrics, result.true_times.tolist(), result.plans
-                )):
-                    if gate is not None and gate[j]:
-                        self._strict_check(pattern, s, plan)
-                    metrics["elapsed_time"] = true_time
-                    computed[(name, s)] = (true_time, metrics, plan)
+                hits_j = [j for j, v in enumerate(stored_vals) if v is not None]
+                if hits_j:
+                    # Disk hits skip the model pipeline; only their
+                    # plans are rebuilt (needed by the cache tuple).
+                    self.disk_hits += len(hits_j)
+                    hit_settings = [todo[j] for j in hits_j]
+                    hit_values = values[np.array(hits_j)]
+                    hit_plans = plans_from_arrays(
+                        pattern, hit_settings,
+                        build_plan_arrays(pattern, hit_values),
+                    )
+                    for j, s, plan in zip(hits_j, hit_settings, hit_plans):
+                        if gate is not None and gate[j]:
+                            self._strict_check(pattern, s, plan)
+                        true_time, stored_metrics = stored_vals[j]  # type: ignore[misc]
+                        computed[(name, s)] = (true_time, dict(stored_metrics), plan)
+                miss_j = [j for j, v in enumerate(stored_vals) if v is None]
+                if miss_j:
+                    sub = [todo[j] for j in miss_j]
+                    if len(miss_j) == len(todo):
+                        sub_values, sub_arrays = values, arrays
+                    else:
+                        sub_values, sub_arrays = values[np.array(miss_j)], None
+                    result = _batch.evaluate_settings(
+                        pattern, self.device, sub,
+                        values=sub_values, arrays=sub_arrays,
+                    )
+                    for j, s, metrics, true_time, plan in zip(
+                        miss_j, sub, result.metrics,
+                        result.true_times.tolist(), result.plans,
+                    ):
+                        if gate is not None and gate[j]:
+                            self._strict_check(pattern, s, plan)
+                        metrics["elapsed_time"] = true_time
+                        self._store_record(name, s, true_time, metrics)
+                        computed[(name, s)] = (true_time, metrics, plan)
 
         # Commit in setting order: counters, LRU order and evictions all
         # match what the equivalent scalar loop would have produced

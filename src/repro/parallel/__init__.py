@@ -1,15 +1,31 @@
-"""MPI-like communication substrate for the multi-population GA.
+"""Parallel substrate: SPMD communication and experiment orchestration.
 
-The paper runs one GA sub-population per MPI process and migrates
-individuals around a single-ring topology (Fig 6). mpi4py is not
-available offline, so this package supplies an mpi4py-flavoured
-communicator with two backends: a deterministic in-process one (used by
-the tuners, so results are reproducible) and a genuine
-``multiprocessing`` SPMD driver (used by the parallel example and its
-test) with the same interface.
+Two layers live here:
+
+* **Communication** — the paper runs one GA sub-population per MPI
+  process and migrates individuals around a single-ring topology
+  (Fig 6). mpi4py is not available offline, so this package supplies an
+  mpi4py-flavoured communicator with two backends: a deterministic
+  in-process one (used by the tuners, so results are reproducible) and
+  a genuine ``multiprocessing`` SPMD driver (used by the parallel
+  example and its test) with the same interface.
+* **Orchestration** (:mod:`repro.parallel.pool`) — a deterministic
+  process-pool scheduler that fans independent experiment work units
+  (tuner runs, motivation studies) across workers, with per-worker
+  shards of the persistent evaluation store. Results are bit-identical
+  to the sequential path.
 """
 
 from repro.parallel.comm import Communicator, LocalRing, ring_exchange
 from repro.parallel.mp import spmd_run
+from repro.parallel.pool import Task, WorkerPool, run_tasks
 
-__all__ = ["Communicator", "LocalRing", "ring_exchange", "spmd_run"]
+__all__ = [
+    "Communicator",
+    "LocalRing",
+    "ring_exchange",
+    "spmd_run",
+    "Task",
+    "WorkerPool",
+    "run_tasks",
+]

@@ -10,6 +10,7 @@ tuners themselves use the deterministic :class:`~repro.parallel.comm.LocalRing`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -70,6 +71,13 @@ def spmd_run(
 
     ``fn`` must be picklable (a module-level function). Raises
     :class:`CommunicatorError` if any rank fails or times out.
+
+    ``timeout_s`` bounds the *whole* SPMD run, not each rank: all ranks
+    share one deadline, so a run with several hung ranks still returns
+    in ~``timeout_s`` rather than ``size * timeout_s``. On any exit
+    path every worker is reaped (terminate, then kill if it ignores
+    that) and every parent-held pipe end is closed — no zombie
+    processes and no leaked file descriptors.
     """
     if size < 1:
         raise CommunicatorError(f"size must be >= 1, got {size}")
@@ -80,38 +88,67 @@ def spmd_run(
     left_pipes = [ctx.Pipe() for _ in range(size)]   # i sends left on [i]
     result_pipes = [ctx.Pipe() for _ in range(size)]
 
-    procs = []
-    for rank in range(size):
-        conns = (
-            left_pipes[rank][0],                    # send to left neighbour
-            right_pipes[rank][0],                   # send to right neighbour
-            right_pipes[(rank - 1) % size][1],      # recv from left (their right-send)
-            left_pipes[(rank + 1) % size][1],       # recv from right (their left-send)
-        )
-        p = ctx.Process(
-            target=_worker,
-            args=(fn, rank, size, conns, result_pipes[rank][0], tuple(args)),
-        )
-        p.start()
-        procs.append(p)
+    procs: list[mp.process.BaseProcess] = []
+    try:
+        for rank in range(size):
+            conns = (
+                left_pipes[rank][0],                # send to left neighbour
+                right_pipes[rank][0],               # send to right neighbour
+                right_pipes[(rank - 1) % size][1],  # recv from left (their right-send)
+                left_pipes[(rank + 1) % size][1],   # recv from right (their left-send)
+            )
+            p = ctx.Process(
+                target=_worker,
+                args=(fn, rank, size, conns, result_pipes[rank][0], tuple(args)),
+            )
+            p.start()
+            procs.append(p)
 
-    results: list[Any] = [None] * size
-    errors: list[str] = []
-    for rank in range(size):
-        recv = result_pipes[rank][1]
-        if not recv.poll(timeout_s):
-            errors.append(f"rank {rank} timed out after {timeout_s}s")
-            continue
-        status, r, payload = recv.recv()
-        if status == "ok":
-            results[r] = payload
-        else:
-            errors.append(f"rank {r}: {payload}")
+        # Spawn pickles each child's connections, so the parent's copies
+        # of the ring ends and the result send ends are now redundant —
+        # close them so the only open descriptors here are the result
+        # receive ends.
+        for pipes in (right_pipes, left_pipes):
+            for send_end, recv_end in pipes:
+                send_end.close()
+                recv_end.close()
+        for send_end, _ in result_pipes:
+            send_end.close()
 
-    for p in procs:
-        p.join(timeout=5.0)
-        if p.is_alive():
-            p.terminate()
+        results: list[Any] = [None] * size
+        errors: list[str] = []
+        deadline = time.monotonic() + timeout_s
+        for rank in range(size):
+            recv = result_pipes[rank][1]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not recv.poll(remaining):
+                errors.append(f"rank {rank} timed out after {timeout_s}s")
+                continue
+            try:
+                status, r, payload = recv.recv()
+            except (EOFError, OSError):
+                errors.append(f"rank {rank} died without reporting a result")
+                continue
+            if status == "ok":
+                results[r] = payload
+            else:
+                errors.append(f"rank {r}: {payload}")
+    finally:
+        for p in procs:
+            # Brief grace for workers that already sent their result and
+            # are tearing down; anything still alive after it (hung or
+            # slow) has nothing left to deliver and is safe to signal.
+            p.join(timeout=0.25)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+            if p.is_alive():  # ignored SIGTERM (e.g. masked in fn)
+                p.kill()
+                p.join()
+            p.close()
+        for _, recv_end in result_pipes:
+            recv_end.close()
+
     if errors:
         raise CommunicatorError("; ".join(errors))
     return results

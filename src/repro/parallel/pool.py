@@ -1,0 +1,229 @@
+"""Deterministic process-pool experiment orchestration.
+
+The experiment stack above the batch engine was fully serial:
+``ExperimentRunner`` walked stencils × devices × tuners × repetitions
+one run at a time. Those runs are *independent by construction* — every
+work unit builds its own simulator/space/dataset from an explicit seed,
+and all cross-run simulator state either resets per run
+(:class:`~repro.core.budget.Evaluator` zeroes the evaluation counter
+and compile set) or is a pure cache of deterministic values — so they
+can fan out across worker processes and come back **bit-identical** to
+the sequential order.
+
+:class:`WorkerPool` owns the fan-out:
+
+* ``workers=1`` runs every task in-process (no subprocess, no pickling)
+  — the reference path the parallel results are compared against.
+* ``workers>1`` uses a ``spawn``-context :class:`multiprocessing.Pool`
+  (the same context discipline as :mod:`repro.parallel.mp`; fork would
+  duplicate open journal shards and NumPy state). Task functions must
+  be module-level picklables, like :mod:`repro.experiments.tasks`.
+* ``cache_dir`` attaches a persistent
+  :class:`~repro.gpusim.diskcache.EvaluationStore`: each worker opens
+  its own journal shard via the pool initializer, and the pool merges
+  all shards into the shared journal on exit.
+
+Results come back in task-submission order regardless of completion
+order, and failures are collected into one
+:class:`~repro.errors.OrchestrationError` naming the offending tasks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import OrchestrationError
+from repro.gpusim.diskcache import (
+    EvaluationStore,
+    get_default_store,
+    set_default_store,
+)
+
+#: Counter keys carried back from workers per task (store deltas).
+_DELTA_KEYS = ("hits", "misses", "puts")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent work unit: a picklable function and its arguments."""
+
+    fn: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: Label used in progress/error reporting, e.g. ``"compare:j3d7pt/csTuner/0"``.
+    tag: str = ""
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Pool initializer: open this worker's shard of the evaluation store."""
+    if cache_dir is not None:
+        set_default_store(EvaluationStore(cache_dir))
+
+
+def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
+    """Run one task; report (status, payload, store-counter delta)."""
+    store = get_default_store()
+    before = store.counters() if store is not None else None
+    try:
+        result = task.fn(*task.args, **task.kwargs)
+    except Exception:
+        return ("error", f"{task.tag or task.fn.__name__}:\n"
+                         f"{traceback.format_exc()}", {})
+    delta: dict[str, int] = {}
+    if store is not None and before is not None:
+        store.flush()
+        after = store.counters()
+        delta = {k: after[k] - before[k] for k in _DELTA_KEYS}
+    return ("ok", result, delta)
+
+
+class WorkerPool:
+    """Context-managed pool of experiment workers with a shared store.
+
+    Use as::
+
+        with WorkerPool(workers=4, cache_dir="cache/") as pool:
+            results = pool.map(tasks)
+        print(pool.stats())
+
+    Entering installs the cache directory's store as the process-wide
+    default (so in-process tasks and freshly constructed simulators pick
+    it up); exiting closes it, merges worker shards into the journal and
+    restores the previous default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        *,
+        timeout_s: float | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.timeout_s = timeout_s
+        self.tasks_run = 0
+        self._pool: Any = None
+        self._store: EvaluationStore | None = None
+        self._prev_store: EvaluationStore | None = None
+        self._entered = False
+        self._worker_counts = dict.fromkeys(_DELTA_KEYS, 0)
+        self._final_stats: dict[str, int | float] | None = None
+        self._t0 = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> WorkerPool:
+        self._t0 = time.perf_counter()
+        if self.cache_dir is not None:
+            self._store = EvaluationStore(self.cache_dir)
+            self._prev_store = set_default_store(self._store)
+        if self.workers > 1:
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(str(self.cache_dir) if self.cache_dir else None,),
+            )
+        self._entered = True
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._store is not None:
+            self._store.close()  # merges every worker shard into the journal
+            set_default_store(self._prev_store)
+        self._final_stats = self._assemble_stats()
+        self._store = None
+        self._entered = False
+
+    # -- execution ---------------------------------------------------------
+
+    def map(self, tasks: Iterable[Task]) -> list[Any]:
+        """Run all tasks; return their results in submission order.
+
+        Raises :class:`OrchestrationError` listing every failed task
+        (successful results are discarded in that case — a sweep with
+        holes in it is not a sweep).
+        """
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        if not self._entered:
+            raise OrchestrationError("WorkerPool used outside its context")
+        if self._pool is None:
+            outcomes = [_execute(t) for t in task_list]
+        else:
+            async_result = self._pool.map_async(_execute, task_list, chunksize=1)
+            outcomes = async_result.get(self.timeout_s)
+        self.tasks_run += len(task_list)
+
+        results: list[Any] = []
+        failures: list[str] = []
+        for status, payload, delta in outcomes:
+            if status == "ok":
+                results.append(payload)
+                if self._pool is not None:
+                    # In-process deltas are already on the shared store;
+                    # only genuine worker-side counts need carrying over.
+                    for k in _DELTA_KEYS:
+                        self._worker_counts[k] += delta.get(k, 0)
+            else:
+                failures.append(payload)
+        if failures:
+            raise OrchestrationError(
+                f"{len(failures)}/{len(task_list)} tasks failed:\n"
+                + "\n".join(failures)
+            )
+        return results
+
+    # -- stats -------------------------------------------------------------
+
+    def _assemble_stats(self) -> dict[str, int | float]:
+        stats: dict[str, int | float] = {
+            "workers": self.workers,
+            "tasks": self.tasks_run,
+            "wall_s": time.perf_counter() - self._t0,
+            "cache_hits": self._worker_counts["hits"],
+            "cache_misses": self._worker_counts["misses"],
+            "cache_puts": self._worker_counts["puts"],
+            "records_loaded": 0,
+            "bad_records": 0,
+            "shards_merged": 0,
+        }
+        if self._store is not None:
+            s = self._store.stats()
+            stats["cache_hits"] += s["hits"]
+            stats["cache_misses"] += s["misses"]
+            stats["cache_puts"] += s["puts"]
+            stats["records_loaded"] = s["records_loaded"]
+            stats["bad_records"] = s["bad_records"]
+            stats["shards_merged"] = s["shards_merged"]
+        return stats
+
+    def stats(self) -> dict[str, int | float]:
+        """Aggregated orchestration counters (final after the pool exits)."""
+        if self._final_stats is not None:
+            return dict(self._final_stats)
+        return self._assemble_stats()
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+    timeout_s: float | None = None,
+) -> list[Any]:
+    """One-shot convenience wrapper: open a pool, map, close it."""
+    with WorkerPool(workers, cache_dir, timeout_s=timeout_s) as pool:
+        return pool.map(tasks)

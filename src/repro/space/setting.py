@@ -61,6 +61,16 @@ class Setting(Mapping[str, int]):
             return dict(self._values) == dict(other)
         return NotImplemented
 
+    def __reduce__(self) -> tuple[type["Setting"], tuple[dict[str, int]]]:
+        """Pickle by value dict, re-running ``__init__`` on unpickle.
+
+        The cached ``_hash`` comes from the builtin ``hash``, which is
+        salted per interpreter — a setting pickled in a pool worker must
+        recompute it in the receiving process or hashed lookups there
+        would silently disagree with locally-constructed equals.
+        """
+        return (Setting, (self._values,))
+
     def __repr__(self) -> str:
         order = [n for n in PARAMETER_ORDER if n in self._values]
         order += sorted(set(self._values) - set(order))

@@ -1,0 +1,112 @@
+"""End-to-end determinism of the parallel runner and persistent cache.
+
+One tiny configuration (single stencil, 120 samples, 3 s simulated
+budget) is run three ways — sequential without a cache, 2-worker with a
+cold cache, 2-worker warm from that cache — and every deterministic
+artifact must come back byte-identical. ``fig12``, ``summary`` and
+``orchestration`` report host wall-clock time/counters and differ
+between *any* two runs, so they are exempt (see the runner docstring).
+"""
+
+import pytest
+
+from repro.core import Budget
+from repro.experiments.comparison import compare_stencil
+from repro.experiments.runner import ExperimentRunner
+from repro.gpusim.device import A100
+from repro.stencil.suite import get_stencil
+
+SCALE = dict(stencils=["j3d7pt"], samples=120, repetitions=1, budget_s=3.0,
+             seed=0)
+
+#: Reports containing wall-clock time — never byte-stable.
+NONDETERMINISTIC = {"fig12", "summary", "orchestration"}
+
+
+def _artifacts(out_dir):
+    return {
+        p.stem: p.read_bytes()
+        for p in sorted(out_dir.glob("*.txt"))
+        if p.stem not in NONDETERMINISTIC
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential(tmp_path_factory):
+    out = tmp_path_factory.mktemp("seq")
+    runner = ExperimentRunner(out, **SCALE)
+    runner.run_all()
+    return runner
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_cold(tmp_path_factory, cache_dir):
+    out = tmp_path_factory.mktemp("par")
+    runner = ExperimentRunner(out, workers=2, cache_dir=cache_dir, **SCALE)
+    runner.run_all()
+    return runner
+
+
+class TestParallelIdentity:
+    def test_artifacts_byte_identical(self, sequential, parallel_cold):
+        seq = _artifacts(sequential.out_dir)
+        par = _artifacts(parallel_cold.out_dir)
+        assert set(seq) == set(par)
+        diverged = [name for name in seq if seq[name] != par[name]]
+        assert diverged == []
+
+    def test_shards_merged_on_exit(self, parallel_cold, cache_dir):
+        assert (cache_dir / "journal.jsonl").exists()
+        assert not list(cache_dir.glob("shard-*.jsonl"))
+
+    def test_orchestration_counters_present(self, parallel_cold):
+        o = parallel_cold.orchestration
+        assert o["workers"] == 2
+        assert o["tasks"] > 0
+        assert o["cache_puts"] > 0
+        assert "orchestration" in parallel_cold.reports
+
+
+class TestWarmCache:
+    def test_warm_rerun_hits_and_matches(
+        self, sequential, parallel_cold, cache_dir, tmp_path
+    ):
+        runner = ExperimentRunner(
+            tmp_path / "warm", workers=2, cache_dir=cache_dir, **SCALE
+        )
+        runner.run_all()
+
+        hits = int(runner.orchestration["cache_hits"])
+        misses = int(runner.orchestration["cache_misses"])
+        assert hits + misses > 0
+        assert hits / (hits + misses) > 0.90
+
+        seq = _artifacts(sequential.out_dir)
+        warm = _artifacts(runner.out_dir)
+        diverged = [name for name in seq if seq[name] != warm[name]]
+        assert diverged == []
+
+
+class TestCompareStencilParity:
+    def test_task_path_matches_direct_path(self):
+        # compare_stencil's fan-out branch (workers/cache engaged) must
+        # reproduce its direct sequential loop result-for-result.
+        pattern = get_stencil("j3d7pt")
+        budget = Budget(max_cost_s=2.0)
+        direct = compare_stencil(
+            pattern, A100, budget, repetitions=1, seed=0
+        )
+        fanned = compare_stencil(
+            pattern, A100, budget, repetitions=1, seed=0, workers=2
+        )
+        assert set(direct) == set(fanned)
+        for tuner, runs in direct.items():
+            for a, b in zip(runs, fanned[tuner]):
+                assert a.best_time_s == b.best_time_s
+                assert a.best_setting == b.best_setting
+                assert a.evaluations == b.evaluations

@@ -148,7 +148,9 @@ def test_true_cache_lru_eviction_and_counters(small_pattern, small_space, rng):
     sim = GpuSimulator(device=A100, seed=0, true_cache_capacity=4)
     sim.run_batch(small_pattern, settings)
     info = sim.cache_info()
-    assert info == {"hits": 0, "misses": 6, "size": 4, "capacity": 4}
+    assert info == {
+        "hits": 0, "misses": 6, "size": 4, "capacity": 4, "disk_hits": 0,
+    }
     # The two oldest entries were evicted; re-running the newest four
     # hits, re-running the oldest two misses and recomputes.
     sim.run_batch(small_pattern, settings[2:])
@@ -163,7 +165,7 @@ def test_unbounded_cache(small_pattern, small_space, rng):
     sim = GpuSimulator(device=A100, true_cache_capacity=None)
     sim.run_batch(small_pattern, settings)
     assert sim.cache_info() == {
-        "hits": 0, "misses": 8, "size": 8, "capacity": None,
+        "hits": 0, "misses": 8, "size": 8, "capacity": None, "disk_hits": 0,
     }
 
 

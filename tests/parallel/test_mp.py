@@ -3,6 +3,9 @@
 These spawn real OS processes; kept small so the suite stays fast.
 """
 
+import multiprocessing as mp
+import time
+
 import pytest
 
 from repro.errors import CommunicatorError
@@ -24,6 +27,10 @@ def _failing(comm):
     return comm.rank
 
 
+def _hang(comm):
+    time.sleep(3600.0)
+
+
 class TestSpmdRun:
     def test_ranks_assigned(self):
         assert spmd_run(3, _echo_rank) == [0, 1, 2]
@@ -43,3 +50,20 @@ class TestSpmdRun:
     def test_size_validation(self):
         with pytest.raises(CommunicatorError):
             spmd_run(0, _echo_rank)
+
+    def test_timeout_is_shared_not_per_rank(self):
+        # Three hung ranks must all time out against one deadline: the
+        # call returns in roughly timeout_s + process reaping, nowhere
+        # near size * timeout_s.
+        t0 = time.monotonic()
+        with pytest.raises(CommunicatorError, match="timed out"):
+            spmd_run(3, _hang, timeout_s=2.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0, f"shared deadline violated: {elapsed:.1f}s"
+
+    def test_no_zombie_children_after_timeout(self):
+        with pytest.raises(CommunicatorError):
+            spmd_run(2, _hang, timeout_s=1.0)
+        # Every worker was terminated and joined; a leftover child here
+        # would be a zombie (or still hanging in time.sleep).
+        assert mp.active_children() == []

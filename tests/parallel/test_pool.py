@@ -1,0 +1,115 @@
+"""Tests for the process-pool experiment orchestrator.
+
+Worker-spawning tests are kept to a minimum — each spawn re-imports the
+scientific stack — and everything determinism-critical is also checked
+on the cheap in-process path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.gpusim.device import A100
+from repro.gpusim.simulator import GpuSimulator
+from repro.parallel.pool import Task, WorkerPool, run_tasks
+from repro.space.setting import Setting
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _eval_times(stencil, n, seed):
+    """Measured times for ``n`` sampled settings (exercises the store)."""
+    pattern = get_stencil(stencil)
+    space = build_space(pattern, A100)
+    settings = space.sample(np.random.default_rng(seed), n)
+    sim = GpuSimulator(device=A100, seed=seed)
+    return [r.time_s for r in sim.run_batch(pattern, settings)]
+
+
+def _setting_found_in_local_dict(setting, values):
+    """True iff a pickled Setting still hashes like a locally built one.
+
+    Python salts ``str.__hash__`` per process, so a Setting whose cached
+    hash crossed a spawn boundary unfixed would miss here.
+    """
+    local = Setting(dict(values))
+    return {local: True}.get(setting, False)
+
+
+class TestInProcess:
+    def test_results_in_submission_order(self):
+        tasks = [Task(fn=_square, args=(i,)) for i in range(6)]
+        assert run_tasks(tasks) == [i * i for i in range(6)]
+
+    def test_empty_task_list(self):
+        with WorkerPool() as pool:
+            assert pool.map([]) == []
+
+    def test_failure_raises_with_tag(self):
+        tasks = [
+            Task(fn=_square, args=(1,), tag="ok:1"),
+            Task(fn=_fail, args=(2,), tag="bad:2"),
+        ]
+        with pytest.raises(OrchestrationError, match="bad:2"):
+            run_tasks(tasks)
+
+    def test_use_outside_context_rejected(self):
+        pool = WorkerPool()
+        with pytest.raises(OrchestrationError, match="context"):
+            pool.map([Task(fn=_square, args=(1,))])
+
+    def test_stats(self):
+        with WorkerPool() as pool:
+            pool.map([Task(fn=_square, args=(i,)) for i in range(3)])
+        stats = pool.stats()
+        assert stats["workers"] == 1
+        assert stats["tasks"] == 3
+        assert stats["wall_s"] > 0
+
+    def test_cache_counters(self, tmp_path):
+        task = Task(fn=_eval_times, args=("j3d7pt", 20, 0))
+        with WorkerPool(cache_dir=tmp_path) as cold:
+            cold_times = cold.map([task])[0]
+        assert cold.stats()["cache_puts"] > 0
+
+        with WorkerPool(cache_dir=tmp_path) as warm:
+            warm_times = warm.map([task])[0]
+        assert warm.stats()["cache_hits"] > 0
+        assert warm_times == cold_times
+
+
+class TestAcrossProcesses:
+    def test_worker_results_match_in_process(self, tmp_path):
+        tasks = [Task(fn=_square, args=(i,)) for i in range(5)] + [
+            Task(fn=_eval_times, args=("j3d7pt", 15, 0)),
+        ]
+        sequential = run_tasks(tasks, workers=1)
+        parallel = run_tasks(tasks, workers=2, cache_dir=tmp_path)
+        assert parallel == sequential
+        # Worker shards were merged into one journal on close.
+        assert (tmp_path / "journal.jsonl").exists()
+        assert not list(tmp_path.glob("shard-*.jsonl"))
+
+    def test_setting_hash_survives_spawn(self):
+        space = build_space(get_stencil("j3d7pt"), A100)
+        setting = space.sample(np.random.default_rng(0), 1)[0]
+        values = dict(setting)
+        found = run_tasks(
+            [Task(fn=_setting_found_in_local_dict, args=(setting, values))],
+            workers=2,
+        )
+        assert found == [True]
+
+    def test_worker_failure_surfaces(self):
+        with pytest.raises(OrchestrationError, match="bad:7"):
+            run_tasks(
+                [Task(fn=_fail, args=(7,), tag="bad:7")], workers=2
+            )
