@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTEST_ARGS ?= -x -q -m "not slow"
 
-.PHONY: verify lint typecheck test bench
+.PHONY: verify lint typecheck test bench bench-fast
 
 verify: lint typecheck test
 
@@ -31,3 +31,9 @@ bench:
 	$(PYTHON) benchmarks/bench_throughput.py
 	$(PYTHON) benchmarks/bench_strict_overhead.py
 	$(PYTHON) benchmarks/bench_runner_parallel.py
+	$(PYTHON) benchmarks/bench_search_path.py
+
+# Seconds-long smoke variant of the search-path benchmark: reduced
+# budget/reps and a 1x speedup floor, but the same identity gates.
+bench-fast:
+	REPRO_BENCH_SEARCH_FAST=1 $(PYTHON) benchmarks/bench_search_path.py

@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""Search-path benchmark: matrix-native GA vs the scalar reference.
+
+The evolutionary search keeps a scalar reference path
+(``EvolutionarySearch(vectorized=False)``) that lowers genotypes one
+dict at a time, exactly as the pre-vectorization code did. This
+benchmark runs full tuning searches both ways on a grid of stencils ×
+devices and gates on two properties:
+
+1. **Identity** — the vectorized search must submit the *same
+   evaluation sequence* to the simulator, find the same best setting,
+   spend the same simulated tuning cost and produce the same trace as
+   the scalar reference, per configuration.
+2. **Speedup** — the aggregate wall-clock speedup (total scalar time /
+   total vectorized time across all configurations, best-of-``REPS``
+   warm repetitions) must reach the floor (default 3x).
+
+Timing uses *warm* repetitions: the simulator (and therefore the
+performance-model caches shared by both paths) persists across
+repetitions of one configuration, so the measurement isolates the
+search-side overhead this PR vectorizes — the tuner bookkeeping above
+the model — rather than re-measuring the shared model cost. The first
+repetition per mode warms the caches and is discarded via best-of-N.
+
+Informational (non-gating) sections additionally time the batched PMNF
+term-matrix builder against its scalar reference and the
+array-compiled forest prediction against the node-walk reference.
+
+Results land in ``benchmarks/results/BENCH_search_path.json``
+(mirrored at the repository root, see ``_artifacts.py``).
+
+Scale knobs: ``REPRO_BENCH_SEARCH_STENCILS`` (default
+``cheby,hypterm``), ``REPRO_BENCH_SEARCH_BUDGET`` (search iterations,
+default 100), ``REPRO_BENCH_SEARCH_REPS`` (default 3),
+``REPRO_BENCH_SEARCH_MIN_SPEEDUP`` (default 3.0) and
+``REPRO_BENCH_SEARCH_FAST=1`` (CI smoke scale: smaller budget/dataset
+and a 1.0x floor — the identity gate still applies in full).
+
+Run standalone: ``python benchmarks/bench_search_path.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from _artifacts import write_result
+from repro.core.budget import Budget, Evaluator
+from repro.core.genetic import EvolutionarySearch, GAConfig
+from repro.core.tuner import CsTuner, CsTunerConfig
+from repro.gpusim.device import get_device
+from repro.gpusim.simulator import GpuSimulator
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.regression import pmnf_term_matrix, pmnf_term_matrix_reference
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+FAST = os.environ.get("REPRO_BENCH_SEARCH_FAST", "") == "1"
+STENCILS = [
+    s
+    for s in os.environ.get("REPRO_BENCH_SEARCH_STENCILS", "cheby,hypterm").split(",")
+    if s
+]
+DEVICES = ("A100", "V100")
+BUDGET = int(os.environ.get("REPRO_BENCH_SEARCH_BUDGET", "30" if FAST else "100"))
+REPS = int(os.environ.get("REPRO_BENCH_SEARCH_REPS", "2" if FAST else "3"))
+DATASET_N = 48 if FAST else 64
+MIN_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_SEARCH_MIN_SPEEDUP", "1.0" if FAST else "3.0")
+)
+SEED = 0
+
+
+def _instrument(sim) -> list[tuple[int, ...]]:
+    """Log every setting the simulator actually evaluates.
+
+    Recording sits at the simulator, not the evaluator: the vectorized
+    search memo-skips resubmitting settings it has already evaluated
+    (the scalar path resubmits them and gets free evaluator cache
+    hits), so the submission streams legitimately differ while the
+    *model evaluation* stream — what costs time and budget — must be
+    identical.
+    """
+    calls: list[tuple[int, ...]] = []
+    orig_run, orig_batch = sim.run, sim.run_batch
+
+    def run(pattern, setting, *args, **kwargs):
+        calls.append(setting.values_tuple())
+        return orig_run(pattern, setting, *args, **kwargs)
+
+    def run_batch(pattern, settings, *args, **kwargs):
+        calls.extend(s.values_tuple() for s in settings)
+        return orig_batch(pattern, settings, *args, **kwargs)
+
+    sim.run, sim.run_batch = run, run_batch
+    return calls
+
+
+def _run_search(pre, space, sim, pattern, *, vectorized: bool, record: bool):
+    """One full evolutionary search; returns (trajectory, wall_s)."""
+    calls = _instrument(sim) if record else None
+    evaluator = Evaluator(sim, pattern, Budget(max_iterations=BUDGET))
+    search = EvolutionarySearch(
+        sampled=pre.sampled,
+        space=space,
+        evaluator=evaluator,
+        config=GAConfig(),
+        seed=SEED,
+        vectorized=vectorized,
+    )
+    t0 = time.perf_counter()
+    search.run()
+    wall = time.perf_counter() - t0
+    res = evaluator.result("bench")
+    trajectory = {
+        "calls": calls,
+        "best_setting": (
+            res.best_setting.values_tuple() if res.best_setting else None
+        ),
+        "best_time_s": res.best_time_s,
+        "evaluations": res.evaluations,
+        "iterations": res.iterations,
+        "cost_s": res.cost_s,
+        "trace": [
+            (p.evaluations, p.iteration, p.cost_s, p.best_time_s)
+            for p in res.trace
+        ],
+    }
+    return trajectory, wall
+
+
+def _bench_config(device_name: str, stencil: str) -> dict[str, object]:
+    pattern = get_stencil(stencil)
+    device = get_device(device_name)
+    sim = GpuSimulator(device, seed=SEED)
+    space = build_space(pattern, device)
+    tuner = CsTuner(sim, CsTunerConfig(dataset_size=DATASET_N, seed=SEED))
+    dataset = tuner.collect_dataset(pattern, space)
+    pre = tuner.preprocess(pattern, space, dataset)
+
+    # Identity gate: full recorded trajectories, both modes. Each mode
+    # gets a *fresh* same-seed simulator — sharing one would hand the
+    # second run the first run's kernel-compile cache and shift its
+    # accounted tuning cost.
+    sim_ref = GpuSimulator(device, seed=SEED)
+    sim_vec = GpuSimulator(device, seed=SEED)
+    ref, _ = _run_search(pre, space, sim_ref, pattern, vectorized=False, record=True)
+    vec, _ = _run_search(pre, space, sim_vec, pattern, vectorized=True, record=True)
+    identical = ref == vec
+
+    # Warm best-of-REPS timing (caches are hot after the runs above).
+    scalar_s = vector_s = float("inf")
+    for _ in range(REPS):
+        _, w = _run_search(pre, space, sim, pattern, vectorized=False, record=False)
+        scalar_s = min(scalar_s, w)
+        _, w = _run_search(pre, space, sim, pattern, vectorized=True, record=False)
+        vector_s = min(vector_s, w)
+
+    return {
+        "device": device_name,
+        "stencil": stencil,
+        "identical": identical,
+        "evaluations": ref["evaluations"],
+        "best_time_s": ref["best_time_s"],
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+
+
+def _bench_pmnf() -> dict[str, object]:
+    """Informational: batched vs reference PMNF term matrix (2000 rows)."""
+    pattern = get_stencil(STENCILS[0])
+    space = build_space(pattern, get_device("A100"))
+    pool = space.sample(np.random.default_rng(SEED), 500 if FAST else 2000)
+    groups = [["TBx", "TBy", "TBz"], ["UFx", "CMx"], ["SB", "SD"], ["useShared"]]
+    assert np.array_equal(
+        pmnf_term_matrix(groups, pool, 2, 1),
+        pmnf_term_matrix_reference(groups, pool, 2, 1),
+    ), "PMNF term matrix diverged from reference"
+    ref_s = vec_s = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        pmnf_term_matrix_reference(groups, pool, 2, 1)
+        ref_s = min(ref_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        pmnf_term_matrix(groups, pool, 2, 1)
+        vec_s = min(vec_s, time.perf_counter() - t0)
+    return {
+        "rows": len(pool),
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+    }
+
+
+def _bench_forest() -> dict[str, object]:
+    """Informational: array-compiled vs node-walk forest prediction."""
+    rng = np.random.default_rng(SEED)
+    n = 500 if FAST else 2000
+    X = rng.normal(size=(n, 19))
+    y = rng.normal(size=n)
+    forest = RandomForestRegressor(n_estimators=16, random_state=SEED).fit(X, y)
+
+    def walk() -> np.ndarray:
+        return np.stack(
+            [np.array([t._predict_one(r) for r in X]) for t in forest.trees_]
+        ).mean(axis=0)
+
+    assert np.array_equal(walk(), forest.predict(X)), "forest prediction diverged"
+    ref_s = vec_s = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        walk()
+        ref_s = min(ref_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        forest.predict(X)
+        vec_s = min(vec_s, time.perf_counter() - t0)
+    return {
+        "rows": n,
+        "trees": 16,
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+    }
+
+
+def main() -> int:
+    configs = []
+    for device in DEVICES:
+        for stencil in STENCILS:
+            row = _bench_config(device, stencil)
+            configs.append(row)
+            print(
+                f"{row['device']}/{row['stencil']}: identical={row['identical']} "
+                f"scalar={row['scalar_s'] * 1e3:.0f}ms "
+                f"vectorized={row['vectorized_s'] * 1e3:.0f}ms "
+                f"speedup={row['speedup']:.2f}x"
+            )
+
+    total_scalar = sum(r["scalar_s"] for r in configs)
+    total_vector = sum(r["vectorized_s"] for r in configs)
+    aggregate = total_scalar / total_vector if total_vector > 0 else float("inf")
+    all_identical = all(r["identical"] for r in configs)
+
+    pmnf = _bench_pmnf()
+    forest = _bench_forest()
+    print(f"pmnf term matrix: {pmnf['speedup']:.1f}x over reference")
+    print(f"forest predict:   {forest['speedup']:.1f}x over node walk")
+    print(
+        f"aggregate search speedup: {aggregate:.2f}x "
+        f"(floor {MIN_SPEEDUP:.1f}x), identical={all_identical}"
+    )
+
+    payload = {
+        "benchmark": "search_path",
+        "fast_mode": FAST,
+        "budget_iterations": BUDGET,
+        "reps": REPS,
+        "dataset_size": DATASET_N,
+        "min_speedup": MIN_SPEEDUP,
+        "configs": configs,
+        "identical": all_identical,
+        "total_scalar_s": total_scalar,
+        "total_vectorized_s": total_vector,
+        "speedup": aggregate,
+        "pmnf_terms": pmnf,
+        "forest_predict": forest,
+    }
+    paths = write_result("search_path", payload)
+    for p in paths:
+        print(f"wrote {p}")
+
+    if not all_identical:
+        print("FAIL: vectorized trajectory diverged from scalar reference")
+        return 1
+    if aggregate < MIN_SPEEDUP:
+        print(f"FAIL: aggregate speedup {aggregate:.2f}x below {MIN_SPEEDUP:.1f}x")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import ITERATION_BATCH, BaselineTuner
+from repro.core import searchstats
 from repro.core.budget import Evaluator
 from repro.profiler.dataset import PerformanceDataset
-from repro.space.setting import Setting
+from repro.space.parameters import PARAM_INDEX, PARAMETER_ORDER
+from repro.space.setting import Setting, settings_from_matrix
 from repro.space.space import SearchSpace
 from repro.stencil.pattern import StencilPattern
 
@@ -115,6 +117,38 @@ class ArtemisTuner(BaselineTuner):
             raise ValueError(f"beam_width must be >= 1, got {beam_width}")
         self.beam_width = beam_width
 
+    @staticmethod
+    def _repair_level(
+        space: SearchSpace,
+        base: dict[str, int],
+        updates: list[dict[str, int]],
+    ) -> list[Setting] | None:
+        """Batch-repair one beam entry's level expansion.
+
+        All of a level's candidate dicts share the same key set, so the
+        expansion is the base row tiled with one column block scattered
+        — a single ``repair_full_matrix`` call replaces ``len(updates)``
+        scalar repairs. Returns ``None`` when the space lacks the matrix
+        primitives (duck-typed extensions); the caller falls back to the
+        scalar repair, candidate order unchanged either way.
+        """
+        repair = getattr(space, "repair_full_matrix", None)
+        if not updates or repair is None or set(base) != set(PARAMETER_ORDER):
+            return None
+        keys = tuple(updates[0])
+        if any(set(u) != set(keys) for u in updates):
+            return None
+        cols = [PARAM_INDEX[k] for k in keys]
+        base_row = np.array(
+            [base[name] for name in PARAMETER_ORDER], dtype=np.int64
+        )
+        mat = np.tile(base_row, (len(updates), 1))
+        mat[:, cols] = np.array(
+            [[u[k] for k in keys] for u in updates], dtype=np.int64
+        )
+        searchstats.bump("settings_repaired", mat.shape[0])
+        return settings_from_matrix(repair(mat))
+
     def _search(
         self,
         pattern: StencilPattern,
@@ -129,14 +163,19 @@ class ArtemisTuner(BaselineTuner):
         for level_name, level_fn in LEVELS:
             if evaluator.exhausted:
                 break
+            updates = level_fn()
             scored: list[tuple[float, dict[str, int]]] = []
             seen: set[Setting] = set()
             batch = 0
             for base in beam:
-                for update in level_fn():
-                    vals = dict(base)
-                    vals.update(update)
-                    setting = space.repair_full(vals)
+                repaired = self._repair_level(space, base, updates)
+                for u_idx, update in enumerate(updates):
+                    if repaired is not None:
+                        setting = repaired[u_idx]
+                    else:
+                        vals = dict(base)
+                        vals.update(update)
+                        setting = space.repair_full(vals)
                     if setting in seen:
                         continue
                     seen.add(setting)

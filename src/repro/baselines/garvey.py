@@ -22,12 +22,14 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.baselines.base import ITERATION_BATCH, BaselineTuner
+from repro.core import searchstats
 from repro.core.budget import Evaluator
-from repro.core.reindex import build_group_indexes
+from repro.core.reindex import GroupIndex, build_group_indexes
 from repro.errors import DatasetError
 from repro.ml.forest import RandomForestRegressor
 from repro.profiler.dataset import PerformanceDataset
-from repro.space.setting import Setting
+from repro.space.parameters import PARAM_INDEX, PARAMETER_ORDER
+from repro.space.setting import Setting, settings_from_matrix
 from repro.space.space import SearchSpace
 from repro.stencil.pattern import StencilPattern
 
@@ -94,6 +96,36 @@ class GarveyTuner(BaselineTuner):
 
     # -- search ------------------------------------------------------------
 
+    @staticmethod
+    def _repair_sweep(
+        space: SearchSpace,
+        gi: GroupIndex,
+        current: dict[str, int],
+        memory: dict[str, int],
+    ) -> list[Setting] | None:
+        """Repair one group's whole exhaustive sweep in a single batch.
+
+        Every candidate is ``current`` with this group's columns swapped
+        for one of the group's sampled tuples (memory pair pinned), so
+        the sweep lowers to one matrix and one ``repair_full_matrix``
+        call instead of ``len(gi)`` scalar repairs. Returns ``None`` for
+        spaces without the matrix primitives (duck-typed extensions) —
+        the caller then repairs candidate-by-candidate as before.
+        """
+        repair = getattr(space, "repair_full_matrix", None)
+        if repair is None or set(current) != set(PARAMETER_ORDER):
+            return None
+        base = np.array(
+            [current[name] for name in PARAMETER_ORDER], dtype=np.int64
+        )
+        mat = np.tile(base, (len(gi), 1))
+        for k, name in enumerate(gi.group):
+            mat[:, PARAM_INDEX[name]] = gi.tuple_array[:, k]
+        for name, value in memory.items():  # the forest's choice stays pinned
+            mat[:, PARAM_INDEX[name]] = value
+        searchstats.bump("settings_repaired", mat.shape[0])
+        return settings_from_matrix(repair(mat))
+
     def _search(
         self,
         pattern: StencilPattern,
@@ -127,11 +159,15 @@ class GarveyTuner(BaselineTuner):
             best_vals = {name: current[name] for name in gi.group}
             best_t = np.inf
             batch = 0
+            sweep = self._repair_sweep(space, gi, current, memory)
             for idx in range(len(gi)):
-                vals = dict(current)
-                vals.update(gi.decode(idx))
-                vals.update(memory)  # the forest's choice stays pinned
-                setting = space.repair_full(vals)
+                if sweep is not None:
+                    setting = sweep[idx]
+                else:
+                    vals = dict(current)
+                    vals.update(gi.decode(idx))
+                    vals.update(memory)  # the forest's choice stays pinned
+                    setting = space.repair_full(vals)
                 t = evaluator.evaluate(setting)
                 batch += 1
                 if batch % ITERATION_BATCH == 0:

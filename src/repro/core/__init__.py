@@ -19,6 +19,7 @@ from repro.core.metricsel import (
     select_representatives,
 )
 from repro.core.reindex import GroupIndex, build_group_indexes
+from repro.core.searchstats import search_info, reset_search_stats
 from repro.core.sampling import SamplingConfig, SampledSpace, sample_search_space
 from repro.core.genetic import GAConfig, Individual, EvolutionarySearch
 from repro.core.tuner import CsTuner, CsTunerConfig, Preprocessed, make_cstuner
@@ -37,6 +38,8 @@ __all__ = [
     "select_representatives",
     "GroupIndex",
     "build_group_indexes",
+    "search_info",
+    "reset_search_stats",
     "SamplingConfig",
     "SampledSpace",
     "sample_search_space",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import SearchError
 from repro.space.setting import Setting
 
@@ -35,6 +37,9 @@ class GroupIndex:
                 )
         self.tuples: tuple[tuple[int, ...], ...] = tuple(uniq)
         self._index = {t: i for i, t in enumerate(self.tuples)}
+        #: The same tuples as an ``(n, arity)`` int64 matrix — the
+        #: gather table behind :meth:`decode_array`.
+        self.tuple_array: np.ndarray = np.array(self.tuples, dtype=np.int64)
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -51,6 +56,21 @@ class GroupIndex:
                 f"gene {index} outside [0, {len(self.tuples) - 1}] for {self.group}"
             )
         return dict(zip(self.group, self.tuples[index]))
+
+    def decode_array(self, genes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode`: gene indices → ``(m, arity)`` values.
+
+        One fancy-indexed gather replaces ``m`` dict constructions; rows
+        align with ``genes`` and columns with :attr:`group`.
+        """
+        genes = np.asarray(genes, dtype=np.int64)
+        if genes.size and (
+            int(genes.min()) < 0 or int(genes.max()) >= len(self.tuples)
+        ):
+            raise SearchError(
+                f"gene outside [0, {len(self.tuples) - 1}] for {self.group}"
+            )
+        return self.tuple_array[genes]
 
     def index_of(self, setting: Setting) -> int | None:
         """Index of the group's value tuple in ``setting`` (None if absent)."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import searchstats
 from repro.core.metricsel import (
     combine_metrics,
     metric_pccs,
@@ -135,6 +136,19 @@ def sample_search_space(
 
     pool = space.sample(rng, config.pool_size, unique=True)
     n_keep = max(1, int(round(config.ratio * len(pool))))
+    searchstats.bump("sampler_pool_size", len(pool))
+
+    # Lower the pool into one value matrix over every parameter any
+    # model reads; each model then scores the shared matrix instead of
+    # re-walking the pool setting-by-setting. (The column set is built
+    # from the models' own groups, so spaces whose parameters differ
+    # from the stencil Table I — e.g. the GEMM extension — work too.)
+    names = tuple(
+        dict.fromkeys(n for m in models.values() for n in m.parameter_names)
+    )
+    pool_values = np.array(
+        [s.values_tuple(names) for s in pool], dtype=np.int64
+    ).reshape(len(pool), len(names))
 
     # Predicted metrics for the whole pool, oriented so larger = slower
     # and weighted by how strongly each metric tracks execution time in
@@ -146,29 +160,23 @@ def sample_search_space(
         corr = pearson_correlation(dataset.metric_column(name), times)
         direction = 1.0 if corr >= 0 else -1.0
         weight = abs(corr)
-        pred = model.predict(pool) * direction
+        pred = model.predict_values(pool_values, names) * direction
         spread = float(np.std(pred))
         if spread > 0:
             badness += weight * (pred - float(np.mean(pred))) / spread
         threshold = float(np.quantile(pred, config.threshold_quantile))
         passes &= pred <= threshold
 
+    # Rank-scan, vectorized: take passing candidates in badness order;
+    # when thresholds leave fewer than n_keep, top up with the filtered
+    # ones, still by rank. The pool is duplicate-free (unique sample),
+    # so index selection matches the old append-and-set-membership scan
+    # choice-for-choice.
     order = np.argsort(badness, kind="stable")
-    chosen: list[Setting] = []
-    for idx in order:
-        if passes[idx]:
-            chosen.append(pool[idx])
-            if len(chosen) >= n_keep:
-                break
-    if len(chosen) < n_keep:  # thresholds too aggressive: top up by rank
-        chosen_set = set(chosen)
-        for idx in order:
-            s = pool[idx]
-            if s not in chosen_set:
-                chosen.append(s)
-                chosen_set.add(s)
-                if len(chosen) >= n_keep:
-                    break
+    order_pass = order[passes[order]]
+    order_fail = order[~passes[order]]
+    chosen_idx = np.concatenate([order_pass, order_fail])[:n_keep]
+    chosen: list[Setting] = [pool[int(idx)] for idx in chosen_idx]
     if not chosen:
         raise SearchError("sampling produced an empty search space")
 

@@ -1,0 +1,52 @@
+"""Process-global search-layer work counters.
+
+The batch engine's ``cache_info()`` tells you how often the *model*
+avoided work; these counters tell you how much work the *search layer*
+performed above it — how many whole populations were lowered into value
+matrices, how many settings went through the vectorized repair, how
+many rows the array-compiled forests predicted, and how large the
+sampler's candidate pools were. Benchmarks and the orchestration report
+use them to attribute wall-clock between the tuners and the model.
+
+Counters are process-global (mirroring the evaluation store's counter
+convention): each worker process accumulates its own values and the
+pool carries per-task deltas back to the parent (see
+:mod:`repro.parallel.pool`), so ``orchestration.txt`` reports the
+fleet-wide totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: The counters tracked, in reporting order.
+COUNTER_NAMES: tuple[str, ...] = (
+    "populations_lowered",
+    "settings_repaired",
+    "forest_predict_rows",
+    "sampler_pool_size",
+)
+
+_lock = threading.Lock()
+_counters: dict[str, int] = dict.fromkeys(COUNTER_NAMES, 0)
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Add ``n`` to one counter (unknown names are a programming error)."""
+    if name not in _counters:
+        raise KeyError(f"unknown search counter {name!r}")
+    with _lock:
+        _counters[name] += int(n)
+
+
+def search_info() -> dict[str, int]:
+    """Snapshot of all search-layer counters (this process)."""
+    with _lock:
+        return dict(_counters)
+
+
+def reset_search_stats() -> None:
+    """Zero every counter (tests and benchmark sections)."""
+    with _lock:
+        for name in COUNTER_NAMES:
+            _counters[name] = 0

@@ -168,6 +168,7 @@ class CsTuner:
                 ),
                 "generations": search.generations,
                 "search_cost_s": evaluator.cost_s,
+                "search_info": search.search_info(),
             },
         )
 

@@ -242,6 +242,11 @@ class ExperimentRunner:
             f"  records loaded:   {int(o.get('records_loaded', 0))}",
             f"  bad records:      {int(o.get('bad_records', 0))}",
             f"  shards merged:    {int(o.get('shards_merged', 0))}",
+            "search engine — vectorized hot-path throughput",
+            f"  populations lowered: {int(o.get('search_populations_lowered', 0))}",
+            f"  settings repaired:   {int(o.get('search_settings_repaired', 0))}",
+            f"  forest predict rows: {int(o.get('search_forest_predict_rows', 0))}",
+            f"  sampler pool size:   {int(o.get('search_sampler_pool_size', 0))}",
         ]
         if self.cache_dir is None:
             lines.append("  cache dir:        (disabled)")

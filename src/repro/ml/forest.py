@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import searchstats
 from repro.utils.rng import rng_from_seed
 
 
@@ -35,6 +36,63 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return self.left is None
+
+
+@dataclass(frozen=True)
+class _TreeArrays:
+    """A fitted tree flattened into parallel arrays.
+
+    ``left[i] < 0`` marks node ``i`` as a leaf. Prediction descends all
+    rows one level per iteration instead of walking nodes row-by-row in
+    Python — the comparison (``value <= threshold`` goes left) is the
+    same as :meth:`_BaseTree._predict_one`, so results are identical.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    prediction: np.ndarray
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        cur = np.zeros(X.shape[0], dtype=np.int64)
+        rows = np.flatnonzero(self.left[cur] >= 0)
+        while rows.size:
+            nodes = cur[rows]
+            go_left = X[rows, self.feature[nodes]] <= self.threshold[nodes]
+            cur[rows] = np.where(go_left, self.left[nodes], self.right[nodes])
+            rows = rows[self.left[cur[rows]] >= 0]
+        return self.prediction[cur]
+
+
+def _compile_tree(root: _Node) -> _TreeArrays:
+    """Flatten a node tree into :class:`_TreeArrays` (preorder)."""
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    prediction: list[float] = []
+
+    def add(node: _Node) -> int:
+        idx = len(feature)
+        feature.append(node.feature)
+        threshold.append(node.threshold)
+        prediction.append(node.prediction)
+        left.append(-1)
+        right.append(-1)
+        if node.left is not None and node.right is not None:
+            left[idx] = add(node.left)
+            right[idx] = add(node.right)
+        return idx
+
+    add(root)
+    return _TreeArrays(
+        feature=np.array(feature, dtype=np.int64),
+        threshold=np.array(threshold, dtype=np.float64),
+        left=np.array(left, dtype=np.int64),
+        right=np.array(right, dtype=np.int64),
+        prediction=np.array(prediction, dtype=np.float64),
+    )
 
 
 def _best_split_regression(
@@ -100,6 +158,7 @@ class _BaseTree:
     max_features: int | None = None
     random_state: int | np.random.Generator | None = None
     _root: _Node | None = field(default=None, repr=False)
+    _arrays: _TreeArrays | None = field(default=None, repr=False)
     n_features_: int = field(default=0, repr=False)
 
     def _validate(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -123,12 +182,24 @@ class _BaseTree:
         return rng.choice(self.n_features_, size=k, replace=False)
 
     def _predict_one(self, row: np.ndarray) -> float:
+        """Reference node-walk prediction for one row.
+
+        The production path goes through the compiled arrays; this walk
+        is kept for the equivalence tests.
+        """
         node = self._root
         if node is None:
             raise RuntimeError("tree is not fitted")
         while not node.is_leaf:
             node = node.left if row[node.feature] <= node.threshold else node.right
         return node.prediction
+
+    def _compiled(self) -> _TreeArrays:
+        if self._arrays is None:
+            if self._root is None:
+                raise RuntimeError("tree is not fitted")
+            self._arrays = _compile_tree(self._root)
+        return self._arrays
 
 
 class DecisionTreeRegressor(_BaseTree):
@@ -139,6 +210,7 @@ class DecisionTreeRegressor(_BaseTree):
         self.n_features_ = X.shape[1]
         rng = rng_from_seed(self.random_state)
         self._root = self._grow(X, y, depth=0, rng=rng)
+        self._arrays = None
         return self
 
     def _grow(
@@ -168,8 +240,8 @@ class DecisionTreeRegressor(_BaseTree):
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=np.float64)
-        return np.array([self._predict_one(row) for row in np.atleast_2d(X)])
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self._compiled().predict(X)
 
 
 class DecisionTreeClassifier(_BaseTree):
@@ -185,6 +257,7 @@ class DecisionTreeClassifier(_BaseTree):
         self.n_features_ = X.shape[1]
         rng = rng_from_seed(self.random_state)
         self._root = self._grow(X, onehot, depth=0, rng=rng)
+        self._arrays = None
         return self
 
     def _grow(
@@ -215,10 +288,8 @@ class DecisionTreeClassifier(_BaseTree):
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        X = np.asarray(X, dtype=np.float64)
-        idx = np.array(
-            [int(self._predict_one(row)) for row in np.atleast_2d(X)], dtype=np.int64
-        )
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        idx = self._compiled().predict(X).astype(np.int64)
         return self.classes_[idx]
 
 
@@ -265,6 +336,8 @@ class RandomForestRegressor(_BaseForest):
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        searchstats.bump("forest_predict_rows", X.shape[0])
         preds = np.stack([t.predict(X) for t in self.trees_])
         return preds.mean(axis=0)
 
@@ -293,9 +366,15 @@ class RandomForestClassifier(_BaseForest):
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        searchstats.bump("forest_predict_rows", X.shape[0])
         votes = np.stack([t.predict(X) for t in self.trees_])  # (trees, n)
-        out = []
-        for col in votes.T:
-            vals, counts = np.unique(col, return_counts=True)
-            out.append(vals[np.argmax(counts)])
-        return np.array(out)
+        # Majority vote without a per-column Python loop: map labels to
+        # indices in the sorted ``classes_`` (every tree's labels are a
+        # subset), count one-hot, argmax. ``argmax`` keeps the first
+        # maximum — the smallest label — matching the old per-column
+        # ``np.unique`` scan on count ties (a zero-count class can never
+        # win because some class always has at least one vote).
+        vote_idx = np.searchsorted(self.classes_, votes)
+        counts = (vote_idx[:, :, None] == np.arange(self.classes_.size)).sum(axis=0)
+        return self.classes_[np.argmax(counts, axis=1)]

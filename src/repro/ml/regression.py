@@ -34,6 +34,59 @@ DEFAULT_I_RANGE: tuple[int, ...] = (0, 1, 2)
 DEFAULT_J_RANGE: tuple[int, ...] = (0, 1)
 
 
+def pmnf_term_matrix_reference(
+    groups: Sequence[Sequence[str]],
+    settings: Sequence[Setting],
+    i: int,
+    j: int,
+) -> np.ndarray:
+    """Scalar reference for :func:`pmnf_term_matrix` (tests compare
+    against this per-setting, per-group Python loop)."""
+    n, g = len(settings), len(groups)
+    out = np.ones((n, g), dtype=np.float64)
+    for s_idx, setting in enumerate(settings):
+        for g_idx, group in enumerate(groups):
+            term = 1.0
+            for name in group:
+                v = float(setting[name])
+                term *= v**i * (np.log2(v) ** j)
+            out[s_idx, g_idx] = term
+    return out
+
+
+def pmnf_term_values(
+    groups: Sequence[Sequence[str]],
+    values: np.ndarray,
+    order: Sequence[str],
+    i: int,
+    j: int,
+) -> np.ndarray:
+    """Design matrix from an already-lowered ``(n, len(order))`` matrix.
+
+    Bit-identical to the scalar loop: each parameter's factor
+    ``v**i * log2(v)**j`` is computed once per column with the same
+    float64 operations, and group terms accumulate factors
+    left-to-right in group order exactly as ``term *= factor`` does
+    (multiplication order matters for float reproducibility).
+    """
+    col = {name: k for k, name in enumerate(order)}
+    v_f = np.asarray(values, dtype=np.float64)
+    n = v_f.shape[0]
+    out = np.ones((n, len(groups)), dtype=np.float64)
+    factors: dict[str, np.ndarray] = {}
+    for g_idx, group in enumerate(groups):
+        term: np.ndarray | None = None
+        for name in group:
+            f = factors.get(name)
+            if f is None:
+                v = v_f[:, col[name]]
+                f = factors[name] = v**i * (np.log2(v) ** j)
+            term = f.copy() if term is None else term * f
+        if term is not None:
+            out[:, g_idx] = term
+    return out
+
+
 def pmnf_term_matrix(
     groups: Sequence[Sequence[str]],
     settings: Sequence[Setting],
@@ -45,17 +98,15 @@ def pmnf_term_matrix(
     Parameter values are the raw (power-of-two or 1/2/3) values of the
     setting; all values are >= 1 so the logarithm is legitimate (the
     paper starts boolean/enumeration parameters at 1 for this reason).
+    The whole batch of settings is lowered into one value matrix and the
+    terms are built column-vectorized — float-identical to
+    :func:`pmnf_term_matrix_reference` (equivalence-tested).
     """
-    n, g = len(settings), len(groups)
-    out = np.ones((n, g), dtype=np.float64)
-    for s_idx, setting in enumerate(settings):
-        for g_idx, group in enumerate(groups):
-            term = 1.0
-            for name in group:
-                v = float(setting[name])
-                term *= v**i * (np.log2(v) ** j)
-            out[s_idx, g_idx] = term
-    return out
+    names = tuple(dict.fromkeys(n for g in groups for n in g))
+    values = np.array(
+        [s.values_tuple(names) for s in settings], dtype=np.int64
+    ).reshape(len(settings), len(names))
+    return pmnf_term_values(groups, values, names, i, j)
 
 
 @dataclass(frozen=True)
@@ -73,9 +124,27 @@ class PMNFModel:
     rse: float
     target: str = "metric"
 
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """All parameter names the model reads, in first-use order."""
+        return tuple(dict.fromkeys(n for g in self.groups for n in g))
+
     def predict(self, settings: Sequence[Setting]) -> np.ndarray:
         """Evaluate the model at new settings."""
         terms = pmnf_term_matrix(self.groups, settings, self.i, self.j)
+        return self.coefficients[0] + terms @ self.coefficients[1:]
+
+    def predict_values(
+        self, values: np.ndarray, order: Sequence[str]
+    ) -> np.ndarray:
+        """Evaluate the model on an already-lowered value matrix.
+
+        Lets callers scoring the same candidate pool with several
+        models (the sampler) lower the pool once instead of once per
+        model. Float-identical to :meth:`predict` given matching
+        columns.
+        """
+        terms = pmnf_term_values(self.groups, values, order, self.i, self.j)
         return self.coefficients[0] + terms @ self.coefficients[1:]
 
     def describe(self) -> str:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.core.searchstats import COUNTER_NAMES, search_info
 from repro.errors import OrchestrationError
 from repro.gpusim.diskcache import (
     EvaluationStore,
@@ -47,6 +48,10 @@ from repro.gpusim.diskcache import (
 
 #: Counter keys carried back from workers per task (store deltas).
 _DELTA_KEYS = ("hits", "misses", "puts")
+
+#: Search-layer counter keys (vectorized engine throughput), prefixed in
+#: the stats dict to keep them apart from the store counters.
+_SEARCH_KEYS = tuple(f"search_{name}" for name in COUNTER_NAMES)
 
 
 @dataclass(frozen=True)
@@ -67,9 +72,15 @@ def _worker_init(cache_dir: str | None) -> None:
 
 
 def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
-    """Run one task; report (status, payload, store-counter delta)."""
+    """Run one task; report (status, payload, counter deltas).
+
+    The delta dict carries both store counters and the search-layer
+    counters — worker processes cannot mutate the parent's process
+    globals, so their contribution travels with the task result.
+    """
     store = get_default_store()
     before = store.counters() if store is not None else None
+    search_before = search_info()
     try:
         result = task.fn(*task.args, **task.kwargs)
     except Exception:
@@ -80,6 +91,9 @@ def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
         store.flush()
         after = store.counters()
         delta = {k: after[k] - before[k] for k in _DELTA_KEYS}
+    search_after = search_info()
+    for name in COUNTER_NAMES:
+        delta[f"search_{name}"] = search_after[name] - search_before[name]
     return ("ok", result, delta)
 
 
@@ -113,14 +127,16 @@ class WorkerPool:
         self._store: EvaluationStore | None = None
         self._prev_store: EvaluationStore | None = None
         self._entered = False
-        self._worker_counts = dict.fromkeys(_DELTA_KEYS, 0)
+        self._worker_counts = dict.fromkeys(_DELTA_KEYS + _SEARCH_KEYS, 0)
         self._final_stats: dict[str, int | float] | None = None
+        self._search_base: dict[str, int] = dict.fromkeys(COUNTER_NAMES, 0)
         self._t0 = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
     def __enter__(self) -> WorkerPool:
         self._t0 = time.perf_counter()
+        self._search_base = search_info()
         if self.cache_dir is not None:
             self._store = EvaluationStore(self.cache_dir)
             self._prev_store = set_default_store(self._store)
@@ -173,9 +189,10 @@ class WorkerPool:
             if status == "ok":
                 results.append(payload)
                 if self._pool is not None:
-                    # In-process deltas are already on the shared store;
-                    # only genuine worker-side counts need carrying over.
-                    for k in _DELTA_KEYS:
+                    # In-process deltas are already on the shared store
+                    # and process-global counters; only genuine
+                    # worker-side counts need carrying over.
+                    for k in _DELTA_KEYS + _SEARCH_KEYS:
                         self._worker_counts[k] += delta.get(k, 0)
             else:
                 failures.append(payload)
@@ -208,6 +225,14 @@ class WorkerPool:
             stats["records_loaded"] = s["records_loaded"]
             stats["bad_records"] = s["bad_records"]
             stats["shards_merged"] = s["shards_merged"]
+        # Search-layer counters: worker-carried deltas plus whatever
+        # moved in this process since the pool was entered.
+        info = search_info()
+        for name in COUNTER_NAMES:
+            key = f"search_{name}"
+            stats[key] = self._worker_counts[key] + (
+                info[name] - self._search_base.get(name, 0)
+            )
         return stats
 
     def stats(self) -> dict[str, int | float]:

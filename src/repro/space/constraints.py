@@ -138,6 +138,39 @@ def explicit_ok_array(pattern: StencilPattern, values: np.ndarray) -> np.ndarray
     return ok
 
 
+def canonicalize_matrix(pattern: StencilPattern, values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`canonicalize_values` over an ``(n, 19)`` matrix.
+
+    Row-for-row identical to the scalar repair for rows whose ``SD`` lies
+    in its domain ``{1, 2, 3}`` (every caller canonicalizes post-clip
+    values, so this always holds). Returns a new matrix; the input is
+    not mutated.
+    """
+    col = PARAM_INDEX
+    out = values.copy()
+    streaming = out[:, col["useStreaming"]] == 2
+    ns = ~streaming
+    out[ns, col["SD"]] = 1
+    out[ns, col["SB"]] = 1
+    out[ns, col["usePrefetching"]] = 1
+    if streaming.any():
+        grid = np.array(pattern.grid, dtype=np.int64)
+        sd = out[:, col["SD"]]
+        m_sd = grid[np.clip(sd - 1, 0, 2)]
+        sb = out[:, col["SB"]]
+        out[:, col["SB"]] = np.where(streaming, np.minimum(sb, m_sd), sb)
+        for dim in (1, 2, 3):
+            rows = streaming & (sd == dim)
+            tb_name, uf_name, _, _ = _dim_names(dim)
+            out[rows, col[tb_name]] = 1
+            uf = out[rows, col[uf_name]]
+            sb_r = out[rows, col["SB"]]
+            out[rows, col[uf_name]] = np.where(
+                sb_r > 1, np.minimum(uf, sb_r), uf
+            )
+    return out
+
+
 def canonicalize_values(
     pattern: StencilPattern, values: Mapping[str, int]
 ) -> dict[str, int]:

@@ -30,6 +30,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
+
+import numpy as np
 
 from repro.errors import UnknownParameterError
 from repro.stencil.pattern import StencilPattern
@@ -102,6 +105,49 @@ class Parameter:
         """Nearest domain value (ties resolve downward) — used for repair."""
         best = min(self.values, key=lambda v: (abs(v - value), v))
         return best
+
+    @cached_property
+    def values_array(self) -> np.ndarray:
+        """The domain as a sorted int64 array (the vectorized paths' view)."""
+        return np.asarray(self.values, dtype=np.int64)
+
+    @cached_property
+    def _structured_domain(self) -> bool:
+        """True when membership has a closed form (all powers of two up
+        to the cap, or a contiguous integer range) — the Table I shapes."""
+        if self.kind is ParameterKind.POW2:
+            return self.values == tuple(powers_of_two_upto(self.values[-1]))
+        return self.values == tuple(range(self.values[0], self.values[-1] + 1))
+
+    def contains_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over an int64 value array.
+
+        Structured domains test membership with a few ufuncs instead of
+        ``np.isin``'s sort — the batch validity screens call this once
+        per parameter per population, so the fixed cost matters.
+        """
+        v = np.asarray(values, dtype=np.int64)
+        if not self._structured_domain:
+            return np.isin(v, self.values_array)
+        if self.kind is ParameterKind.POW2:
+            return (v >= 1) & (v <= self.values[-1]) & ((v & (v - 1)) == 0)
+        return (v >= self.values[0]) & (v <= self.values[-1])
+
+    def clip_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`clip` — element-for-element identical.
+
+        In a sorted duplicate-free domain only the two values bracketing
+        ``v`` can minimise ``(abs(d - v), d)``, so one ``searchsorted``
+        plus a two-neighbour compare reproduces the scalar linear scan,
+        including its ties-resolve-downward rule (``<=`` keeps the lower
+        bracket on equal distance).
+        """
+        d = self.values_array
+        v = np.asarray(values, dtype=np.int64)
+        i = np.searchsorted(d, v)
+        lo = d[np.clip(i - 1, 0, d.size - 1)]
+        hi = d[np.clip(i, 0, d.size - 1)]
+        return np.where(np.abs(v - lo) <= np.abs(hi - v), lo, hi)
 
 
 def _pow2_param(name: str, cap: int) -> Parameter:

