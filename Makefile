@@ -5,14 +5,16 @@
 
 PYTHON ?= python
 PYTEST_ARGS ?= -x -q -m "not slow"
+COV_FLOOR ?= 75
 
-.PHONY: verify lint typecheck test bench bench-fast
+.PHONY: verify lint typecheck test coverage bench bench-fast \
+        check-regression bench-baselines
 
 verify: lint typecheck test
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests benchmarks; \
+		ruff check src tests benchmarks tools; \
 	else \
 		echo "ruff not installed - skipping lint"; \
 	fi
@@ -27,13 +29,41 @@ typecheck:
 test:
 	$(PYTHON) -m pytest tests $(PYTEST_ARGS)
 
+# Coverage with a *soft* floor: below COV_FLOOR warns but does not
+# fail (tools/coverage_summary.py --hard makes it a gate). Skips
+# gracefully when pytest-cov is not installed.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest tests $(PYTEST_ARGS) \
+			--cov=repro --cov-report=xml --cov-report=term && \
+		$(PYTHON) tools/coverage_summary.py --floor $(COV_FLOOR); \
+	else \
+		echo "pytest-cov not installed - skipping coverage"; \
+	fi
+
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
 	$(PYTHON) benchmarks/bench_strict_overhead.py
+	$(PYTHON) benchmarks/bench_obs_overhead.py
 	$(PYTHON) benchmarks/bench_runner_parallel.py
 	$(PYTHON) benchmarks/bench_search_path.py
 
-# Seconds-long smoke variant of the search-path benchmark: reduced
-# budget/reps and a 1x speedup floor, but the same identity gates.
+# Seconds-long smoke variants: reduced budget/reps but the same
+# identity and overhead gates as the full benchmarks.
 bench-fast:
 	REPRO_BENCH_SEARCH_FAST=1 $(PYTHON) benchmarks/bench_search_path.py
+	REPRO_BENCH_OBS_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py
+
+# Compare fresh bench-fast results against the committed baselines
+# (benchmarks/baselines/); >20% slowdown fails. CI runs this right
+# after bench-fast.
+check-regression:
+	$(PYTHON) benchmarks/check_regression.py
+
+# Refresh the committed fast-mode baselines after an intentional
+# performance change. Commit the result.
+bench-baselines: bench-fast
+	mkdir -p benchmarks/baselines
+	cp benchmarks/results/BENCH_search_path.json \
+	   benchmarks/results/BENCH_obs_overhead.json \
+	   benchmarks/baselines/

@@ -16,6 +16,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.budget import Budget, Evaluator
 from repro.core.result import TuningResult
 from repro.gpusim.simulator import GpuSimulator
@@ -71,13 +72,21 @@ class BaselineTuner(ABC):
         ``dataset`` is the shared offline stencil dataset; tuners that
         do not use one (OpenTuner, random search) ignore it.
         """
-        space = space or build_space(pattern, self.simulator.device)
-        evaluator = Evaluator(
-            self.simulator, pattern, budget, charge_invalid=self.charge_invalid
-        )
-        rng = rng_from_seed(self.seed if seed is None else seed)
-        meta = self._search(pattern, space, evaluator, rng, dataset) or {}
-        return evaluator.result(self.name, meta=meta)
+        with obs.span(
+            "tuner.run",
+            tuner=self.name,
+            stencil=pattern.name,
+            device=self.simulator.device.name,
+        ):
+            space = space or build_space(pattern, self.simulator.device)
+            evaluator = Evaluator(
+                self.simulator, pattern, budget,
+                charge_invalid=self.charge_invalid,
+            )
+            rng = rng_from_seed(self.seed if seed is None else seed)
+            with obs.span("phase.search", stencil=pattern.name):
+                meta = self._search(pattern, space, evaluator, rng, dataset) or {}
+            return evaluator.result(self.name, meta=meta)
 
     @abstractmethod
     def _search(

@@ -17,6 +17,10 @@ Subcommands cover the common workflows:
 ``analyze``
     Static analysis: lint generated kernels, cross-check plans, prove
     constraint consistency (see ``docs/analysis.md``).
+``trace``
+    Run tuners with span tracing on and emit ``trace.json``,
+    ``phases.txt`` and the Fig-12-style overhead breakdown (see
+    ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +29,9 @@ import argparse
 import contextlib
 import sys
 from collections.abc import Iterator, Sequence
+from pathlib import Path
 
+from repro import obs
 from repro.analysis.cli import add_analyze_arguments, run_from_args
 from repro.core import Budget, CsTuner, CsTunerConfig
 from repro.experiments import (
@@ -207,6 +213,65 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_phase_table, write_trace_json
+    from repro.obs.fig12 import format_fig12
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    tracer = obs.get_tracer()
+    was_tracing = obs.enable_tracing()
+    if not was_tracing:
+        tracer.clear()
+    try:
+        with _evaluation_store(args):
+            for device_name in args.devices:
+                device = get_device(device_name)
+                for stencil in args.stencils:
+                    pattern = get_stencil(stencil)
+                    space = build_space(pattern, device)
+                    budget = (
+                        Budget(max_iterations=args.iterations)
+                        if args.iterations
+                        else Budget(max_cost_s=args.budget)
+                    )
+                    for tuner in args.tuners:
+                        simulator = GpuSimulator(device=device, seed=args.seed)
+                        dataset = None
+                        if tuner not in ("OpenTuner", "Artemis"):
+                            collector = CsTuner(
+                                simulator,
+                                CsTunerConfig(
+                                    seed=args.seed,
+                                    dataset_size=args.dataset_size,
+                                ),
+                            )
+                            dataset = collector.collect_dataset(pattern, space)
+                        run_tuner(
+                            tuner, simulator, pattern, space, budget,
+                            dataset=dataset, seed=args.seed,
+                        )
+    finally:
+        if not was_tracing:
+            obs.disable_tracing()
+
+    meta = {
+        "experiment": "trace",
+        "stencils": list(args.stencils),
+        "devices": list(args.devices),
+        "tuners": list(args.tuners),
+        "seed": args.seed,
+    }
+    trace_path = write_trace_json(out / "trace.json", tracer, meta=meta)
+    phases_path = write_phase_table(
+        out / "phases.txt", tracer,
+        title="phase breakdown — repro trace",
+    )
+    print(format_fig12(tracer.spans()))
+    print(f"wrote {trace_path} and {phases_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +312,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="static analysis of kernels and spaces")
     add_analyze_arguments(p)
 
+    p = sub.add_parser(
+        "trace",
+        help="run tuners with tracing on; emit trace.json + phases.txt",
+    )
+    p.add_argument("stencils", nargs="+",
+                   help="stencil names (see `repro suite`)")
+    p.add_argument("--devices", nargs="+", default=["A100"],
+                   choices=["A100", "V100"])
+    p.add_argument("--tuners", nargs="+", default=["csTuner"],
+                   choices=list(TUNER_NAMES))
+    p.add_argument("--budget", type=float, default=100.0,
+                   help="tuning-cost budget in seconds (iso-time)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="iteration budget instead of time")
+    p.add_argument("--dataset-size", type=int, default=128,
+                   help="offline dataset size for dataset-driven tuners")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="results/trace",
+                   help="directory for trace.json and phases.txt")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent evaluation-cache directory")
+
     return parser
 
 
@@ -258,6 +345,7 @@ _COMMANDS = {
     "motivation": _cmd_motivation,
     "compare": _cmd_compare,
     "analyze": run_from_args,
+    "trace": _cmd_trace,
 }
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.result import TracePoint, TuningResult
 from repro.errors import InvalidSettingError
 from repro.gpusim.simulator import GpuSimulator
@@ -103,7 +104,13 @@ class Evaluator:
         if self.exhausted:
             return None
         try:
-            run = self.simulator.run(self.pattern, setting)
+            # Hot path: branch on the tracing flag instead of paying a
+            # no-op context manager per candidate evaluation.
+            if obs.tracing():
+                with obs.span("phase.measurement", n=1):
+                    run = self.simulator.run(self.pattern, setting)
+            else:
+                run = self.simulator.run(self.pattern, setting)
         except InvalidSettingError:
             if self.charge_invalid:
                 self.cost_s += self.simulator.compile_cost_s
@@ -131,19 +138,21 @@ class Evaluator:
         exactly what sequential :meth:`evaluate` calls would produce.
         """
         settings = list(settings)
-        true_run_batch = getattr(self.simulator, "_true_run_batch", None)
-        if true_run_batch is not None:  # duck-typed simulators: scalar only
-            todo = [
-                s
-                for s in settings
-                if s not in self._cache
-                and (self.pattern.name, s) not in self.simulator._true_cache
-            ]
-            if todo and not self.exhausted:
-                # Warm the simulator's cache; invalid settings are skipped
-                # here and rediscovered (for charging) by the scalar replay.
-                true_run_batch(self.pattern, todo, on_invalid="skip")
-        return [self.evaluate(s) for s in settings]
+        with obs.span("phase.measurement", n=len(settings)):
+            true_run_batch = getattr(self.simulator, "_true_run_batch", None)
+            if true_run_batch is not None:  # duck-typed simulators: scalar only
+                todo = [
+                    s
+                    for s in settings
+                    if s not in self._cache
+                    and (self.pattern.name, s) not in self.simulator._true_cache
+                ]
+                if todo and not self.exhausted:
+                    # Warm the simulator's cache; invalid settings are
+                    # skipped here and rediscovered (for charging) by
+                    # the scalar replay.
+                    true_run_batch(self.pattern, todo, on_invalid="skip")
+            return [self.evaluate(s) for s in settings]
 
     # -- result assembly ------------------------------------------------------
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core import searchstats
 from repro.core.metricsel import (
     combine_metrics,
@@ -132,7 +133,8 @@ def sample_search_space(
 ) -> SampledSpace:
     """Run the full sampling stage: models → pool → filter → re-index."""
     rng = rng_from_seed(seed)
-    models, reps = fit_metric_models(dataset, groups, config)
+    with obs.span("phase.fitting", metrics=config.num_collections):
+        models, reps = fit_metric_models(dataset, groups, config)
 
     pool = space.sample(rng, config.pool_size, unique=True)
     n_keep = max(1, int(round(config.ratio * len(pool))))

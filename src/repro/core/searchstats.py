@@ -8,16 +8,19 @@ many rows the array-compiled forests predicted, and how large the
 sampler's candidate pools were. Benchmarks and the orchestration report
 use them to attribute wall-clock between the tuners and the model.
 
-Counters are process-global (mirroring the evaluation store's counter
-convention): each worker process accumulates its own values and the
-pool carries per-task deltas back to the parent (see
-:mod:`repro.parallel.pool`), so ``orchestration.txt`` reports the
-fleet-wide totals.
+The counters now live on the :mod:`repro.obs.metrics` registry (under
+the ``search.`` prefix) — this module is the stable façade the search
+layer and the orchestration pool keep calling. Counters remain
+process-global: each worker process accumulates its own values and the
+pool carries **per-task deltas** back to the parent (see
+:mod:`repro.parallel.pool`), so ``orchestration.txt`` reports
+fleet-wide totals that are insensitive to when (or whether) anyone
+calls :func:`reset_search_stats` in between.
 """
 
 from __future__ import annotations
 
-import threading
+from repro.obs import metrics as _metrics
 
 #: The counters tracked, in reporting order.
 COUNTER_NAMES: tuple[str, ...] = (
@@ -27,26 +30,27 @@ COUNTER_NAMES: tuple[str, ...] = (
     "sampler_pool_size",
 )
 
-_lock = threading.Lock()
-_counters: dict[str, int] = dict.fromkeys(COUNTER_NAMES, 0)
+#: Registry namespace the search counters live under.
+PREFIX = "search."
+
+_VALID = frozenset(COUNTER_NAMES)
 
 
 def bump(name: str, n: int = 1) -> None:
     """Add ``n`` to one counter (unknown names are a programming error)."""
-    if name not in _counters:
+    if name not in _VALID:
         raise KeyError(f"unknown search counter {name!r}")
-    with _lock:
-        _counters[name] += int(n)
+    _metrics.count(PREFIX + name, int(n))
 
 
 def search_info() -> dict[str, int]:
     """Snapshot of all search-layer counters (this process)."""
-    with _lock:
-        return dict(_counters)
+    counters = _metrics.get_registry().counters(PREFIX)
+    return {
+        name: int(counters.get(PREFIX + name, 0)) for name in COUNTER_NAMES
+    }
 
 
 def reset_search_stats() -> None:
-    """Zero every counter (tests and benchmark sections)."""
-    with _lock:
-        for name in COUNTER_NAMES:
-            _counters[name] = 0
+    """Zero every counter (tests, benchmark sections, per-rep snapshots)."""
+    _metrics.reset_metrics(PREFIX)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.codegen.cuda import generate_cuda
 from repro.core.budget import Budget, Evaluator
 from repro.core.genetic import EvolutionarySearch, GAConfig
@@ -89,7 +90,9 @@ class CsTuner:
     ) -> Preprocessed:
         """Grouping, sampling and code generation, individually timed."""
         watch = Stopwatch()
-        with watch.phase("grouping"):
+        with watch.phase("grouping"), obs.span(
+            "phase.grouping", stencil=pattern.name
+        ):
             cvs = pairwise_cv(
                 self.simulator,
                 pattern,
@@ -98,7 +101,9 @@ class CsTuner:
                 probe_limit=self.config.probe_limit,
             )
             groups = group_parameters(cvs)
-        with watch.phase("sampling"):
+        with watch.phase("sampling"), obs.span(
+            "phase.sampling", stencil=pattern.name
+        ):
             sampled = sample_search_space(
                 space,
                 dataset,
@@ -106,7 +111,9 @@ class CsTuner:
                 config=self.config.sampling,
                 seed=self.config.seed + 1,
             )
-        with watch.phase("codegen"):
+        with watch.phase("codegen"), obs.span(
+            "phase.codegen", stencil=pattern.name
+        ):
             # Kernel emission is stencil-specific; other domains (e.g.
             # the GEMM extension) bring their own code generators and
             # skip this phase.
@@ -115,6 +122,7 @@ class CsTuner:
                     i: generate_cuda(pattern, s)
                     for i, s in enumerate(sampled.settings)
                 }
+                obs.count("codegen.kernels_generated", len(kernels))
             else:
                 kernels = {}
         return Preprocessed(groups=groups, sampled=sampled, kernels=kernels, watch=watch)
@@ -137,6 +145,27 @@ class CsTuner:
         offline stage across repeated runs (e.g. the 10 repetitions the
         paper averages over); the online budget covers only the search.
         """
+        with obs.span(
+            "tuner.run",
+            tuner=self.name,
+            stencil=pattern.name,
+            device=self.simulator.device.name,
+        ):
+            return self._tune(
+                pattern, budget, space=space, dataset=dataset,
+                preprocessed=preprocessed, seed=seed,
+            )
+
+    def _tune(
+        self,
+        pattern: StencilPattern,
+        budget: Budget,
+        *,
+        space: SearchSpace | None,
+        dataset: PerformanceDataset | None,
+        preprocessed: Preprocessed | None,
+        seed: int | None,
+    ) -> TuningResult:
         space = space or build_space(pattern, self.simulator.device)
         if preprocessed is None:
             if dataset is None:
@@ -145,7 +174,9 @@ class CsTuner:
 
         evaluator = Evaluator(self.simulator, pattern, budget)
         watch = Stopwatch()
-        with watch.phase("search"):
+        with watch.phase("search"), obs.span(
+            "phase.search", stencil=pattern.name
+        ):
             search = EvolutionarySearch(
                 sampled=preprocessed.sampled,
                 space=space,

@@ -29,7 +29,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core import Budget
+from repro.core import searchstats
 from repro.experiments.comparison import (
     TUNER_NAMES,
     iso_iteration_series,
@@ -66,6 +68,7 @@ class ExperimentRunner:
         seed: int = 0,
         workers: int = 1,
         cache_dir: str | Path | None = None,
+        trace: bool = False,
     ) -> None:
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
@@ -76,6 +79,7 @@ class ExperimentRunner:
         self.seed = seed
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.trace = bool(trace)
         self.reports: dict[str, str] = {}
         self._pool: WorkerPool | None = None
         self.orchestration: dict[str, int | float] = {}
@@ -256,23 +260,63 @@ class ExperimentRunner:
 
     def run_all(self) -> dict[str, str]:
         t0 = time.perf_counter()
-        with WorkerPool(self.workers, self.cache_dir) as pool:
-            self._pool = pool
-            try:
-                self.run_motivation()
-                self.run_comparisons(A100)
-                self.run_comparisons(V100)
-                self.run_sensitivity()
-                self.run_overhead()
-            finally:
-                self._pool = None
+        # Drift guard: the search counters live on a process-global
+        # registry. A second in-process run (tests, notebooks, repeated
+        # repetitions) must start from zero or orchestration.txt would
+        # report the accumulated history of *every* run so far.
+        searchstats.reset_search_stats()
+        was_tracing = obs.enable_tracing() if self.trace else obs.tracing()
+        if self.trace and not was_tracing:
+            obs.get_tracer().clear()
+        try:
+            with WorkerPool(self.workers, self.cache_dir) as pool:
+                self._pool = pool
+                try:
+                    self.run_motivation()
+                    self.run_comparisons(A100)
+                    self.run_comparisons(V100)
+                    self.run_sensitivity()
+                    self.run_overhead()
+                finally:
+                    self._pool = None
+        finally:
+            if self.trace and not was_tracing:
+                obs.disable_tracing()
         self._merge_stats(pool.stats())
         self._write("orchestration", self._orchestration_report())
         summary = "\n\n".join(
             self.reports[k] for k in sorted(self.reports)
         ) + f"\n\ntotal wall time: {time.perf_counter() - t0:.0f}s"
         self._write("summary", summary)
+        if self.trace:
+            self.write_trace_artifacts()
         return dict(self.reports)
+
+    def write_trace_artifacts(self) -> None:
+        """Emit ``trace.json`` + ``phases.txt`` next to the reports.
+
+        Deliberately *not* routed through :meth:`_write`: trace output
+        is wall-clock data and must stay out of ``summary.txt`` so the
+        deterministic artifacts remain byte-identical with tracing on
+        or off.
+        """
+        from repro.obs.export import write_phase_table, write_trace_json
+
+        tracer = obs.get_tracer()
+        meta = {
+            "experiment": "run_all",
+            "stencils": list(self.stencils),
+            "samples": self.samples,
+            "repetitions": self.repetitions,
+            "budget_s": self.budget_s,
+            "seed": self.seed,
+            "workers": self.workers,
+        }
+        write_trace_json(self.out_dir / "trace.json", tracer, meta=meta)
+        write_phase_table(
+            self.out_dir / "phases.txt", tracer,
+            title="phase breakdown — full experiment run",
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -288,6 +332,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="persistent evaluation-cache directory; reruns "
                              "warm-start from the journal kept there")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a span trace and write trace.json + "
+                             "phases.txt next to the reports")
     args = parser.parse_args(argv)
     runner = ExperimentRunner(
         args.out,
@@ -298,6 +345,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        trace=args.trace,
     )
     runner.run_all()
     print(f"wrote {len(runner.reports)} reports to {runner.out_dir}/")

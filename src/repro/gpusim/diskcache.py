@@ -293,11 +293,25 @@ class EvaluationStore:
         return len(shards)
 
     def close(self) -> None:
-        """Flush, merge all shards into the journal, stop accepting writes."""
+        """Flush, merge all shards into the journal, stop accepting writes.
+
+        Closing also publishes the store's lifetime counters onto the
+        :mod:`repro.obs.metrics` registry (``diskcache.`` namespace), so
+        exporters see them alongside the tracer/search instruments
+        without any per-lookup registry cost.
+        """
         if self._closed:
             return
         self.absorb_shards()
         self._closed = True
+        from repro import obs
+
+        registry = obs.get_registry()
+        for name, value in self.stats().items():
+            if name == "entries":
+                registry.gauge("diskcache.entries", value)
+            else:
+                registry.count(f"diskcache.{name}", value)
 
     def __enter__(self) -> EvaluationStore:
         return self

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.codegen.plan import (
     KernelPlan,
     build_plan,
@@ -282,6 +283,22 @@ class GpuSimulator:
         if on_invalid not in ("raise", "skip"):
             raise ValueError(f"on_invalid must be 'raise' or 'skip': {on_invalid!r}")
         settings = list(settings)
+        if obs.tracing():
+            with obs.span(
+                "sim.batch_eval", n=len(settings), stencil=pattern.name,
+                device=self.device.name,
+            ):
+                return self._true_run_batch_inner(pattern, settings, on_invalid)
+        return self._true_run_batch_inner(pattern, settings, on_invalid)
+
+    def _true_run_batch_inner(
+        self,
+        pattern: StencilPattern,
+        settings: list[Setting],
+        on_invalid: str,
+    ) -> list[tuple[float, dict[str, float], KernelPlan] | None]:
+        obs.count("sim.batch_calls")
+        obs.count("sim.batch_settings", len(settings))
         keys = [(pattern.name, s) for s in settings]
 
         # Peek (no counter/LRU mutation yet — keeps "raise" atomic).

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import OptimizeWarning, curve_fit
 
+from repro import obs
 from repro.errors import ModelFitError
 from repro.ml.stats import residual_standard_error
 from repro.space.setting import Setting
@@ -219,24 +220,27 @@ def fit_pmnf(
             f"target length {y.size} does not match {len(settings)} settings"
         )
 
+    obs.count("ml.pmnf_fits")
+    obs.count("ml.pmnf_fit_rows", len(settings))
     best: PMNFModel | None = None
     errors: list[str] = []
-    for i in i_range:
-        for j in j_range:
-            try:
-                coef, rse = _fit_candidate(groups, settings, y, i, j)
-            except ModelFitError as exc:
-                errors.append(str(exc))
-                continue
-            if best is None or rse < best.rse:
-                best = PMNFModel(
-                    groups=tuple(tuple(g) for g in groups),
-                    i=i,
-                    j=j,
-                    coefficients=coef,
-                    rse=rse,
-                    target=target_name,
-                )
+    with obs.timer("ml.fit_pmnf"):
+        for i in i_range:
+            for j in j_range:
+                try:
+                    coef, rse = _fit_candidate(groups, settings, y, i, j)
+                except ModelFitError as exc:
+                    errors.append(str(exc))
+                    continue
+                if best is None or rse < best.rse:
+                    best = PMNFModel(
+                        groups=tuple(tuple(g) for g in groups),
+                        i=i,
+                        j=j,
+                        coefficients=coef,
+                        rse=rse,
+                        target=target_name,
+                    )
     if best is None:
         raise ModelFitError("all PMNF candidates failed: " + "; ".join(errors))
     return best

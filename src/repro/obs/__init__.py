@@ -1,0 +1,57 @@
+"""``repro.obs`` — lightweight, zero-dependency observability.
+
+Three pieces, layered under everything else in the repository (the
+package imports only the standard library, so the simulator, the search
+core and the orchestration pool can all depend on it):
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer with a
+  context-manager API (``with obs.span("phase.codegen", stencil=...)``)
+  behind a **no-op default**: until :func:`enable_tracing` is called,
+  instrumentation points cost one attribute check and instrumented runs
+  are observationally identical to uninstrumented ones.
+* :mod:`repro.obs.metrics` — an always-on registry of coarse counters,
+  gauges and timers, generalizing the earlier ad-hoc counter
+  conventions (``searchstats``, the evaluation store's hit/miss
+  counters).
+* :mod:`repro.obs.export` / :mod:`repro.obs.fig12` — exporters: a JSON
+  trace file, a human-readable phase table, and the Fig-12-style
+  tuning-cost breakdown per (tuner, stencil, device).
+
+See ``docs/observability.md`` for the API guide and trace schema.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    add_time,
+    count,
+    gauge,
+    get_registry,
+    reset_metrics,
+    timer,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "add_time",
+    "count",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "reset_metrics",
+    "span",
+    "timer",
+    "tracing",
+]

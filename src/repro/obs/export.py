@@ -1,0 +1,180 @@
+"""Trace exporters: JSON trace files and human-readable phase tables.
+
+Two artifact shapes, written next to experiment outputs:
+
+* ``trace.json`` — every finished span (schema documented in
+  ``docs/observability.md``) plus a metrics-registry snapshot, for
+  machine consumption (the Fig-12 report, trend tooling, ad-hoc
+  analysis).
+* ``phases.txt`` — spans aggregated by name into a table of
+  count / total / mean / min / max seconds, for humans.
+
+Aggregation counts **top-level occurrences only**: a span nested under
+a same-named ancestor (e.g. a scalar ``phase.measurement`` replay
+inside a batched ``phase.measurement``) is already covered by its
+ancestor's duration and would double-count, so it is excluded. The raw
+trace keeps every span — the filter is a report-time concern.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION, Span, Tracer
+
+
+def _span_key(span: Span) -> tuple[int, int]:
+    return (span.pid, span.span_id)
+
+
+def span_index(spans: Iterable[Span]) -> dict[tuple[int, int], Span]:
+    """Index spans by their process-unique ``(pid, span_id)`` key."""
+    return {_span_key(s): s for s in spans}
+
+
+def ancestors(
+    span: Span, index: dict[tuple[int, int], Span]
+) -> Iterable[Span]:
+    """Walk a span's parent chain (within its own process)."""
+    seen: set[tuple[int, int]] = set()
+    current = span
+    while current.parent_id is not None:
+        key = (current.pid, current.parent_id)
+        if key in seen or key not in index:  # broken/cyclic chain: stop
+            return
+        seen.add(key)
+        current = index[key]
+        yield current
+
+
+def top_level_spans(spans: Sequence[Span]) -> list[Span]:
+    """Spans that are not nested under a same-named ancestor."""
+    index = span_index(spans)
+    out = []
+    for s in spans:
+        if any(a.name == s.name for a in ancestors(s, index)):
+            continue
+        out.append(s)
+    return out
+
+
+def aggregate_spans(spans: Sequence[Span]) -> dict[str, dict[str, float]]:
+    """Per-name totals over top-level spans.
+
+    Returns ``{name: {count, total_s, mean_s, min_s, max_s}}`` sorted by
+    descending total.
+    """
+    stats: dict[str, list[float]] = {}
+    for s in top_level_spans(spans):
+        stat = stats.get(s.name)
+        if stat is None:
+            stats[s.name] = [1, s.duration_s, s.duration_s, s.duration_s]
+        else:
+            stat[0] += 1
+            stat[1] += s.duration_s
+            stat[2] = min(stat[2], s.duration_s)
+            stat[3] = max(stat[3], s.duration_s)
+    out = {
+        name: {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count,
+            "min_s": lo,
+            "max_s": hi,
+        }
+        for name, (count, total, lo, hi) in stats.items()
+    }
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]["total_s"]))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Minimal fixed-width table (kept local: obs imports nothing above
+    the standard library, see the package docstring)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.6f}" if abs(cell) < 1000 else f"{cell:.1f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_phase_table(spans: Sequence[Span], title: str = "phase totals") -> str:
+    """Human-readable per-name aggregation of a span buffer."""
+    agg = aggregate_spans(spans)
+    if not agg:
+        return f"{title}\n(no spans recorded)"
+    rows = [
+        [name, s["count"], s["total_s"], s["mean_s"], s["min_s"], s["max_s"]]
+        for name, s in agg.items()
+    ]
+    return format_table(
+        ["span", "count", "total_s", "mean_s", "min_s", "max_s"], rows,
+        title=title,
+    )
+
+
+def trace_payload(
+    tracer: Tracer, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The ``trace.json`` document for a tracer's current buffer."""
+    from repro.obs.metrics import get_registry
+
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "generator": "repro.obs",
+        "meta": dict(meta or {}),
+        "dropped_spans": tracer.dropped,
+        "spans": [s.to_dict() for s in tracer.spans()],
+        "metrics": get_registry().snapshot(),
+    }
+
+
+def write_trace_json(
+    path: str | Path, tracer: Tracer, meta: dict[str, Any] | None = None
+) -> Path:
+    """Serialize a tracer's buffer (plus metrics snapshot) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(trace_payload(tracer, meta), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def write_phase_table(
+    path: str | Path, tracer: Tracer, title: str = "phase totals"
+) -> Path:
+    """Write the aggregated phase table for a tracer's buffer."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        format_phase_table(tracer.spans(), title=title) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Read the spans of a ``trace.json`` document back."""
+    obj = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(obj, dict) or "spans" not in obj:
+        raise ValueError(f"{path}: not a repro.obs trace file")
+    return [Span.from_dict(d) for d in obj["spans"]]

@@ -1,0 +1,147 @@
+"""Fig-12 overhead accounting: reconstruct the paper's tuning-cost
+breakdown from a span trace.
+
+Fig. 12 of the csTuner paper decomposes auto-tuning cost into the
+pipeline phases — parameter grouping, search-space sampling (with its
+PMNF model fitting), code generation, the search itself and the
+candidate measurements. The instrumentation layer emits one span per
+phase occurrence (``phase.grouping``, ``phase.sampling``,
+``phase.fitting``, ``phase.codegen``, ``phase.search``,
+``phase.measurement``) nested under a ``tuner.run`` root span carrying
+``tuner`` / ``stencil`` / ``device`` attributes; this module rolls the
+spans back up into one row per (tuner, stencil, device) run.
+
+Accounting rules:
+
+* A phase span is attributed to its nearest ``tuner.run`` ancestor
+  (phase spans outside any run — e.g. offline dataset collection —
+  are reported under the pseudo-run ``(offline)``).
+* Spans nested under a same-named ancestor are skipped (their time is
+  already inside the ancestor; see :mod:`repro.obs.export`).
+* ``fitting`` happens inside ``sampling`` and ``measurement`` inside
+  ``search``; the table reports them as separate columns without
+  subtracting, so nested columns are *views into* — not additions to —
+  their parents.
+* ``pre/search %`` is the paper's headline ratio:
+  ``100 * (grouping + sampling + codegen) / search``.
+
+``python -m repro.obs.fig12 trace.json`` prints the table for a trace
+file written by :func:`repro.obs.export.write_trace_json`.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+
+from repro.obs.export import ancestors, format_table, span_index
+from repro.obs.trace import Span
+
+#: Root span name carrying run attribution.
+RUN_SPAN = "tuner.run"
+
+#: Phase-span prefix.
+PHASE_PREFIX = "phase."
+
+#: Report columns, in pipeline order (Fig 12's stack plus the ratio).
+PHASE_COLUMNS: tuple[str, ...] = (
+    "grouping", "sampling", "fitting", "codegen", "search", "measurement",
+)
+
+#: Pre-processing phases entering the ``pre/search %`` ratio. ``fitting``
+#: is excluded because its seconds are already inside ``sampling``.
+PRE_PHASES: tuple[str, ...] = ("grouping", "sampling", "codegen")
+
+#: Attribution key for phase spans outside any ``tuner.run``.
+OFFLINE = ("(offline)", "-", "-")
+
+
+def fig12_rows(
+    spans: Sequence[Span],
+) -> list[dict[str, object]]:
+    """One breakdown row per (tuner, stencil, device) run in the trace.
+
+    Rows are dicts with ``tuner`` / ``stencil`` / ``device``, one
+    seconds entry per :data:`PHASE_COLUMNS` name, and
+    ``pre_pct_of_search``. Runs are ordered by first appearance.
+    """
+    index = span_index(spans)
+    totals: dict[tuple[str, str, str], dict[str, float]] = {}
+    order: list[tuple[str, str, str]] = []
+
+    def run_key(span: Span) -> tuple[str, str, str]:
+        for a in ancestors(span, index):
+            if a.name == RUN_SPAN:
+                return (
+                    str(a.attrs.get("tuner", "?")),
+                    str(a.attrs.get("stencil", "?")),
+                    str(a.attrs.get("device", "?")),
+                )
+        return OFFLINE
+
+    for span in spans:
+        if not span.name.startswith(PHASE_PREFIX):
+            continue
+        phase = span.name[len(PHASE_PREFIX):]
+        if phase not in PHASE_COLUMNS:
+            continue  # e.g. phase.dataset: offline, outside Fig 12's scope
+        if any(a.name == span.name for a in ancestors(span, index)):
+            continue  # nested same-name span: already counted
+        key = run_key(span)
+        if key not in totals:
+            totals[key] = dict.fromkeys(PHASE_COLUMNS, 0.0)
+            order.append(key)
+        totals[key][phase] = totals[key].get(phase, 0.0) + span.duration_s
+
+    rows: list[dict[str, object]] = []
+    for key in order:
+        phases = totals[key]
+        search = phases.get("search", 0.0)
+        pre = sum(phases.get(p, 0.0) for p in PRE_PHASES)
+        row: dict[str, object] = {
+            "tuner": key[0], "stencil": key[1], "device": key[2],
+        }
+        row.update({p: phases.get(p, 0.0) for p in PHASE_COLUMNS})
+        row["pre_pct_of_search"] = 100.0 * pre / search if search > 0 else 0.0
+        rows.append(row)
+    return rows
+
+
+def format_fig12(spans: Sequence[Span]) -> str:
+    """The Fig-12-style overhead table for a span buffer."""
+    rows = fig12_rows(spans)
+    if not rows:
+        return (
+            "Fig 12 — tuning-cost breakdown\n"
+            "(no phase spans in trace — was tracing enabled?)"
+        )
+    headers = (
+        ["tuner", "stencil", "device"]
+        + [f"{p}(s)" for p in PHASE_COLUMNS]
+        + ["pre/search %"]
+    )
+    table_rows = [
+        [r["tuner"], r["stencil"], r["device"]]
+        + [r[p] for p in PHASE_COLUMNS]
+        + [r["pre_pct_of_search"]]
+        for r in rows
+    ]
+    return format_table(
+        headers, table_rows,
+        title="Fig 12 — tuning-cost breakdown (host wall-clock seconds)",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.fig12 <trace.json>", file=sys.stderr)
+        return 2
+    from repro.obs.export import load_trace
+
+    print(format_fig12(load_trace(argv[0])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

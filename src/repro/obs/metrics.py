@@ -1,0 +1,176 @@
+"""Process-wide metrics registry: counters, gauges and timers.
+
+The registry generalizes the ad-hoc counter conventions that grew with
+the earlier performance PRs — the search layer's process-global work
+counters (:mod:`repro.core.searchstats`, now a thin shim over this
+registry) and the evaluation store's hit/miss/put counters (published
+here on :meth:`~repro.gpusim.diskcache.EvaluationStore.close`) — into
+one namespace that exporters and the orchestration report can read
+uniformly.
+
+Three instrument kinds:
+
+* **Counters** — monotonically increasing totals (``count``): settings
+  repaired, kernels generated, batch evaluations…
+* **Gauges** — last-written values (``gauge``): pool sizes, hit rates.
+* **Timers** — duration accumulators (``timer``/``add_time``) tracking
+  count, total, min and max seconds per name.
+
+Unlike the tracer, the registry is **always on**: its instruments are
+deliberately coarse (per batch / per phase, never per setting) so the
+cost is a dict update under a lock at a frequency where that is noise.
+Worker processes accumulate into their own registry; per-task snapshot
+deltas travel back through the :mod:`repro.parallel` result channel
+exactly like the store counters do.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+
+class _TimerContext:
+    """Context manager recording one duration into a registry timer."""
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> _TimerContext:
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._registry.add_time(self._name, time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total_s, min_s, max_s]
+        self._timers: dict[str, list[float]] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Record one duration under timer ``name``."""
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                self._timers[name] = [1, seconds, seconds, seconds]
+            else:
+                stat[0] += 1
+                stat[1] += seconds
+                stat[2] = min(stat[2], seconds)
+                stat[3] = max(stat[3], seconds)
+
+    def timer(self, name: str) -> _TimerContext:
+        """Context manager timing a region into timer ``name``."""
+        return _TimerContext(self, name)
+
+    # -- reads -------------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """Counter snapshot, optionally restricted to a name prefix."""
+        with self._lock:
+            return {
+                k: v for k, v in self._counters.items() if k.startswith(prefix)
+            }
+
+    def gauges(self, prefix: str = "") -> dict[str, float]:
+        with self._lock:
+            return {
+                k: v for k, v in self._gauges.items() if k.startswith(prefix)
+            }
+
+    def timers(self, prefix: str = "") -> dict[str, dict[str, float]]:
+        """Timer snapshot: count/total/min/max/mean seconds per name."""
+        with self._lock:
+            out = {}
+            for k, (count, total, lo, hi) in self._timers.items():
+                if not k.startswith(prefix):
+                    continue
+                out[k] = {
+                    "count": count,
+                    "total_s": total,
+                    "min_s": lo,
+                    "max_s": hi,
+                    "mean_s": total / count if count else 0.0,
+                }
+            return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """Full registry state as plain (picklable, JSON-able) dicts."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "timers": self.timers(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero instruments whose name starts with ``prefix`` (all by
+        default)."""
+        with self._lock:
+            for store in (self._counters, self._gauges, self._timers):
+                for key in [k for k in store if k.startswith(prefix)]:
+                    del store[key]
+
+    def merge_counters(self, deltas: dict[str, float]) -> None:
+        """Add a counter-delta dict (e.g. carried back from a worker)."""
+        with self._lock:
+            for k, v in deltas.items():
+                self._counters[k] = self._counters.get(k, 0) + v
+
+
+#: The process-wide default registry every instrumentation point uses.
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _default
+
+
+def count(name: str, n: float = 1) -> None:
+    """Add ``n`` to a counter on the default registry."""
+    _default.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the default registry."""
+    _default.gauge(name, value)
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Record a duration on the default registry."""
+    _default.add_time(name, seconds)
+
+
+def timer(name: str) -> _TimerContext:
+    """Time a region into the default registry."""
+    return _TimerContext(_default, name)
+
+
+def reset_metrics(prefix: str = "") -> None:
+    """Zero default-registry instruments matching ``prefix``."""
+    _default.reset(prefix)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.core.searchstats import COUNTER_NAMES, search_info
 from repro.errors import OrchestrationError
 from repro.gpusim.diskcache import (
@@ -65,18 +66,25 @@ class Task:
     tag: str = ""
 
 
-def _worker_init(cache_dir: str | None) -> None:
-    """Pool initializer: open this worker's shard of the evaluation store."""
+def _worker_init(cache_dir: str | None, trace_enabled: bool = False) -> None:
+    """Pool initializer: open this worker's shard of the evaluation store
+    and mirror the parent's tracing switch."""
     if cache_dir is not None:
         set_default_store(EvaluationStore(cache_dir))
+    if trace_enabled:
+        obs.enable_tracing()
 
 
-def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
+def _execute(task: Task) -> tuple[str, Any, dict[str, Any]]:
     """Run one task; report (status, payload, counter deltas).
 
-    The delta dict carries both store counters and the search-layer
-    counters — worker processes cannot mutate the parent's process
-    globals, so their contribution travels with the task result.
+    The delta dict carries the store counters, the search-layer counter
+    deltas and (when tracing is on) this process's drained span buffer —
+    worker processes cannot mutate the parent's process globals, so
+    their contribution travels with the task result through the one
+    existing channel. Search deltas are per-task in *every* mode (the
+    parent discards its own global baseline), so totals cannot drift
+    when counters are reset between in-process repetitions.
     """
     store = get_default_store()
     before = store.counters() if store is not None else None
@@ -86,7 +94,7 @@ def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
     except Exception:
         return ("error", f"{task.tag or task.fn.__name__}:\n"
                          f"{traceback.format_exc()}", {})
-    delta: dict[str, int] = {}
+    delta: dict[str, Any] = {}
     if store is not None and before is not None:
         store.flush()
         after = store.counters()
@@ -94,6 +102,8 @@ def _execute(task: Task) -> tuple[str, Any, dict[str, int]]:
     search_after = search_info()
     for name in COUNTER_NAMES:
         delta[f"search_{name}"] = search_after[name] - search_before[name]
+    if obs.tracing():
+        delta["spans"] = obs.get_tracer().drain()
     return ("ok", result, delta)
 
 
@@ -129,14 +139,12 @@ class WorkerPool:
         self._entered = False
         self._worker_counts = dict.fromkeys(_DELTA_KEYS + _SEARCH_KEYS, 0)
         self._final_stats: dict[str, int | float] | None = None
-        self._search_base: dict[str, int] = dict.fromkeys(COUNTER_NAMES, 0)
         self._t0 = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
     def __enter__(self) -> WorkerPool:
         self._t0 = time.perf_counter()
-        self._search_base = search_info()
         if self.cache_dir is not None:
             self._store = EvaluationStore(self.cache_dir)
             self._prev_store = set_default_store(self._store)
@@ -145,7 +153,10 @@ class WorkerPool:
             self._pool = ctx.Pool(
                 processes=self.workers,
                 initializer=_worker_init,
-                initargs=(str(self.cache_dir) if self.cache_dir else None,),
+                initargs=(
+                    str(self.cache_dir) if self.cache_dir else None,
+                    obs.tracing(),
+                ),
             )
         self._entered = True
         return self
@@ -185,15 +196,22 @@ class WorkerPool:
 
         results: list[Any] = []
         failures: list[str] = []
+        tracer = obs.get_tracer()
         for status, payload, delta in outcomes:
             if status == "ok":
                 results.append(payload)
+                # Search-layer counters are per-task deltas in every
+                # mode; store counters are carried over only from
+                # genuine workers (in-process tasks already wrote to
+                # the shared store, whose stats() is added on exit).
+                for k in _SEARCH_KEYS:
+                    self._worker_counts[k] += delta.get(k, 0)
                 if self._pool is not None:
-                    # In-process deltas are already on the shared store
-                    # and process-global counters; only genuine
-                    # worker-side counts need carrying over.
-                    for k in _DELTA_KEYS + _SEARCH_KEYS:
+                    for k in _DELTA_KEYS:
                         self._worker_counts[k] += delta.get(k, 0)
+                spans = delta.get("spans")
+                if spans:
+                    tracer.absorb(spans)
             else:
                 failures.append(payload)
         if failures:
@@ -225,14 +243,11 @@ class WorkerPool:
             stats["records_loaded"] = s["records_loaded"]
             stats["bad_records"] = s["bad_records"]
             stats["shards_merged"] = s["shards_merged"]
-        # Search-layer counters: worker-carried deltas plus whatever
-        # moved in this process since the pool was entered.
-        info = search_info()
-        for name in COUNTER_NAMES:
-            key = f"search_{name}"
-            stats[key] = self._worker_counts[key] + (
-                info[name] - self._search_base.get(name, 0)
-            )
+        # Search-layer counters: the sum of per-task deltas. Ambient
+        # counter movement outside tasks — or a reset_search_stats()
+        # between repetitions — cannot skew the totals.
+        for key in _SEARCH_KEYS:
+            stats[key] = self._worker_counts[key]
         return stats
 
     def stats(self) -> dict[str, int | float]:

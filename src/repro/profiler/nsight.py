@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 from repro.profiler.dataset import DatasetRecord, PerformanceDataset
 from repro.space.setting import Setting
@@ -70,6 +71,13 @@ class NsightCollector:
         five minutes of Nsight time on hardware and is excluded from
         the online auto-tuning overhead accounting.
         """
-        rng = rng_from_seed(seed)
-        settings = space.sample(rng, n)
-        return self.profile_many(pattern, settings)
+        with obs.span(
+            "phase.dataset", stencil=pattern.name,
+            device=self.simulator.device.name, n=n,
+        ):
+            rng = rng_from_seed(seed)
+            settings = space.sample(rng, n)
+            dataset = self.profile_many(pattern, settings)
+        obs.count("profiler.datasets_collected")
+        obs.count("profiler.settings_profiled", len(dataset))
+        return dataset

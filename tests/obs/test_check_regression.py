@@ -1,0 +1,125 @@
+"""Benchmark regression gate: pass, fail and misconfiguration cases."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+BASELINE = {
+    "fast_mode": True,
+    "n_settings": 100,
+    "identical": True,
+    "total_vectorized_s": 0.100,
+    "speedup": 4.0,
+    "tiny_s": 0.0001,
+}
+
+
+def _dirs(tmp_path, fresh):
+    base_dir = tmp_path / "baselines"
+    fresh_dir = tmp_path / "results"
+    base_dir.mkdir()
+    fresh_dir.mkdir()
+    (base_dir / "BENCH_demo.json").write_text(json.dumps(BASELINE))
+    (fresh_dir / "BENCH_demo.json").write_text(json.dumps(fresh))
+    return base_dir, fresh_dir
+
+
+def _run(tmp_path, fresh, *extra):
+    base_dir, fresh_dir = _dirs(tmp_path, fresh)
+    return check_regression.main(
+        ["--baseline-dir", str(base_dir), "--fresh-dir", str(fresh_dir),
+         *extra]
+    )
+
+
+class TestGateOutcomes:
+    def test_identical_results_pass(self, tmp_path):
+        assert _run(tmp_path, BASELINE) == 0
+
+    def test_within_band_passes(self, tmp_path):
+        fresh = dict(BASELINE, total_vectorized_s=0.115)  # +15% < 20%
+        assert _run(tmp_path, fresh) == 0
+
+    def test_25pct_slowdown_fails(self, tmp_path):
+        fresh = dict(BASELINE, total_vectorized_s=0.125)
+        assert _run(tmp_path, fresh) == 1
+
+    def test_speedup_drop_fails(self, tmp_path):
+        fresh = dict(BASELINE, speedup=3.0)  # 4.0/1.2 ≈ 3.33 floor
+        assert _run(tmp_path, fresh) == 1
+
+    def test_identity_flip_fails_regardless_of_band(self, tmp_path):
+        fresh = dict(BASELINE, identical=False)
+        assert _run(tmp_path, fresh, "--tolerance", "10.0") == 1
+
+    def test_speedup_improvement_passes(self, tmp_path):
+        fresh = dict(BASELINE, speedup=8.0, total_vectorized_s=0.05)
+        assert _run(tmp_path, fresh) == 0
+
+    def test_custom_tolerance_band(self, tmp_path):
+        fresh = dict(BASELINE, total_vectorized_s=0.125)  # +25%
+        assert _run(tmp_path, fresh, "--tolerance", "0.30") == 0
+
+    def test_sub_floor_seconds_are_noise(self, tmp_path):
+        fresh = dict(BASELINE, tiny_s=0.004)  # 40x but under 5ms floor
+        assert _run(tmp_path, fresh) == 0
+
+
+class TestMisconfiguration:
+    def test_scale_mismatch_fails_with_hint(self, tmp_path, capsys):
+        fresh = dict(BASELINE, n_settings=500)
+        assert _run(tmp_path, fresh) == 1
+        assert "regenerate the baseline" in capsys.readouterr().err
+
+    def test_missing_fresh_result_fails(self, tmp_path):
+        base_dir, fresh_dir = _dirs(tmp_path, BASELINE)
+        (fresh_dir / "BENCH_demo.json").unlink()
+        assert check_regression.main(
+            ["--baseline-dir", str(base_dir), "--fresh-dir", str(fresh_dir)]
+        ) == 1
+
+    def test_unknown_name_is_usage_error(self, tmp_path):
+        base_dir, fresh_dir = _dirs(tmp_path, BASELINE)
+        assert check_regression.main(
+            ["nope", "--baseline-dir", str(base_dir),
+             "--fresh-dir", str(fresh_dir)]
+        ) == 2
+
+    def test_missing_baseline_dir_is_usage_error(self, tmp_path):
+        assert check_regression.main(
+            ["--baseline-dir", str(tmp_path / "absent"),
+             "--fresh-dir", str(tmp_path)]
+        ) == 2
+
+
+class TestCompareDocuments:
+    def test_new_fresh_leaves_ignored(self):
+        fresh = dict(BASELINE, extra_s=99.0)
+        assert check_regression.compare_documents("d", BASELINE, fresh) == []
+
+    def test_missing_leaf_reported(self):
+        fresh = {k: v for k, v in BASELINE.items() if k != "speedup"}
+        problems = check_regression.compare_documents("d", BASELINE, fresh)
+        assert any("missing" in p for p in problems)
+
+    def test_committed_repo_baselines_self_compare_clean(self):
+        baseline_dir = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+        )
+        if not baseline_dir.is_dir():
+            pytest.skip("no committed baselines")
+        checked, problems = check_regression.check_directories(
+            baseline_dir, baseline_dir
+        )
+        assert checked and problems == []

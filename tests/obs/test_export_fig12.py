@@ -1,0 +1,161 @@
+"""Exporter and Fig-12 report tests on synthetic span buffers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    aggregate_spans,
+    format_phase_table,
+    load_trace,
+    top_level_spans,
+    trace_payload,
+    write_phase_table,
+    write_trace_json,
+)
+from repro.obs.fig12 import fig12_rows, format_fig12
+from repro.obs.trace import Span, Tracer
+
+
+def _span(name, span_id, parent_id=None, duration=1.0, pid=1, **attrs):
+    return Span(
+        name=name, wall_time=0.0, duration_s=duration, span_id=span_id,
+        parent_id=parent_id, pid=pid, attrs=attrs,
+    )
+
+
+class TestTopLevelFiltering:
+    def test_same_name_descendant_excluded(self):
+        spans = [
+            _span("phase.measurement", 1, duration=2.0),
+            _span("phase.measurement", 2, parent_id=1, duration=0.5),
+            _span("other", 3, parent_id=1),
+        ]
+        kept = {s.span_id for s in top_level_spans(spans)}
+        assert kept == {1, 3}
+
+    def test_same_name_in_other_process_not_an_ancestor(self):
+        spans = [
+            _span("x", 1, pid=1),
+            _span("x", 1, parent_id=None, pid=2),
+        ]
+        assert len(top_level_spans(spans)) == 2
+
+    def test_aggregate_counts_totals_and_bounds(self):
+        spans = [
+            _span("a", 1, duration=1.0),
+            _span("a", 2, duration=3.0),
+            _span("b", 3, duration=10.0),
+        ]
+        agg = aggregate_spans(spans)
+        assert list(agg) == ["b", "a"]  # descending total
+        assert agg["a"] == {
+            "count": 2, "total_s": 4.0, "mean_s": 2.0,
+            "min_s": 1.0, "max_s": 3.0,
+        }
+
+    def test_nested_same_name_not_double_counted(self):
+        spans = [
+            _span("m", 1, duration=2.0),
+            _span("m", 2, parent_id=1, duration=0.5),
+        ]
+        assert aggregate_spans(spans)["m"]["total_s"] == 2.0
+
+
+class TestTraceFileRoundtrip:
+    def test_write_and_load_trace_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", stencil="j3d7pt"):
+            with tracer.span("phase.search"):
+                pass
+        path = write_trace_json(
+            tmp_path / "trace.json", tracer, meta={"seed": 0}
+        )
+        doc = json.loads(path.read_text())
+        assert doc["meta"] == {"seed": 0}
+        assert doc["dropped_spans"] == 0
+        assert {"counters", "gauges", "timers"} <= set(doc["metrics"])
+        spans = load_trace(path)
+        assert [s.name for s in spans] == ["phase.search", "root"]
+        assert spans[1].attrs == {"stencil": "j3d7pt"}
+
+    def test_payload_spans_match_buffer(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("only"):
+            pass
+        payload = trace_payload(tracer)
+        assert [d["name"] for d in payload["spans"]] == ["only"]
+
+    def test_phase_table_written_and_readable(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("phase.search"):
+            pass
+        path = write_phase_table(tmp_path / "phases.txt", tracer, title="T")
+        text = path.read_text()
+        assert text.startswith("T\n")
+        assert "phase.search" in text
+
+    def test_empty_buffer_table_is_graceful(self):
+        assert "(no spans recorded)" in format_phase_table([], title="x")
+
+
+class TestFig12:
+    def _run_trace(self):
+        """tuner.run → phases, plus an orphan measurement span."""
+        return [
+            _span("tuner.run", 1, tuner="csTuner", stencil="j3d7pt",
+                  device="A100"),
+            _span("phase.grouping", 2, parent_id=1, duration=0.1),
+            _span("phase.sampling", 3, parent_id=1, duration=0.3),
+            _span("phase.fitting", 4, parent_id=3, duration=0.2),
+            _span("phase.codegen", 5, parent_id=1, duration=0.1),
+            _span("phase.search", 6, parent_id=1, duration=2.0),
+            _span("phase.measurement", 7, parent_id=6, duration=1.5),
+            # scalar replay nested in the batched measurement: skipped
+            _span("phase.measurement", 8, parent_id=7, duration=0.4),
+            # offline work outside any tuner.run
+            _span("phase.measurement", 9, duration=9.0),
+        ]
+
+    def test_rows_attribute_phases_to_nearest_run(self):
+        rows = fig12_rows(self._run_trace())
+        run = next(r for r in rows if r["tuner"] == "csTuner")
+        assert run["stencil"] == "j3d7pt"
+        assert run["device"] == "A100"
+        assert run["grouping"] == 0.1
+        assert run["sampling"] == 0.3
+        assert run["fitting"] == 0.2
+        assert run["search"] == 2.0
+        assert run["measurement"] == 1.5  # nested replay not added
+        # pre/search = (0.1 + 0.3 + 0.1) / 2.0
+        assert run["pre_pct_of_search"] == 25.0
+
+    def test_orphan_phases_reported_offline(self):
+        rows = fig12_rows(self._run_trace())
+        offline = next(r for r in rows if r["tuner"] == "(offline)")
+        assert offline["measurement"] == 9.0
+        assert offline["pre_pct_of_search"] == 0.0
+
+    def test_non_column_phases_ignored(self):
+        rows = fig12_rows([_span("phase.dataset", 1, duration=5.0)])
+        assert rows == []
+
+    def test_format_mentions_every_run(self):
+        text = format_fig12(self._run_trace())
+        assert "csTuner" in text and "(offline)" in text
+
+    def test_format_empty_is_graceful(self):
+        assert "was tracing enabled?" in format_fig12([])
+
+    def test_module_main_reads_a_trace_file(self, tmp_path, capsys):
+        from repro.obs import fig12 as fig12_mod
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("tuner.run", tuner="csTuner", stencil="j3d7pt",
+                         device="A100"):
+            with tracer.span("phase.search"):
+                pass
+        path = write_trace_json(tmp_path / "trace.json", tracer)
+        assert fig12_mod.main([str(path)]) == 0
+        assert "csTuner" in capsys.readouterr().out
+        assert fig12_mod.main([]) == 2

@@ -1,0 +1,97 @@
+"""Metrics-registry tests, including the searchstats shim migration."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import searchstats
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_count_accumulates_and_prefixes_filter(self, registry):
+        registry.count("a.x")
+        registry.count("a.x", 4)
+        registry.count("b.y", 2)
+        assert registry.counters() == {"a.x": 5, "b.y": 2}
+        assert registry.counters("a.") == {"a.x": 5}
+
+    def test_merge_counters_adds_deltas(self, registry):
+        registry.count("a", 1)
+        registry.merge_counters({"a": 2, "b": 3})
+        assert registry.counters() == {"a": 3, "b": 3}
+
+    def test_reset_by_prefix_leaves_others(self, registry):
+        registry.count("a.x")
+        registry.count("b.y")
+        registry.gauge("a.g", 7)
+        registry.reset("a.")
+        assert registry.counters() == {"b.y": 1}
+        assert registry.gauges() == {}
+
+
+class TestGaugesAndTimers:
+    def test_gauge_last_write_wins(self, registry):
+        registry.gauge("g", 1)
+        registry.gauge("g", 9)
+        assert registry.gauges() == {"g": 9.0}
+
+    def test_timer_context_tracks_count_total_min_max(self, registry):
+        for delay in (0.01, 0.02):
+            with registry.timer("t"):
+                time.sleep(delay)
+        (stat,) = registry.timers().values()
+        assert stat["count"] == 2
+        assert stat["total_s"] >= 0.03
+        assert 0.0 < stat["min_s"] <= stat["max_s"] <= stat["total_s"]
+        assert stat["mean_s"] == pytest.approx(stat["total_s"] / 2)
+
+    def test_snapshot_is_plain_data(self, registry):
+        registry.count("c")
+        registry.gauge("g", 1)
+        registry.add_time("t", 0.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "timers"}
+        assert snap["counters"] == {"c": 1}
+        assert snap["timers"]["t"]["count"] == 1
+
+
+class TestSearchstatsShim:
+    """The legacy counter API must keep its contract on the registry."""
+
+    def setup_method(self) -> None:
+        searchstats.reset_search_stats()
+
+    def teardown_method(self) -> None:
+        searchstats.reset_search_stats()
+
+    def test_bump_and_search_info_roundtrip(self):
+        searchstats.bump("settings_repaired", 3)
+        searchstats.bump("settings_repaired")
+        info = searchstats.search_info()
+        assert info["settings_repaired"] == 4
+        assert set(info) == set(searchstats.COUNTER_NAMES)
+
+    def test_counters_live_on_the_default_registry(self):
+        searchstats.bump("populations_lowered", 2)
+        counters = get_registry().counters(searchstats.PREFIX)
+        assert counters[searchstats.PREFIX + "populations_lowered"] == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            searchstats.bump("not_a_counter")
+
+    def test_reset_zeroes_only_search_namespace(self):
+        searchstats.bump("sampler_pool_size", 5)
+        get_registry().count("other.counter", 1)
+        searchstats.reset_search_stats()
+        assert searchstats.search_info()["sampler_pool_size"] == 0
+        assert get_registry().counters()["other.counter"] == 1
+        get_registry().reset("other.")

@@ -1,0 +1,86 @@
+"""Tracing must be a pure observer of the experiment pipeline.
+
+Two identical tiny ``ExperimentRunner`` configurations — one with
+``trace=False``, one with ``trace=True`` — must produce byte-identical
+deterministic artifacts. ``fig12``, ``summary`` and ``orchestration``
+report host wall-clock time/counters and differ between *any* two runs
+(see the runner docstring), so they are exempt, exactly as in
+``tests/experiments/test_parallel_runner.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import ExperimentRunner
+
+SCALE = dict(stencils=["j3d7pt"], samples=120, repetitions=1, budget_s=2.0,
+             seed=0)
+
+#: Reports containing wall-clock time — never byte-stable.
+NONDETERMINISTIC = {"fig12", "summary", "orchestration"}
+
+
+def _artifacts(out_dir):
+    return {
+        p.stem: p.read_bytes()
+        for p in sorted(out_dir.glob("*.txt"))
+        if p.stem not in NONDETERMINISTIC and p.stem != "phases"
+    }
+
+
+@pytest.fixture(scope="module")
+def untraced(tmp_path_factory):
+    out = tmp_path_factory.mktemp("plain")
+    runner = ExperimentRunner(out, **SCALE)
+    runner.run_all()
+    return runner
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    out = tmp_path_factory.mktemp("traced")
+    obs.get_tracer().clear()
+    runner = ExperimentRunner(out, trace=True, **SCALE)
+    runner.run_all()
+    return runner
+
+
+class TestByteIdentity:
+    def test_artifacts_identical_tracing_on_vs_off(self, untraced, traced):
+        plain = _artifacts(untraced.out_dir)
+        with_trace = _artifacts(traced.out_dir)
+        assert set(plain) == set(with_trace)
+        diverged = [n for n in plain if plain[n] != with_trace[n]]
+        assert diverged == []
+
+    def test_tracing_restored_off_after_run(self, traced):
+        assert obs.tracing() is False
+
+
+class TestTraceArtifacts:
+    def test_untraced_run_writes_no_trace_files(self, untraced):
+        assert not (untraced.out_dir / "trace.json").exists()
+        assert not (untraced.out_dir / "phases.txt").exists()
+
+    def test_traced_run_writes_trace_and_phase_table(self, traced):
+        doc = json.loads((traced.out_dir / "trace.json").read_text())
+        assert doc["schema"] == 1
+        assert doc["meta"]["stencils"] == ["j3d7pt"]
+        names = {s["name"] for s in doc["spans"]}
+        assert "tuner.run" in names
+        assert "phase.search" in names
+        phases = (traced.out_dir / "phases.txt").read_text()
+        assert "phase.search" in phases
+
+    def test_trace_covers_every_tuner(self, traced):
+        doc = json.loads((traced.out_dir / "trace.json").read_text())
+        tuners = {
+            s["attrs"].get("tuner")
+            for s in doc["spans"]
+            if s["name"] == "tuner.run"
+        }
+        assert {"csTuner", "Garvey", "OpenTuner", "Artemis"} <= tuners

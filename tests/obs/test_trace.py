@@ -1,0 +1,149 @@
+"""Tracer unit tests: nesting, timing accuracy, bounds, transport."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP, Span, Tracer
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_parent_links_reconstruct_the_call_tree(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+        assert by_name["sibling"].parent_id == by_name["root"].span_id
+
+    def test_span_ids_unique_within_process(self, tracer):
+        for _ in range(50):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == len(ids)
+
+    def test_spans_record_pid_and_attrs(self, tracer):
+        with tracer.span("x", stencil="j3d7pt", n=4):
+            pass
+        (span,) = tracer.spans()
+        assert span.pid == os.getpid()
+        assert span.attrs == {"stencil": "j3d7pt", "n": 4}
+
+    def test_sequential_roots_do_not_nest(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.parent_id for s in tracer.spans()] == [None, None]
+
+    def test_exception_still_records_and_pops(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        by_name = {s.name: s for s in tracer.spans()}
+        assert set(by_name) == {"outer", "inner"}
+        with tracer.span("after"):
+            pass
+        after = [s for s in tracer.spans() if s.name == "after"][0]
+        assert after.parent_id is None  # stack fully unwound
+
+
+class TestTimerAccuracy:
+    def test_duration_bounds_a_known_sleep(self, tracer):
+        with tracer.span("sleep"):
+            time.sleep(0.05)
+        (span,) = tracer.spans()
+        # Lower bound is exact (monotonic clock); upper bound is loose
+        # enough for a heavily loaded CI machine.
+        assert 0.05 <= span.duration_s < 1.0
+
+    def test_duration_non_negative_and_wall_time_sane(self, tracer):
+        before = time.time()
+        with tracer.span("instant"):
+            pass
+        (span,) = tracer.spans()
+        assert span.duration_s >= 0.0
+        assert before - 1.0 <= span.wall_time <= time.time() + 1.0
+
+
+class TestEnableDisable:
+    def test_disabled_tracer_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NOOP
+        with tracer.span("x"):
+            pass
+        assert tracer.spans() == []
+
+    def test_module_level_switch_returns_previous_state(self):
+        was = obs.enable_tracing()
+        try:
+            assert obs.tracing() is True
+            assert obs.enable_tracing() is True  # already on
+        finally:
+            if not was:
+                obs.disable_tracing()
+        assert obs.tracing() is was
+
+    def test_module_span_noop_while_disabled(self):
+        was = obs.disable_tracing()
+        try:
+            assert obs.span("x") is _NOOP
+        finally:
+            if was:
+                obs.enable_tracing()
+
+
+class TestBoundsAndTransport:
+    def test_buffer_bounded_and_drops_counted(self):
+        tracer = Tracer(enabled=True, max_spans=5)
+        for _ in range(8):
+            with tracer.span("x"):
+                pass
+        assert len(tracer.spans()) == 5
+        assert tracer.dropped == 3
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_roundtrip_through_dicts(self, tracer):
+        with tracer.span("root", k="v"):
+            with tracer.span("child"):
+                pass
+        original = tracer.spans()
+        restored = [Span.from_dict(s.to_dict()) for s in original]
+        assert restored == original
+
+    def test_drain_empties_and_absorb_restores(self, tracer):
+        with tracer.span("a"):
+            pass
+        dicts = tracer.drain()
+        assert tracer.spans() == []
+        other = Tracer(enabled=False)  # absorb works even when off
+        other.absorb(dicts)
+        assert [s.name for s in other.spans()] == ["a"]
+
+    def test_absorb_respects_max_spans(self):
+        src = Tracer(enabled=True)
+        for _ in range(10):
+            with src.span("x"):
+                pass
+        dst = Tracer(enabled=True, max_spans=4)
+        dst.absorb(src.drain())
+        assert len(dst.spans()) == 4
+        assert dst.dropped == 6

@@ -56,3 +56,32 @@ class TestCommands:
         assert main(["motivation", "j3d7pt", "--samples", "150"]) == 0
         out = capsys.readouterr().out
         assert "Fig2 fraction" in out and "top-n speedup" in out
+
+
+class TestTraceCommand:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "j3d7pt"])
+        assert args.devices == ["A100"]
+        assert args.tuners == ["csTuner"]
+
+    def test_trace_writes_artifacts_and_prints_fig12(self, capsys, tmp_path):
+        from repro import obs
+
+        assert main([
+            "trace", "j3d7pt", "--iterations", "5", "--dataset-size", "16",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12" in out and "csTuner" in out
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "phases.txt").exists()
+        assert obs.tracing() is False  # switch restored
+
+    def test_trace_multi_tuner_rows(self, capsys, tmp_path):
+        assert main([
+            "trace", "j3d7pt", "--tuners", "csTuner", "Artemis",
+            "--iterations", "4", "--dataset-size", "16",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Artemis" in out

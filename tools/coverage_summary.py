@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Print a coverage.xml total, with a soft (or hard) floor.
+
+``make coverage`` and the CI coverage step share this summary so the
+terminal, the job log and ``$GITHUB_STEP_SUMMARY`` all report the same
+number. The floor is *soft* by default — being under it prints a
+warning but exits 0, so coverage can ratchet up without blocking
+unrelated changes; ``--hard`` turns the floor into a gate.
+
+Usage::
+
+    python tools/coverage_summary.py [coverage.xml] [--floor 75] [--hard]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+#: Default soft floor, in percent of covered lines.
+DEFAULT_FLOOR = 75.0
+
+
+def total_line_coverage(path: str | Path) -> float:
+    """Total line coverage (percent) of a Cobertura ``coverage.xml``."""
+    root = ET.parse(path).getroot()
+    rate = root.attrib.get("line-rate")
+    if rate is None:
+        raise ValueError(f"{path}: no line-rate attribute on <coverage>")
+    return 100.0 * float(rate)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("xml", nargs="?", default="coverage.xml",
+                        help="Cobertura XML report (default: coverage.xml)")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help=f"floor in percent (default: {DEFAULT_FLOOR})")
+    parser.add_argument("--hard", action="store_true",
+                        help="exit 1 below the floor instead of warning")
+    args = parser.parse_args(argv)
+
+    if not Path(args.xml).exists():
+        print(f"error: {args.xml} not found — run `make coverage` first",
+              file=sys.stderr)
+        return 2
+    try:
+        pct = total_line_coverage(args.xml)
+    except (ET.ParseError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    kind = "hard" if args.hard else "soft"
+    print(f"total line coverage: {pct:.1f}% ({kind} floor {args.floor:.0f}%)")
+    if pct < args.floor:
+        print(f"WARNING: coverage {pct:.1f}% is below the "
+              f"{args.floor:.0f}% floor",
+              file=sys.stderr)
+        return 1 if args.hard else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
