@@ -46,6 +46,7 @@ bench:
 	$(PYTHON) benchmarks/bench_strict_overhead.py
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 	$(PYTHON) benchmarks/bench_runner_parallel.py
+	$(PYTHON) benchmarks/bench_runner_scaling.py
 	$(PYTHON) benchmarks/bench_search_path.py
 
 # Seconds-long smoke variants: reduced budget/reps but the same
@@ -53,6 +54,7 @@ bench:
 bench-fast:
 	REPRO_BENCH_SEARCH_FAST=1 $(PYTHON) benchmarks/bench_search_path.py
 	REPRO_BENCH_OBS_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py
+	REPRO_BENCH_SCALING_FAST=1 $(PYTHON) benchmarks/bench_runner_scaling.py
 
 # Compare fresh bench-fast results against the committed baselines
 # (benchmarks/baselines/); >20% slowdown fails. CI runs this right
@@ -66,4 +68,5 @@ bench-baselines: bench-fast
 	mkdir -p benchmarks/baselines
 	cp benchmarks/results/BENCH_search_path.json \
 	   benchmarks/results/BENCH_obs_overhead.json \
+	   benchmarks/results/BENCH_runner_scaling.json \
 	   benchmarks/baselines/

@@ -21,9 +21,12 @@ and ``orchestration`` (pool/cache counters).
 Exit is nonzero if the deterministic artifacts diverge or the warm
 rerun's hit rate falls below 90 %. The >= 2.5x parallel-speedup floor
 is asserted only on machines with at least ``WORKERS`` CPUs — a
-process pool cannot beat the sequential path on fewer cores, so the
-measurement is recorded either way and the gate applies where the
-hardware can meet it (``cpu_count`` is in the JSON for the record).
+process pool cannot beat the sequential path on fewer cores. On
+core-starved machines the waiver is **explicit**, never silent: the
+artifact records ``"speedup_gate_applied": false`` together with a
+``"speedup_gate_skip_reason"`` string, the same reason is printed to
+stdout, and ``benchmarks/check_regression.py`` reports the waived gate
+as "not a pass" instead of green.
 
 Scale knobs: ``REPRO_BENCH_RUNNER_WORKERS`` (default 4),
 ``REPRO_BENCH_RUNNER_SAMPLES`` (default 120),
@@ -135,6 +138,19 @@ def main() -> int:
               + ("byte-identical across all three runs" if identical
                  else f"DIVERGED: {', '.join(diverged)}"))
 
+        gate_applied = cpu_count >= workers
+        skip_reason = None
+        if not gate_applied:
+            skip_reason = (
+                f"speedup floor waived: {workers} workers on only "
+                f"{cpu_count} CPU(s) — a process pool cannot beat the "
+                f"sequential path without spare cores"
+            )
+            print(f"speedup gate: WAIVED — {skip_reason}")
+        else:
+            print(f"speedup gate: APPLIED ({MIN_SPEEDUP:.1f}x floor, "
+                  f"{workers} workers on {cpu_count} CPUs)")
+
         result = {
             "stencils": stencils,
             "samples": samples,
@@ -153,7 +169,8 @@ def main() -> int:
             "diverged": diverged,
             "min_speedup": MIN_SPEEDUP,
             "min_warm_hit_rate": MIN_WARM_HIT_RATE,
-            "speedup_gate_applied": cpu_count >= workers,
+            "speedup_gate_applied": gate_applied,
+            "speedup_gate_skip_reason": skip_reason,
         }
         paths = write_result("runner_parallel", result)
         print(f"[written to {paths[0]} and {paths[1]}]")
@@ -168,7 +185,7 @@ def main() -> int:
                 f"warm-cache hit rate {warm_rate:.1%} is below "
                 f"{MIN_WARM_HIT_RATE:.0%}"
             )
-        if cpu_count >= workers and speedup < MIN_SPEEDUP:
+        if gate_applied and speedup < MIN_SPEEDUP:
             failures.append(
                 f"{workers}-worker speedup {speedup:.2f}x is below the "
                 f"{MIN_SPEEDUP:.1f}x floor on {cpu_count} CPUs"

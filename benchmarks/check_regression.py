@@ -56,9 +56,13 @@ SCALE_KEYS = {
     "strict_every", "trees", "rows", "noise", "capacity",
 }
 
-#: Leaves that are environment-dependent or informational — never gated.
+#: Leaves that are environment-dependent or informational — never gated
+#: numerically. ``speedup_gate_applied`` is *not* merely informational:
+#: it is handled by the waiver scan below, which reports a waived gate
+#: as "not a pass" instead of silently green.
 IGNORE_KEYS = {
     "cpu_count", "min_speedup", "min_warm_hit_rate", "speedup_gate_applied",
+    "speedup_gate_skip_reason", "efficiency_floor",
     "max_overhead_fraction", "stencil", "stencils", "device", "tuner",
 }
 
@@ -153,6 +157,40 @@ def compare_documents(
     return problems
 
 
+def scan_waived_gates(fresh_dir: Path) -> list[str]:
+    """Waiver messages for every fresh benchmark with an unapplied gate.
+
+    A benchmark that records ``"speedup_gate_applied": false`` did run,
+    but its headline performance floor was never asserted (typically a
+    core-starved machine). Treating that as an ordinary pass would let
+    a real regression hide behind the waiver, so the messages here are
+    surfaced next to the regression report — with the benchmark's own
+    skip reason when it recorded one. Scans *every* fresh result, not
+    only those with committed baselines.
+    """
+    waivers: list[str] = []
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        name = path.stem.removeprefix("BENCH_")
+        leaves = _leaves(doc)
+        for leaf_path, value in sorted(leaves.items()):
+            if _key_name(leaf_path) != "speedup_gate_applied":
+                continue
+            if value is not False:
+                continue
+            reason_path = leaf_path.replace(
+                "speedup_gate_applied", "speedup_gate_skip_reason"
+            )
+            reason = leaves.get(reason_path) or "no reason recorded"
+            where = leaf_path.rsplit("/", 1)[0] if "/" in leaf_path else ""
+            prefix = f"{name}[{where}]" if where else name
+            waivers.append(f"{prefix}: speedup gate waived — {reason}")
+    return waivers
+
+
 def check_directories(
     baseline_dir: Path,
     fresh_dir: Path,
@@ -227,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
         help="ignore seconds leaves below this value (default: 0.005)",
     )
+    parser.add_argument(
+        "--strict-waivers", action="store_true",
+        help="fail (exit 1) when any benchmark waived its speedup gate "
+             "instead of only reporting the waiver",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline_dir.is_dir():
@@ -254,11 +297,20 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in checked:
         print(f"checked {name} (band ±{args.tolerance:.0%})")
+    waivers = scan_waived_gates(args.fresh_dir)
+    for w in waivers:
+        print(f"  WAIVED {w}")
     if problems:
         print(f"\n{len(problems)} regression(s):", file=sys.stderr)
         for p in problems:
             print(f"  FAIL {p}", file=sys.stderr)
         return 1
+    if waivers:
+        print(
+            f"no regressions, but {len(waivers)} speedup gate(s) waived — "
+            f"not a pass"
+        )
+        return 1 if args.strict_waivers else 0
     print("all benchmarks within tolerance")
     return 0
 

@@ -87,6 +87,7 @@ def compare_stencil(
                 args=(pattern.name, device.name, name, budget, rep, seed,
                       dataset_size),
                 tag=f"compare:{pattern.name}@{device.name}/{name}/{rep}",
+                cost_hint=budget.max_cost_s or 1.0,
             )
             for name in tuners
             for rep in range(repetitions)

@@ -116,6 +116,7 @@ class ExperimentRunner:
                 fn=motivation_task,
                 args=(name, self.samples, self.seed),
                 tag=f"motivation:{name}",
+                cost_hint=float(self.samples),
             )
             for name in self.stencils
         ])
@@ -149,6 +150,7 @@ class ExperimentRunner:
                 fn=tuner_run_task,
                 args=(name, device.name, tuner, budget, rep, self.seed),
                 tag=f"compare:{name}@{device.name}/{tuner}/{rep}",
+                cost_hint=self.budget_s,
             )
             for name in self.stencils
             for tuner in TUNER_NAMES
@@ -200,6 +202,7 @@ class ExperimentRunner:
                 fn=sensitivity_task,
                 args=(name, self.budget_s * 0.6, self.seed),
                 tag=f"sensitivity:{name}",
+                cost_hint=self.budget_s * 0.6 * len(DEFAULT_RATIOS),
             )
             for name in names
         ])
@@ -217,6 +220,7 @@ class ExperimentRunner:
                 fn=overhead_task,
                 args=(name, self.budget_s, self.seed),
                 tag=f"overhead:{name}",
+                cost_hint=self.budget_s,
             )
             for name in self.stencils
         ])

@@ -20,6 +20,8 @@ even its noisy measurements land on identical draws.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core import Budget, CsTuner, CsTunerConfig, TuningResult
 from repro.experiments.comparison import run_tuner
 from repro.experiments.motivation import (
@@ -41,6 +43,28 @@ FIG3_PARAMETERS: tuple[str, ...] = (
 
 #: Tuners that consume the shared offline dataset (see ``run_tuner``).
 _DATASET_TUNERS = frozenset({"csTuner", "Garvey"})
+
+#: Process-local memo of collected offline datasets, keyed by the
+#: deterministic inputs of collection. Dataset collection always starts
+#: from a fresh simulator, so its content is a pure function of this
+#: key — reusing it is bit-identical to recollecting, and in a
+#: persistent warm worker the memo survives across pool entries and
+#: whole ``ExperimentRunner`` invocations.
+_DATASET_MEMO: OrderedDict[tuple, object] = OrderedDict()
+_DATASET_MEMO_CAP = 8
+
+
+def _shared_dataset(simulator, pattern, space, config, device_name: str):
+    key = (pattern.name, device_name, config.seed, config.dataset_size)
+    cached = _DATASET_MEMO.get(key)
+    if cached is not None:
+        _DATASET_MEMO.move_to_end(key)
+        return cached
+    dataset = CsTuner(simulator, config).collect_dataset(pattern, space)
+    _DATASET_MEMO[key] = dataset
+    while len(_DATASET_MEMO) > _DATASET_MEMO_CAP:
+        _DATASET_MEMO.popitem(last=False)
+    return dataset
 
 
 def motivation_task(stencil: str, samples: int, seed: int) -> dict[str, list]:
@@ -89,7 +113,7 @@ def tuner_run_task(
     config = CsTunerConfig(seed=seed, dataset_size=dataset_size)
     dataset = None
     if tuner in _DATASET_TUNERS:
-        dataset = CsTuner(simulator, config).collect_dataset(pattern, space)
+        dataset = _shared_dataset(simulator, pattern, space, config, device_name)
     return run_tuner(
         tuner,
         simulator,

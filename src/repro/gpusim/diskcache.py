@@ -36,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from pathlib import Path
 from typing import Any
 
@@ -85,6 +85,8 @@ class EvaluationStore:
         self._shard_file: Any = None
         self._shard_path: Path | None = None
         self._closed = False
+        self._journal_sig: tuple[int, int] | None = None
+        self._journaled: set[StoreKey] | None = None
         # Counters (see :meth:`stats`).
         self.hits = 0
         self.misses = 0
@@ -166,6 +168,31 @@ class EvaluationStore:
                 if key not in self._mem:
                     self._mem[key] = value
                     self.records_loaded += 1
+        self._journal_sig = self._journal_signature()
+
+    def _journal_signature(self) -> tuple[int, int] | None:
+        try:
+            st = self.journal_path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def refresh(self) -> int:
+        """Replay files that changed since the last load; return new keys.
+
+        Persistent workers call this when a run re-attaches them to a
+        cache directory they already hold in memory: if another process
+        merged fresh records into the journal in the meantime, they are
+        picked up; if nothing changed, the call is a cheap stat.
+        """
+        if (
+            self._journal_sig == self._journal_signature()
+            and not list(self.cache_dir.glob("shard-*.jsonl"))
+        ):
+            return 0
+        before = self.records_loaded
+        self._load()
+        return self.records_loaded - before
 
     # -- lookup / record ---------------------------------------------------
 
@@ -229,7 +256,45 @@ class EvaluationStore:
         if self._shard_file is not None:
             self._shard_file.flush()
 
+    def release_shard(self) -> str | None:
+        """Flush and close this process's open shard; return its path.
+
+        Unlike :meth:`close` the store stays live: the next
+        :meth:`record` opens a fresh shard. Persistent pool workers use
+        this at sync points so the orchestrating process can merge a
+        *closed* file into the journal while other workers keep running.
+        """
+        if self._shard_file is None:
+            return None
+        self._shard_file.close()
+        self._shard_file = None
+        path = str(self._shard_path)
+        self._shard_path = None
+        return path
+
+    def release(self) -> None:
+        """Close the private shard and stop accepting writes — no merge.
+
+        Worker-side teardown: the shard file is left on disk for the
+        orchestrating process (the only party allowed to touch the
+        journal) to absorb.
+        """
+        self.release_shard()
+        self._closed = True
+
     # -- shard merging -----------------------------------------------------
+
+    def _journaled_keys(self) -> set[StoreKey]:
+        """Keys already persisted to the journal (cached across merges)."""
+        if self._journaled is None:
+            journaled: set[StoreKey] = set()
+            if self.journal_path.exists():
+                for obj in self._iter_records(self.journal_path):
+                    decoded = self._decode(obj)
+                    if decoded is not None:
+                        journaled.add(decoded[0])
+            self._journaled = journaled
+        return self._journaled
 
     def absorb_shards(self) -> int:
         """Merge every shard in the cache directory into the journal.
@@ -239,19 +304,24 @@ class EvaluationStore:
         then deletes the shard files. Returns the number of shard files
         absorbed. Safe to call repeatedly.
         """
-        if self._shard_file is not None:
-            self._shard_file.close()
-            self._shard_file = None
-        shards = sorted(self.cache_dir.glob("shard-*.jsonl"))
+        self.release_shard()
+        return self.absorb_shard_paths(
+            sorted(self.cache_dir.glob("shard-*.jsonl"))
+        )
+
+    def absorb_shard_paths(self, paths: Sequence[str | Path]) -> int:
+        """Merge specific *closed* shard files into the journal.
+
+        The incremental form of :meth:`absorb_shards`: the warm pool
+        calls it per worker as soon as that worker's shard is flushed
+        and closed, overlapping journal I/O with evaluation still in
+        flight on the other workers. Never pass a shard another process
+        may still be appending to.
+        """
+        shards = [Path(p) for p in paths if Path(p).exists()]
         if not shards:
             return 0
-
-        journaled: set[StoreKey] = set()
-        if self.journal_path.exists():
-            for obj in self._iter_records(self.journal_path):
-                decoded = self._decode(obj)
-                if decoded is not None:
-                    journaled.add(decoded[0])
+        journaled = self._journaled_keys()
 
         fresh: dict[StoreKey, StoreValue] = {}
         for shard in shards:
@@ -284,12 +354,14 @@ class EvaluationStore:
                         )
                         + "\n"
                     )
+            journaled.update(fresh)
         for shard in shards:
             try:
                 shard.unlink()
             except OSError:
                 pass
         self.shards_merged += len(shards)
+        self._journal_sig = self._journal_signature()
         return len(shards)
 
     def close(self) -> None:

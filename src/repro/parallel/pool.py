@@ -14,14 +14,21 @@ the sequential order.
 
 * ``workers=1`` runs every task in-process (no subprocess, no pickling)
   — the reference path the parallel results are compared against.
-* ``workers>1`` uses a ``spawn``-context :class:`multiprocessing.Pool`
-  (the same context discipline as :mod:`repro.parallel.mp`; fork would
-  duplicate open journal shards and NumPy state). Task functions must
-  be module-level picklables, like :mod:`repro.experiments.tasks`.
+* ``workers>1`` with the default ``warm`` backend borrows persistent
+  workers from the module-level :class:`~repro.parallel.warm.WarmFleet`:
+  processes spawned once per interpreter lifetime, preloaded with the
+  device registry / stencil suite / evaluation-store shard, and fed
+  **chunks** of tasks (see :func:`plan_chunks`) whose results return as
+  one pickled-once zero-copy frame per chunk. Task functions must be
+  module-level picklables, like :mod:`repro.experiments.tasks`.
+* ``backend="legacy"`` (or ``REPRO_POOL_BACKEND=legacy``) keeps the
+  original one-``spawn``-pool-per-entry path, now with a computed
+  chunksize (:func:`legacy_chunksize`) instead of per-task shipping.
 * ``cache_dir`` attaches a persistent
-  :class:`~repro.gpusim.diskcache.EvaluationStore`: each worker opens
-  its own journal shard via the pool initializer, and the pool merges
-  all shards into the shared journal on exit.
+  :class:`~repro.gpusim.diskcache.EvaluationStore`: each worker writes
+  its own journal shard, and the orchestrating process merges shards —
+  eagerly, overlapped with still-running workers, on the warm backend;
+  on pool exit otherwise.
 
 Results come back in task-submission order regardless of completion
 order, and failures are collected into one
@@ -31,10 +38,13 @@ order, and failures are collected into one
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 import traceback
+from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any
 
@@ -46,6 +56,7 @@ from repro.gpusim.diskcache import (
     get_default_store,
     set_default_store,
 )
+from repro.parallel.warm import STORE_DELTA_KEYS, WarmWorker, get_fleet
 
 #: Counter keys carried back from workers per task (store deltas).
 _DELTA_KEYS = ("hits", "misses", "puts")
@@ -53,6 +64,13 @@ _DELTA_KEYS = ("hits", "misses", "puts")
 #: Search-layer counter keys (vectorized engine throughput), prefixed in
 #: the stats dict to keep them apart from the store counters.
 _SEARCH_KEYS = tuple(f"search_{name}" for name in COUNTER_NAMES)
+
+#: Backend override: ``warm`` (default) or ``legacy``.
+BACKEND_ENV_VAR = "REPRO_POOL_BACKEND"
+
+#: Chunks handed out per worker: enough slack for dynamic balancing
+#: without collapsing back into per-task IPC.
+CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -64,11 +82,62 @@ class Task:
     kwargs: dict[str, Any] = field(default_factory=dict)
     #: Label used in progress/error reporting, e.g. ``"compare:j3d7pt/csTuner/0"``.
     tag: str = ""
+    #: Relative cost estimate steering the chunk planner — any positive
+    #: scale works; only ratios between tasks in one ``map`` call matter.
+    cost_hint: float = 1.0
+
+
+def legacy_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunksize for the legacy ``multiprocessing.Pool`` path.
+
+    Four chunks per worker amortizes IPC while leaving enough slack for
+    the pool's dynamic scheduling to balance uneven task costs.
+    """
+    return max(1, n_tasks // (max(1, workers) * CHUNKS_PER_WORKER))
+
+
+def plan_chunks(
+    tasks: Sequence[Task],
+    workers: int,
+    *,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> list[list[int]]:
+    """Group task indices into contiguous, cost-balanced chunks.
+
+    Targets ``workers * chunks_per_worker`` chunks, each holding a
+    contiguous run of tasks whose summed :attr:`Task.cost_hint` is
+    roughly equal — whole experiment batches ship to a worker in one
+    message, and contiguity keeps submission-order reassembly trivial.
+    Every chunk holds at least one task; short task lists degrade to
+    one task per chunk.
+    """
+    n = len(tasks)
+    if n == 0:
+        return []
+    target = max(1, min(n, max(1, workers) * chunks_per_worker))
+    hints = [max(float(t.cost_hint), 1e-9) for t in tasks]
+    total = sum(hints)
+    budget = total / target
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    acc = 0.0
+    for i, hint in enumerate(hints):
+        current.append(i)
+        acc += hint
+        # Close the chunk once it carries its share of the total cost,
+        # as long as both more chunks and more tasks remain.
+        if acc >= budget and len(chunks) + 1 < target and i + 1 < n:
+            chunks.append(current)
+            current = []
+            acc = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def _worker_init(cache_dir: str | None, trace_enabled: bool = False) -> None:
-    """Pool initializer: open this worker's shard of the evaluation store
-    and mirror the parent's tracing switch."""
+    """Legacy pool initializer: open this worker's shard of the
+    evaluation store and mirror the parent's tracing switch."""
     if cache_dir is not None:
         set_default_store(EvaluationStore(cache_dir))
     if trace_enabled:
@@ -118,8 +187,10 @@ class WorkerPool:
 
     Entering installs the cache directory's store as the process-wide
     default (so in-process tasks and freshly constructed simulators pick
-    it up); exiting closes it, merges worker shards into the journal and
-    restores the previous default.
+    it up) and attaches warm fleet workers (default backend); exiting
+    closes the store, merges any remaining worker shards into the
+    journal, returns the fleet workers — still alive, still warm — and
+    restores the previous default store.
     """
 
     def __init__(
@@ -128,12 +199,25 @@ class WorkerPool:
         cache_dir: str | Path | None = None,
         *,
         timeout_s: float | None = None,
+        backend: str | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.timeout_s = timeout_s
+        self.backend = (
+            backend
+            or os.environ.get(BACKEND_ENV_VAR, "").strip()
+            or "warm"
+        )
+        if self.backend not in ("warm", "legacy"):
+            raise OrchestrationError(
+                f"unknown pool backend {self.backend!r} "
+                f"(expected 'warm' or 'legacy')"
+            )
         self.tasks_run = 0
+        self.chunks_run = 0
         self._pool: Any = None
+        self._warm_workers: list[WarmWorker] | None = None
         self._store: EvaluationStore | None = None
         self._prev_store: EvaluationStore | None = None
         self._entered = False
@@ -149,15 +233,36 @@ class WorkerPool:
             self._store = EvaluationStore(self.cache_dir)
             self._prev_store = set_default_store(self._store)
         if self.workers > 1:
-            ctx = mp.get_context("spawn")
-            self._pool = ctx.Pool(
-                processes=self.workers,
-                initializer=_worker_init,
-                initargs=(
-                    str(self.cache_dir) if self.cache_dir else None,
-                    obs.tracing(),
-                ),
-            )
+            if self.backend == "warm":
+                fleet = get_fleet()
+                acquired = fleet.acquire(self.workers)
+                if acquired is None:
+                    # Another pool holds the fleet (nested orchestration):
+                    # fall back to an ephemeral legacy pool for this entry.
+                    self.backend = "legacy"
+                else:
+                    self._warm_workers = acquired
+                    try:
+                        fleet.configure(
+                            acquired,
+                            str(self.cache_dir) if self.cache_dir else None,
+                            obs.tracing(),
+                            timeout=self.timeout_s,
+                        )
+                    except BaseException:
+                        self._warm_workers = None
+                        fleet.release()
+                        raise
+            if self.backend == "legacy":
+                ctx = mp.get_context("spawn")
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=_worker_init,
+                    initargs=(
+                        str(self.cache_dir) if self.cache_dir else None,
+                        obs.tracing(),
+                    ),
+                )
         self._entered = True
         return self
 
@@ -166,8 +271,21 @@ class WorkerPool:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._warm_workers is not None:
+            fleet = get_fleet()
+            if fleet.size:  # skip when a worker death already reset it
+                try:
+                    paths = fleet.sync(
+                        self._warm_workers, timeout=self.timeout_s
+                    )
+                    if self._store is not None:
+                        self._store.absorb_shard_paths(paths)
+                except OrchestrationError:
+                    pass  # close() below still absorbs leftover shards
+            self._warm_workers = None
+            fleet.release()
         if self._store is not None:
-            self._store.close()  # merges every worker shard into the journal
+            self._store.close()  # merges every leftover shard into the journal
             set_default_store(self._prev_store)
         self._final_stats = self._assemble_stats()
         self._store = None
@@ -187,10 +305,23 @@ class WorkerPool:
             return []
         if not self._entered:
             raise OrchestrationError("WorkerPool used outside its context")
+        if self._warm_workers is not None:
+            results, failures = self._map_warm(task_list)
+            self.tasks_run += len(task_list)
+            if failures:
+                raise OrchestrationError(
+                    f"{len(failures)}/{len(task_list)} tasks failed:\n"
+                    + "\n".join(failures)
+                )
+            return results
         if self._pool is None:
             outcomes = [_execute(t) for t in task_list]
         else:
-            async_result = self._pool.map_async(_execute, task_list, chunksize=1)
+            async_result = self._pool.map_async(
+                _execute,
+                task_list,
+                chunksize=legacy_chunksize(len(task_list), self.workers),
+            )
             outcomes = async_result.get(self.timeout_s)
         self.tasks_run += len(task_list)
 
@@ -221,12 +352,122 @@ class WorkerPool:
             )
         return results
 
+    def _map_warm(
+        self, task_list: list[Task]
+    ) -> tuple[list[Any], list[str]]:
+        """Chunked dynamic dispatch over the warm fleet.
+
+        The scheduler keeps every worker busy while the parent-side
+        work — decoding result frames, counter accounting, shard
+        merging — overlaps with evaluation still in flight: as soon as
+        a worker runs out of chunks it is told to flush its store
+        shard, and that shard is merged into the journal while the
+        remaining workers keep computing.
+        """
+        fleet = get_fleet()
+        assert self._warm_workers is not None
+        workers = self._warm_workers
+        chunks = plan_chunks(task_list, len(workers))
+        units = [
+            [(task_list[i].fn, task_list[i].args, task_list[i].kwargs,
+              task_list[i].tag) for i in chunk]
+            for chunk in chunks
+        ]
+        self.chunks_run += len(chunks)
+
+        deadline = (
+            time.monotonic() + self.timeout_s
+            if self.timeout_s is not None else None
+        )
+        pending: deque[int] = deque(range(len(chunks)))
+        idle: list[WarmWorker] = list(workers)
+        in_flight: dict[Any, tuple[str, WarmWorker, int]] = {}
+        results_by_chunk: dict[int, list[Any]] = {}
+        spans_by_chunk: dict[int, list] = {}
+        failures: list[str] = []
+
+        def _dispatch() -> None:
+            while pending and idle:
+                worker = idle.pop()
+                cid = pending.popleft()
+                req_id = fleet.next_request_id()
+                fleet.send(worker, ("run", req_id, units[cid]))
+                in_flight[worker.conn] = ("chunk", worker, cid)
+
+        def _retire(worker: WarmWorker) -> None:
+            """No more chunks for this worker: flush its shard now and
+            merge it while the others are still evaluating."""
+            if self._store is None:
+                return
+            req_id = fleet.next_request_id()
+            fleet.send(worker, ("sync", req_id))
+            in_flight[worker.conn] = ("sync", worker, -1)
+
+        _dispatch()
+        while in_flight:
+            if deadline is not None and time.monotonic() > deadline:
+                fleet.shutdown()
+                raise OrchestrationError(
+                    f"warm pool timed out after {self.timeout_s}s with "
+                    f"{len(pending) + len(in_flight)} chunks outstanding"
+                )
+            ready = mp_connection.wait(
+                list(in_flight),
+                timeout=None if deadline is None
+                else max(0.0, deadline - time.monotonic()),
+            )
+            for conn in ready:
+                kind, worker, cid = in_flight.pop(conn)
+                msg = fleet.recv(worker)
+                if msg[0] == "error":
+                    fleet.shutdown()
+                    raise OrchestrationError(
+                        f"warm worker pid={worker.pid} failed:\n{msg[2]}"
+                    )
+                if kind == "sync":
+                    if msg[0] == "synced" and msg[2] and self._store is not None:
+                        self._store.absorb_shard_paths([msg[2]])
+                    continue
+                _, _req, chunk_results, chunk_failures, delta = msg
+                results_by_chunk[cid] = chunk_results
+                failures.extend(chunk_failures)
+                store_delta = delta.get("store")
+                if store_delta is not None:
+                    for key, value in zip(STORE_DELTA_KEYS, store_delta):
+                        self._worker_counts[key] += int(value)
+                search_delta = delta.get("search")
+                if search_delta is not None:
+                    for name, value in zip(COUNTER_NAMES, search_delta):
+                        self._worker_counts[f"search_{name}"] += int(value)
+                spans = delta.get("spans")
+                if spans:
+                    spans_by_chunk[cid] = spans
+                if pending:
+                    idle.append(worker)
+                    _dispatch()
+                else:
+                    _retire(worker)
+
+        # Spans merge in chunk-submission order — the same order the
+        # legacy per-task path absorbed them in — so tracer contents
+        # are scheduling-independent.
+        tracer = obs.get_tracer()
+        for cid in sorted(spans_by_chunk):
+            tracer.absorb(spans_by_chunk[cid])
+
+        results: list[Any] = []
+        if not failures:
+            for cid in range(len(chunks)):
+                results.extend(results_by_chunk[cid])
+        return results, failures
+
     # -- stats -------------------------------------------------------------
 
     def _assemble_stats(self) -> dict[str, int | float]:
         stats: dict[str, int | float] = {
             "workers": self.workers,
             "tasks": self.tasks_run,
+            "chunks": self.chunks_run,
             "wall_s": time.perf_counter() - self._t0,
             "cache_hits": self._worker_counts["hits"],
             "cache_misses": self._worker_counts["misses"],
@@ -263,7 +504,10 @@ def run_tasks(
     workers: int = 1,
     cache_dir: str | Path | None = None,
     timeout_s: float | None = None,
+    backend: str | None = None,
 ) -> list[Any]:
     """One-shot convenience wrapper: open a pool, map, close it."""
-    with WorkerPool(workers, cache_dir, timeout_s=timeout_s) as pool:
+    with WorkerPool(
+        workers, cache_dir, timeout_s=timeout_s, backend=backend
+    ) as pool:
         return pool.map(tasks)

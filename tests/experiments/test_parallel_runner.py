@@ -1,12 +1,18 @@
 """End-to-end determinism of the parallel runner and persistent cache.
 
 One tiny configuration (single stencil, 120 samples, 3 s simulated
-budget) is run three ways — sequential without a cache, 2-worker with a
-cold cache, 2-worker warm from that cache — and every deterministic
+budget) is run three ways — sequential without a cache, N-worker with a
+cold cache, N-worker warm from that cache — and every deterministic
 artifact must come back byte-identical. ``fig12``, ``summary`` and
 ``orchestration`` report host wall-clock time/counters and differ
 between *any* two runs, so they are exempt (see the runner docstring).
+
+The pool width defaults to 2 and is overridden via ``REPRO_TEST_WORKERS``
+— CI runs this module at workers=1 and workers=4 (a matrix leg) so the
+identity contract is exercised at degenerate, narrow and wide widths.
 """
+
+import os
 
 import pytest
 
@@ -15,6 +21,9 @@ from repro.experiments.comparison import compare_stencil
 from repro.experiments.runner import ExperimentRunner
 from repro.gpusim.device import A100
 from repro.stencil.suite import get_stencil
+
+#: Pool width under test (CI matrix: 1 and 4; local default 2).
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
 
 SCALE = dict(stencils=["j3d7pt"], samples=120, repetitions=1, budget_s=3.0,
              seed=0)
@@ -47,7 +56,8 @@ def cache_dir(tmp_path_factory):
 @pytest.fixture(scope="module")
 def parallel_cold(tmp_path_factory, cache_dir):
     out = tmp_path_factory.mktemp("par")
-    runner = ExperimentRunner(out, workers=2, cache_dir=cache_dir, **SCALE)
+    runner = ExperimentRunner(out, workers=WORKERS, cache_dir=cache_dir,
+                              **SCALE)
     runner.run_all()
     return runner
 
@@ -66,7 +76,7 @@ class TestParallelIdentity:
 
     def test_orchestration_counters_present(self, parallel_cold):
         o = parallel_cold.orchestration
-        assert o["workers"] == 2
+        assert o["workers"] == WORKERS
         assert o["tasks"] > 0
         assert o["cache_puts"] > 0
         assert "orchestration" in parallel_cold.reports
@@ -77,7 +87,7 @@ class TestWarmCache:
         self, sequential, parallel_cold, cache_dir, tmp_path
     ):
         runner = ExperimentRunner(
-            tmp_path / "warm", workers=2, cache_dir=cache_dir, **SCALE
+            tmp_path / "warm", workers=WORKERS, cache_dir=cache_dir, **SCALE
         )
         runner.run_all()
 
@@ -92,6 +102,33 @@ class TestWarmCache:
         assert diverged == []
 
 
+class TestWarmFleetReuse:
+    def test_reused_fleet_matches_fresh_fleet(self, parallel_cold, tmp_path):
+        """Consecutive runner invocations on one persistent fleet must be
+        byte-identical to a run on freshly started workers."""
+        if WORKERS == 1:
+            pytest.skip("workers=1 runs in-process; no fleet to reuse")
+        from repro.parallel.warm import get_fleet, shutdown_fleet
+
+        # ``parallel_cold`` already ran on the fleet: this reuses it.
+        reused = ExperimentRunner(tmp_path / "reused", workers=WORKERS,
+                                  **SCALE)
+        reused.run_all()
+        reused_pids = get_fleet().pids()
+        assert reused_pids, "warm fleet was not engaged"
+
+        shutdown_fleet()
+        fresh = ExperimentRunner(tmp_path / "fresh", workers=WORKERS,
+                                 **SCALE)
+        fresh.run_all()
+        assert get_fleet().pids() != reused_pids  # genuinely new processes
+
+        a, b = _artifacts(reused.out_dir), _artifacts(fresh.out_dir)
+        assert set(a) == set(b)
+        diverged = [name for name in a if a[name] != b[name]]
+        assert diverged == []
+
+
 class TestCompareStencilParity:
     def test_task_path_matches_direct_path(self):
         # compare_stencil's fan-out branch (workers/cache engaged) must
@@ -102,7 +139,7 @@ class TestCompareStencilParity:
             pattern, A100, budget, repetitions=1, seed=0
         )
         fanned = compare_stencil(
-            pattern, A100, budget, repetitions=1, seed=0, workers=2
+            pattern, A100, budget, repetitions=1, seed=0, workers=WORKERS
         )
         assert set(direct) == set(fanned)
         for tuner, runs in direct.items():

@@ -123,3 +123,65 @@ class TestCompareDocuments:
             baseline_dir, baseline_dir
         )
         assert checked and problems == []
+
+
+class TestWaivedGates:
+    """A waived speedup gate must be loud — never a silent green."""
+
+    def test_waiver_reported_not_a_pass(self, tmp_path, capsys):
+        fresh = dict(
+            BASELINE,
+            speedup_gate_applied=False,
+            speedup_gate_skip_reason="4 workers on only 1 CPU(s)",
+        )
+        assert _run(tmp_path, fresh) == 0  # advisory by default
+        out = capsys.readouterr().out
+        assert "WAIVED" in out
+        assert "4 workers on only 1 CPU(s)" in out
+        assert "not a pass" in out
+
+    def test_strict_waivers_fails(self, tmp_path):
+        fresh = dict(BASELINE, speedup_gate_applied=False)
+        assert _run(tmp_path, fresh, "--strict-waivers") == 1
+
+    def test_applied_gate_is_clean_pass(self, tmp_path, capsys):
+        fresh = dict(
+            BASELINE,
+            speedup_gate_applied=True,
+            speedup_gate_skip_reason=None,
+        )
+        assert _run(tmp_path, fresh, "--strict-waivers") == 0
+        out = capsys.readouterr().out
+        assert "WAIVED" not in out
+        assert "all benchmarks within tolerance" in out
+
+    def test_nested_per_point_waivers_scanned(self, tmp_path):
+        doc = {
+            "points": [
+                {"workers": 2, "speedup_gate_applied": True,
+                 "speedup_gate_skip_reason": None},
+                {"workers": 8, "speedup_gate_applied": False,
+                 "speedup_gate_skip_reason": "8 workers on 2 CPU(s)"},
+            ]
+        }
+        fresh_dir = tmp_path / "results"
+        fresh_dir.mkdir()
+        (fresh_dir / "BENCH_scaling.json").write_text(json.dumps(doc))
+        waivers = check_regression.scan_waived_gates(fresh_dir)
+        assert len(waivers) == 1
+        assert "scaling[points[1]]" in waivers[0]
+        assert "8 workers on 2 CPU(s)" in waivers[0]
+
+    def test_gate_scanned_even_without_baseline(self, tmp_path, capsys):
+        # A brand-new benchmark with no committed baseline still has its
+        # waiver surfaced next to the regression report.
+        base_dir, fresh_dir = _dirs(tmp_path, BASELINE)
+        (fresh_dir / "BENCH_new.json").write_text(json.dumps(
+            {"speedup_gate_applied": False,
+             "speedup_gate_skip_reason": "core-starved"}
+        ))
+        assert check_regression.main(
+            ["--baseline-dir", str(base_dir), "--fresh-dir", str(fresh_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "new: speedup gate waived — core-starved" in out
