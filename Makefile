@@ -7,7 +7,7 @@ PYTHON ?= python
 PYTEST_ARGS ?= -x -q -m "not slow"
 COV_FLOOR ?= 75
 
-.PHONY: verify lint typecheck test coverage bench bench-fast \
+.PHONY: verify lint typecheck test coverage analyze bench bench-fast \
         check-regression bench-baselines
 
 verify: lint typecheck test
@@ -29,6 +29,13 @@ typecheck:
 test:
 	$(PYTHON) -m pytest tests $(PYTEST_ARGS)
 
+# Static-analysis gates CI runs as blocking steps: the RACE5xx
+# concurrency self-check over src/repro and the deep MEM4xx/MODEL4xx
+# dataflow sweep over the full suite.
+analyze:
+	$(PYTHON) -m repro.analysis --concurrency
+	$(PYTHON) -m repro.analysis --all --deep --samples 8
+
 # Coverage with a *soft* floor: below COV_FLOOR warns but does not
 # fail (tools/coverage_summary.py --hard makes it a gate). Skips
 # gracefully when pytest-cov is not installed.
@@ -48,6 +55,7 @@ bench:
 	$(PYTHON) benchmarks/bench_runner_parallel.py
 	$(PYTHON) benchmarks/bench_runner_scaling.py
 	$(PYTHON) benchmarks/bench_search_path.py
+	$(PYTHON) benchmarks/bench_static_prune.py
 
 # Seconds-long smoke variants: reduced budget/reps but the same
 # identity and overhead gates as the full benchmarks.
@@ -55,6 +63,7 @@ bench-fast:
 	REPRO_BENCH_SEARCH_FAST=1 $(PYTHON) benchmarks/bench_search_path.py
 	REPRO_BENCH_OBS_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py
 	REPRO_BENCH_SCALING_FAST=1 $(PYTHON) benchmarks/bench_runner_scaling.py
+	REPRO_BENCH_PRUNE_FAST=1 $(PYTHON) benchmarks/bench_static_prune.py
 
 # Compare fresh bench-fast results against the committed baselines
 # (benchmarks/baselines/); >20% slowdown fails. CI runs this right

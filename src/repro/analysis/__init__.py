@@ -2,15 +2,21 @@
 post-hoc result tooling (explain settings, diff them, chart convergence).
 
 The static-analysis subsystem (``diagnostics`` / ``cudalint`` /
-``crosscheck`` / ``prover`` / ``gate``) lints generated CUDA, verifies
-emitted source against its :class:`~repro.codegen.plan.KernelPlan`, and
-proves the Table I constraint system consistent; ``python -m
-repro.analysis --all`` runs it over the whole suite.
+``crosscheck`` / ``dataflow`` / ``concurrency`` / ``prover`` /
+``prune`` / ``gate``) lints generated CUDA, verifies emitted source
+against its :class:`~repro.codegen.plan.KernelPlan`, bounds each
+kernel's memory behaviour and cross-validates the analytic model
+against those bounds, race-lints the warm-worker task code, proves the
+Table I constraint system consistent, and prunes provably-dominated
+settings before evaluation; ``python -m repro.analysis --all --deep
+--concurrency`` runs all of it over the whole suite.
 """
 
 from repro.analysis.charts import convergence_chart, sparkline
+from repro.analysis.concurrency import lint_tree
 from repro.analysis.crosscheck import crosscheck_kernel, extract_facts
 from repro.analysis.cudalint import lint_kernel, parse_kernel
+from repro.analysis.dataflow import DataflowSummary, analyze_dataflow
 from repro.analysis.diagnostics import (
     RULES,
     AnalysisError,
@@ -21,6 +27,8 @@ from repro.analysis.diagnostics import (
     SourceSpan,
     merge_reports,
     register_rule,
+    to_sarif,
+    write_sarif,
 )
 from repro.analysis.diff import compare_settings, setting_diff
 from repro.analysis.explain import SettingReport, explain_setting
@@ -34,6 +42,7 @@ from repro.analysis.gate import (
     strict_gate,
 )
 from repro.analysis.prover import ProofResult, prove_space
+from repro.analysis.prune import StaticPruner, build_pruner
 from repro.analysis.summary import dataset_summary
 
 __all__ = [
@@ -41,16 +50,20 @@ __all__ = [
     "AnalysisError",
     "AnalysisReport",
     "DEFAULT_STRICT_EVERY",
+    "DataflowSummary",
     "Diagnostic",
     "ProofResult",
     "Rule",
     "Severity",
     "SettingReport",
     "SourceSpan",
+    "StaticPruner",
+    "analyze_dataflow",
     "analyze_kernel",
     "analyze_space",
     "analyze_stencil",
     "analyze_suite",
+    "build_pruner",
     "compare_settings",
     "convergence_chart",
     "crosscheck_kernel",
@@ -59,6 +72,7 @@ __all__ = [
     "extract_facts",
     "gate_selected",
     "lint_kernel",
+    "lint_tree",
     "merge_reports",
     "parse_kernel",
     "prove_space",
@@ -66,4 +80,6 @@ __all__ = [
     "setting_diff",
     "sparkline",
     "strict_gate",
+    "to_sarif",
+    "write_sarif",
 ]

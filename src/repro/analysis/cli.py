@@ -2,19 +2,39 @@
 
 Shared between ``repro analyze`` (the main CLI) and the standalone
 ``python -m repro.analysis`` entry point used as the make-lint-style
-gate in CI. Exit status is the gate predicate: 0 iff no analyzed
-subject produced an ERROR-severity diagnostic.
+gate in CI. Exit status is the gate predicate, identical through both
+entry points:
+
+* :data:`EXIT_OK` (0) — no analyzed subject produced an ERROR-severity
+  diagnostic (including ``--json`` runs with zero findings);
+* :data:`EXIT_FINDINGS` (1) — at least one ERROR finding;
+* :data:`EXIT_USAGE` (2) — bad invocation (no stencils and no mode
+  flag), reported on stderr.
+
+``--deep`` adds the dataflow/memory analyzer (MEM4xx + MODEL4xx) to
+each sampled kernel; ``--concurrency`` runs the RACE5xx fork-safety
+lint over ``src/repro`` instead of (or, combined, in addition to) the
+kernel passes; ``--sarif PATH`` additionally serializes every report as
+one SARIF 2.1.0 log for CI annotation upload.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from collections.abc import Sequence
 
+from repro.analysis.concurrency import lint_tree
+from repro.analysis.diagnostics import AnalysisReport, write_sarif
 from repro.analysis.gate import analyze_suite
 from repro.gpusim.device import get_device
 from repro.stencil.suite import get_stencil, suite_names
+
+#: Exit codes of the analysis gate (stable CLI contract).
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 
 def run_analysis(
@@ -23,23 +43,40 @@ def run_analysis(
     devices: Sequence[str] = ("A100", "V100"),
     samples: int = 32,
     seed: int = 0,
+    deep: bool = False,
+    concurrency: bool = False,
+    sarif: str | None = None,
     as_json: bool = False,
     verbose: bool = False,
 ) -> int:
-    """Analyze the requested stencil × device grid; print, return exit code."""
-    patterns = [get_stencil(name) for name in stencils] if stencils else None
-    reports = analyze_suite(
-        stencils=patterns,
-        devices=tuple(get_device(d) for d in devices),
-        samples=samples,
-        seed=seed,
-    )
+    """Analyze the requested stencil × device grid; print, return exit code.
+
+    ``stencils=None`` (or empty) with ``concurrency=True`` runs only the
+    fork-safety lint; otherwise the kernel/space passes run for every
+    named stencil, with the dataflow analyzer included under ``deep``.
+    """
+    reports: list[AnalysisReport] = []
+    if stencils:
+        patterns = [get_stencil(name) for name in stencils]
+        reports.extend(
+            analyze_suite(
+                stencils=patterns,
+                devices=tuple(get_device(d) for d in devices),
+                samples=samples,
+                seed=seed,
+                deep=deep,
+            )
+        )
+    if concurrency:
+        reports.append(lint_tree())
     if as_json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
     else:
         for report in reports:
             print(report.render_text(verbose=verbose))
-    return 0 if all(r.ok for r in reports) else 1
+    if sarif is not None:
+        write_sarif(reports, sarif)
+    return EXIT_OK if all(r.ok for r in reports) else EXIT_FINDINGS
 
 
 def add_analyze_arguments(p: argparse.ArgumentParser) -> None:
@@ -53,20 +90,39 @@ def add_analyze_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--samples", type=int, default=32,
                    help="kernels sampled per stencil x device (default 32)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deep", action="store_true",
+                   help="also run the dataflow/memory analyzer "
+                        "(MEM4xx + MODEL4xx model cross-validation)")
+    p.add_argument("--concurrency", action="store_true",
+                   help="run the RACE5xx fork-safety lint over src/repro")
+    p.add_argument("--sarif", metavar="PATH", default=None,
+                   help="also write all findings as a SARIF 2.1.0 log")
     p.add_argument("--json", action="store_true", help="emit JSON reports")
     p.add_argument("--verbose", action="store_true",
                    help="also print INFO findings (dead values, redundancy)")
 
 
 def run_from_args(args: argparse.Namespace) -> int:
-    if not args.stencils and not getattr(args, "all", False):
-        raise SystemExit("analyze: name at least one stencil or pass --all")
-    stencils = args.stencils or list(suite_names())
+    concurrency = getattr(args, "concurrency", False)
+    if not args.stencils and not getattr(args, "all", False) and not concurrency:
+        print(
+            "analyze: name at least one stencil, or pass --all or "
+            "--concurrency",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.stencils or getattr(args, "all", False):
+        stencils: list[str] | None = args.stencils or list(suite_names())
+    else:
+        stencils = None
     return run_analysis(
         stencils=stencils,
         devices=tuple(args.device) if args.device else ("A100", "V100"),
         samples=args.samples,
         seed=args.seed,
+        deep=getattr(args, "deep", False),
+        concurrency=concurrency,
+        sarif=getattr(args, "sarif", None),
         as_json=args.json,
         verbose=args.verbose,
     )
@@ -76,7 +132,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="static analysis: lint generated CUDA, cross-check "
-                    "plans, prove constraint consistency",
+                    "plans, prove constraint consistency, bound dataflow",
     )
     add_analyze_arguments(parser)
     return run_from_args(parser.parse_args(argv))

@@ -231,3 +231,106 @@ def merge_reports(subject: str, reports: list[AnalysisReport]) -> AnalysisReport
         merged.passes.extend(p for p in r.passes if p not in merged.passes)
         merged.diagnostics.extend(r.diagnostics)
     return merged
+
+
+# -- SARIF export -----------------------------------------------------------
+
+#: SARIF severity levels for each of ours. INFO maps to "note" so CI
+#: annotations keep the same three-tier visual distinction.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _subject_is_path(subject: str) -> bool:
+    """Whether a diagnostic subject names a real source file.
+
+    Kernel/space subjects (``"kernel:j3d7pt"``, ``"j3d7pt@A100"``)
+    describe generated artifacts with no checked-in file to annotate;
+    the concurrency lint's subjects are repo-relative ``.py`` paths.
+    """
+    return subject.endswith(".py") and ":" not in subject
+
+
+def to_sarif(reports: list[AnalysisReport]) -> dict[str, object]:
+    """Render reports as a SARIF 2.1.0 log (GitHub code scanning).
+
+    Findings whose subject is a repo-relative ``.py`` path carry a
+    physical location, so ``github/codeql-action/upload-sarif`` turns
+    them into inline PR annotations; generated-kernel findings keep
+    their subject in the message text instead.
+    """
+    results: list[dict[str, object]] = []
+    used_rules: dict[str, None] = {}
+    for report in reports:
+        for d in report.diagnostics:
+            used_rules.setdefault(d.rule_id, None)
+            message = d.message
+            if d.subject and not _subject_is_path(d.subject):
+                message = f"{d.subject}: {message}"
+            result: dict[str, object] = {
+                "ruleId": d.rule_id,
+                "level": _SARIF_LEVELS[d.severity],
+                "message": {"text": message},
+            }
+            if d.subject and _subject_is_path(d.subject):
+                region = (
+                    {
+                        "startLine": d.span.line,
+                        "endLine": d.span.line_end,
+                    }
+                    if d.span is not None
+                    else {"startLine": 1, "endLine": 1}
+                )
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": d.subject,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": region,
+                        }
+                    }
+                ]
+            results.append(result)
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[RULES[rule_id].severity]
+            },
+        }
+        for rule_id in used_rules
+    ]
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://github.com/cstuner-repro/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(reports: list[AnalysisReport], path: str) -> None:
+    """Serialize :func:`to_sarif` output to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_sarif(reports), fh, indent=2)
+        fh.write("\n")

@@ -24,9 +24,11 @@ the <5 % overhead contract is enforced by
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.analysis.crosscheck import crosscheck_kernel
 from repro.analysis.cudalint import lint_kernel, parse_kernel
+from repro.analysis.dataflow import analyze_dataflow
 from repro.analysis.diagnostics import (
     AnalysisError,
     AnalysisReport,
@@ -59,18 +61,33 @@ def analyze_kernel(
     *,
     source: str | None = None,
     plan: KernelPlan | None = None,
+    device: DeviceSpec | None = None,
+    deep: bool = False,
 ) -> AnalysisReport:
-    """Lint + cross-check one generated kernel (source-level passes)."""
+    """Lint + cross-check one generated kernel (source-level passes).
+
+    With ``deep=True`` (requires ``device``) the dataflow/memory
+    analyzer also runs, adding the MEM4xx bounds and the MODEL4xx
+    model-vs-static cross-validation.
+    """
     if source is None:
         source = generate_cuda(pattern, setting)
     if plan is None:
         plan = build_plan(pattern, setting)
     parsed = parse_kernel(source)
-    report = AnalysisReport(
-        subject=f"kernel:{pattern.name}", passes=["cudalint", "crosscheck"]
-    )
+    passes = ["cudalint", "crosscheck"]
+    if deep:
+        if device is None:
+            raise ValueError("deep analysis needs a DeviceSpec")
+        passes.append("dataflow")
+    report = AnalysisReport(subject=f"kernel:{pattern.name}", passes=passes)
     report.extend(lint_kernel(pattern, setting, source, parsed=parsed))
     report.extend(crosscheck_kernel(pattern, plan, source, parsed=parsed))
+    if deep and device is not None:
+        _, diags = analyze_dataflow(
+            pattern, setting, device, source=source, parsed=parsed, plan=plan
+        )
+        report.extend(diags)
     return report
 
 
@@ -93,12 +110,15 @@ def analyze_stencil(
     *,
     samples: int = 32,
     seed: int = 0,
+    deep: bool = False,
 ) -> AnalysisReport:
     """Full analysis of one stencil × device.
 
     Proves the constraint system, then lints and cross-checks the
     generated kernel for ``samples`` seeded-sampled valid settings —
-    the stratified stand-in for "every kernel codegen can emit".
+    the stratified stand-in for "every kernel codegen can emit". With
+    ``deep=True`` each sampled kernel additionally goes through the
+    dataflow/memory analyzer (MEM4xx + MODEL4xx).
     """
     space = build_space(pattern, device)
     space_report, _ = analyze_space(space, device, seed=seed)
@@ -106,7 +126,9 @@ def analyze_stencil(
     if samples > 0:
         rng = rng_from_seed(seed)
         for setting in space.sample(rng, samples):
-            reports.append(analyze_kernel(pattern, setting))
+            reports.append(
+                analyze_kernel(pattern, setting, device=device, deep=deep)
+            )
     merged = merge_reports(f"{pattern.name}@{device.name}", reports)
     return merged
 
@@ -117,11 +139,12 @@ def analyze_suite(
     devices: tuple[DeviceSpec, ...] = (A100, V100),
     samples: int = 32,
     seed: int = 0,
+    deep: bool = False,
 ) -> list[AnalysisReport]:
     """Analyze every suite stencil on every paper platform (CI entry)."""
     stencils = list(STENCIL_SUITE) if stencils is None else stencils
     return [
-        analyze_stencil(pattern, device, samples=samples, seed=seed)
+        analyze_stencil(pattern, device, samples=samples, seed=seed, deep=deep)
         for pattern in stencils
         for device in devices
     ]
@@ -167,8 +190,8 @@ def gate_selected(pattern_name: str, setting: Setting, every: int) -> bool:
 
 
 def gate_selected_batch(
-    pattern_name: str, values: np.ndarray, every: int
-) -> np.ndarray:
+    pattern_name: str, values: NDArray[np.int64], every: int
+) -> NDArray[np.bool_]:
     """Vectorized :func:`gate_selected` over a settings-matrix.
 
     ``values`` is the ``(n, n_parameters)`` int matrix from

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -77,8 +78,8 @@ class ProofResult:
 
 
 def _rule_reject_masks(
-    space: SearchSpace, device: DeviceSpec | None, values: np.ndarray
-) -> dict[str, np.ndarray]:
+    space: SearchSpace, device: DeviceSpec | None, values: NDArray[np.int64]
+) -> dict[str, NDArray[np.bool_]]:
     """Per-constraint reject masks (True = this rule rejects the row).
 
     Mirrors :func:`repro.space.constraints.explicit_violation` rule by
@@ -100,7 +101,7 @@ def _rule_reject_masks(
     tb_sd = np.choose(sd_ix, tb)
     uf_sd = np.choose(sd_ix, uf)
 
-    masks: dict[str, np.ndarray] = {
+    masks: dict[str, NDArray[np.bool_]] = {
         "tb_limit": tb[0] * tb[1] * tb[2] > MAX_THREADS_PER_BLOCK,
         "sd_gate": ~streaming & (sd != 1),
         "sb_gate": ~streaming & (sb != 1),
@@ -134,8 +135,8 @@ def _rule_reject_masks(
 
 
 def _valid_mask(
-    space: SearchSpace, device: DeviceSpec | None, values: np.ndarray
-) -> np.ndarray:
+    space: SearchSpace, device: DeviceSpec | None, values: NDArray[np.int64]
+) -> NDArray[np.bool_]:
     """Validity of in-domain rows via the per-rule reject masks."""
     masks = _rule_reject_masks(space, device, values)
     ok = np.ones(len(values), dtype=bool)
@@ -150,7 +151,7 @@ def _valid_mask(
     return ok
 
 
-def _all_ones_row(space: SearchSpace) -> np.ndarray:
+def _all_ones_row(space: SearchSpace) -> NDArray[np.int64]:
     """The minimal candidate: every parameter at its smallest value."""
     return np.array(
         [space.param(n).values[0] for n in PARAMETER_ORDER], dtype=np.int64
@@ -159,7 +160,7 @@ def _all_ones_row(space: SearchSpace) -> np.ndarray:
 
 def targeted_candidates(
     space: SearchSpace, param: str, value: int
-) -> np.ndarray:
+) -> NDArray[np.int64]:
     """Deterministic minimal-context witness family for ``param=value``.
 
     Starts from the all-minimum row, pins ``param=value``, and
@@ -171,7 +172,7 @@ def targeted_candidates(
     """
     base = _all_ones_row(space)
     base[PARAM_INDEX[param]] = value
-    rows: list[np.ndarray] = []
+    rows: list[NDArray[np.int64]] = []
     sd_options = (
         (value,) if param == "SD" else (1, 2, 3)
     )
@@ -193,7 +194,7 @@ def targeted_candidates(
     return np.unique(np.stack(rows), axis=0)
 
 
-def _enumerate_space(space: SearchSpace) -> np.ndarray:
+def _enumerate_space(space: SearchSpace) -> NDArray[np.int64]:
     """Full cartesian product of the domains as an int64 matrix."""
     domains = [np.asarray(space.param(n).values, dtype=np.int64)
                for n in PARAMETER_ORDER]
@@ -238,8 +239,8 @@ def prove_space(
             for name in PARAMETER_ORDER:
                 alive.add((name, s[name]))
         # Phase 2 — deterministic minimal witnesses for the remainder.
-        probe_rows: list[np.ndarray] = []
-        probe_valid: list[np.ndarray] = []
+        probe_rows: list[NDArray[np.int64]] = []
+        probe_valid: list[NDArray[np.bool_]] = []
         for name in PARAMETER_ORDER:
             for v in space.param(name).values:
                 cands = targeted_candidates(space, name, int(v))

@@ -133,7 +133,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     with _evaluation_store(args):
         simulator = GpuSimulator(device=device, seed=args.seed)
-        space = build_space(pattern, device)
+        space = build_space(
+            pattern, device,
+            prune_static=getattr(args, "prune_static", False),
+            prune_seed=args.seed,
+        )
+        if space.static_pruner is not None:
+            print(
+                f"static pruning on: reference "
+                f"{space.static_pruner.ref_time_s * 1e3:.3f} ms "
+                f"(anchored on 64 probes)"
+            )
         budget = (
             Budget(max_iterations=args.iterations)
             if args.iterations
@@ -296,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tuning-cost budget in seconds (iso-time)")
     p.add_argument("--iterations", type=int, default=None,
                    help="iteration budget instead of time")
+    p.add_argument("--prune-static", action="store_true",
+                   help="statically reject provably-dominated settings "
+                        "before evaluation (analysis-driven pre-pruning)")
 
     p = sub.add_parser("motivation", help="print the Fig 2-4 distributions")
     _add_common(p)

@@ -58,12 +58,12 @@ def _shared_dataset(simulator, pattern, space, config, device_name: str):
     key = (pattern.name, device_name, config.seed, config.dataset_size)
     cached = _DATASET_MEMO.get(key)
     if cached is not None:
-        _DATASET_MEMO.move_to_end(key)
+        _DATASET_MEMO.move_to_end(key)  # race-ok: worker-local memo
         return cached
     dataset = CsTuner(simulator, config).collect_dataset(pattern, space)
-    _DATASET_MEMO[key] = dataset
+    _DATASET_MEMO[key] = dataset  # race-ok: worker-local memo
     while len(_DATASET_MEMO) > _DATASET_MEMO_CAP:
-        _DATASET_MEMO.popitem(last=False)
+        _DATASET_MEMO.popitem(last=False)  # race-ok: worker-local memo
     return dataset
 
 

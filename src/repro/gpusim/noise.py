@@ -42,6 +42,18 @@ _SETTING_AMPLITUDE = 0.06
 _PAIR_AMPLITUDE = 0.035
 
 
+def min_roughness_factor() -> float:
+    """Provable lower bound of :func:`roughness_factor` over all inputs.
+
+    Each hash term lies in ``[1 - amplitude/2, 1 + amplitude/2)``, so the
+    product of the setting term and every pairwise term can never fall
+    below this value. The static pruner multiplies its roofline lower
+    bound by this factor to bound the *perturbed* model time from below.
+    """
+    lo = 1.0 - _SETTING_AMPLITUDE / 2
+    return lo * (1.0 - _PAIR_AMPLITUDE / 2) ** len(INTERACTION_PAIRS)
+
+
 def roughness_factor(device_name: str, stencil_name: str, setting: Setting) -> float:
     """Multiplicative perturbation in roughly ``[0.85, 1.15]``.
 

@@ -48,9 +48,9 @@ def _worker(
     fn: Callable[..., Any],
     rank: int,
     size: int,
-    conns: tuple,
+    conns: tuple[Any, ...],
     result_conn: "mp.connection.Connection",
-    args: tuple,
+    args: tuple[Any, ...],
 ) -> None:
     comm = PipeRingComm(rank, size, *conns, result_conn)
     try:

@@ -316,7 +316,7 @@ class WarmFleet:
                 f"warm worker pid={pid} died: {exc!r}"
             ) from exc
 
-    def send(self, worker: WarmWorker, message: tuple) -> None:
+    def send(self, worker: WarmWorker, message: tuple[Any, ...]) -> None:
         pid = worker.pid
         try:
             worker.conn.send_bytes(encode_payload(message))

@@ -33,6 +33,7 @@ from repro.space.setting import Setting, settings_from_matrix, settings_matrix
 from repro.stencil.pattern import StencilPattern
 
 if TYPE_CHECKING:  # import-light at runtime: gpusim sits above this layer
+    from repro.analysis.prune import StaticPruner
     from repro.gpusim.device import DeviceSpec
 
 #: Optional implicit-constraint hook: returns a reason string or None.
@@ -63,6 +64,11 @@ class SearchSpace:
         ``resource_check``. When given, batched validity screening uses
         the vectorized resource rules instead of calling the scalar
         predicate per setting (results are identical).
+    static_pruner:
+        Optional :class:`repro.analysis.prune.StaticPruner`. When set,
+        settings it proves dominated or unlaunchable are treated as
+        invalid (after every other constraint). ``None`` — the default —
+        leaves behaviour byte-identical to a pruner-less space.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class SearchSpace:
         parameters: Sequence[Parameter] | None = None,
         resource_check: ResourceCheck | None = None,
         resource_device: "DeviceSpec | None" = None,
+        static_pruner: "StaticPruner | None" = None,
     ) -> None:
         self.pattern = pattern
         self.parameters: tuple[Parameter, ...] = tuple(
@@ -86,6 +93,7 @@ class SearchSpace:
             )
         self.resource_check = resource_check
         self.resource_device = resource_device
+        self.static_pruner = static_pruner
         self._dim_tuples_cache: dict[int, list[tuple[int, int, int, int]]] = {}
         self._candidate_cache: dict[
             tuple[int, int, int | None, bool],
@@ -122,7 +130,11 @@ class SearchSpace:
         if reason is not None:
             return reason
         if self.resource_check is not None:
-            return self.resource_check(setting)
+            reason = self.resource_check(setting)
+            if reason is not None:
+                return reason
+        if self.static_pruner is not None:
+            return self.static_pruner.violation(setting)
         return None
 
     def is_valid(self, setting: Setting) -> bool:
@@ -172,6 +184,10 @@ class SearchSpace:
                 for i in np.flatnonzero(ok):
                     if self.resource_check(settings[i]) is not None:
                         ok[i] = False
+        if self.static_pruner is not None and ok.any():
+            keep = np.flatnonzero(ok)
+            pruned = self.static_pruner.dominated_mask(values[keep])
+            ok[keep[pruned]] = False
         return ok
 
     def repair(self, values: dict[str, int]) -> Setting:
@@ -623,6 +639,10 @@ def build_space(
     device: "DeviceSpec | None" = None,
     *,
     max_factor: int | None = None,
+    prune_static: bool = False,
+    prune_probes: int = 64,
+    prune_seed: int = 0,
+    prune_margin: float = 1.0,
 ) -> SearchSpace:
     """Construct the standard space for a stencil, wiring resource checks.
 
@@ -630,6 +650,12 @@ def build_space(
     implicit register-spill and shared-memory constraints are enforced
     through the kernel planner, matching the paper's "only non-spilled
     parameter settings are explored".
+
+    ``prune_static=True`` (requires ``device``) additionally anchors a
+    :class:`repro.analysis.prune.StaticPruner` on a seeded probe of the
+    space, rejecting provably-dominated and statically-unlaunchable
+    settings before any evaluation. Off — the default — the space is
+    byte-identical to one built without these arguments.
     """
     parameters = build_parameters(pattern, max_factor=max_factor)
     check: ResourceCheck | None = None
@@ -643,6 +669,16 @@ def build_space(
         ) -> str | None:
             return resource_violation(_pattern, setting, _device)
 
-    return SearchSpace(
+    space = SearchSpace(
         pattern, parameters, resource_check=check, resource_device=device
     )
+    if prune_static:
+        if device is None:
+            raise ValueError("prune_static requires a device")
+        from repro.analysis.prune import build_pruner
+
+        space.static_pruner = build_pruner(
+            space, device,
+            probes=prune_probes, seed=prune_seed, margin=prune_margin,
+        )
+    return space

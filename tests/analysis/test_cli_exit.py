@@ -1,0 +1,86 @@
+"""Exit-code contract of ``repro analyze`` / ``python -m repro.analysis``:
+0 = clean (including --json with zero findings), 1 = ERROR findings,
+2 = usage error — identical through both entry points."""
+
+import pytest
+
+import repro.analysis.cli as analysis_cli
+import repro.cli as main_cli
+from repro.analysis.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE
+from repro.analysis.diagnostics import AnalysisReport, Severity, emit
+
+pytestmark = pytest.mark.analysis
+
+
+def _failing_report():
+    report = AnalysisReport(subject="boom@A100", passes=["cudalint"])
+    emit(report.diagnostics, "CUDA101", "forced failure",
+         subject="kernel:boom", severity=Severity.ERROR)
+    return report
+
+
+class TestStandaloneEntry:
+    def test_clean_run_exits_zero(self, capsys):
+        assert analysis_cli.main(
+            ["j3d7pt", "--device", "A100", "--samples", "2"]
+        ) == EXIT_OK
+        assert "PASS" in capsys.readouterr().out
+
+    def test_json_with_zero_findings_exits_zero(self, capsys):
+        code = analysis_cli.main(
+            ["j3d7pt", "--device", "A100", "--samples", "0", "--json"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert '"ok": true' in out
+
+    def test_error_findings_exit_one(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            analysis_cli, "analyze_suite", lambda **kw: [_failing_report()]
+        )
+        assert analysis_cli.main(["j3d7pt"]) == EXIT_FINDINGS
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_error_findings_exit_one_with_json(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            analysis_cli, "analyze_suite", lambda **kw: [_failing_report()]
+        )
+        assert analysis_cli.main(["j3d7pt", "--json"]) == EXIT_FINDINGS
+        assert '"ok": false' in capsys.readouterr().out
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert analysis_cli.main([]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "--all" in err and "--concurrency" in err
+
+    def test_concurrency_only_run(self, capsys):
+        assert analysis_cli.main(["--concurrency"]) == EXIT_OK
+        assert "concurrency:repro" in capsys.readouterr().out
+
+
+class TestMainCliEntry:
+    def test_analyze_clean_exits_zero(self):
+        assert main_cli.main(
+            ["analyze", "j3d7pt", "--device", "A100", "--samples", "2"]
+        ) == EXIT_OK
+
+    def test_analyze_usage_error_exits_two(self, capsys):
+        assert main_cli.main(["analyze"]) == EXIT_USAGE
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_analyze_error_findings_exit_one(self, monkeypatch):
+        monkeypatch.setattr(
+            analysis_cli, "analyze_suite", lambda **kw: [_failing_report()]
+        )
+        assert main_cli.main(["analyze", "j3d7pt"]) == EXIT_FINDINGS
+
+
+class TestSarifFlag:
+    def test_sarif_written_alongside_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "findings.sarif"
+        code = analysis_cli.main(
+            ["j3d7pt", "--device", "A100", "--samples", "2",
+             "--sarif", str(out)]
+        )
+        assert code == EXIT_OK
+        assert out.exists()

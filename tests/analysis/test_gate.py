@@ -162,8 +162,8 @@ class TestAnalyzeEntryPoints:
         data = json.loads(capsys.readouterr().out)
         assert data[0]["ok"] is True
 
-    def test_cli_requires_target(self):
-        from repro.analysis.cli import main as analysis_main
+    def test_cli_requires_target(self, capsys):
+        from repro.analysis.cli import EXIT_USAGE, main as analysis_main
 
-        with pytest.raises(SystemExit):
-            analysis_main([])
+        assert analysis_main([]) == EXIT_USAGE
+        assert "analyze:" in capsys.readouterr().err

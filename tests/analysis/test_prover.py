@@ -121,3 +121,82 @@ class TestTargetedCandidates:
         streaming = PARAMETER_ORDER.index("useStreaming")
         assert set(cands[:, shared].tolist()) == {1, 2}
         assert set(cands[:, streaming].tolist()) == {1, 2}
+
+
+class TestEdgeCases:
+    """Untested prover paths: no constraints, contradictions, dead spaces."""
+
+    def _tiny_params(self, pattern):
+        from repro.space.parameters import build_parameters
+
+        return build_parameters(pattern, max_tb_xy=4, max_tb_z=2, max_factor=1)
+
+    def test_empty_constraint_set(self, small_pattern):
+        # No resource check and no device: only domain + explicit
+        # constraints apply, and the proof must still close (exhaustive,
+        # satisfiable, no SPACE301).
+        from repro.space.space import SearchSpace
+
+        space = SearchSpace(small_pattern, self._tiny_params(small_pattern))
+        assert space.nominal_size() <= 1 << 17
+        result, diags = prove_space(space, None)
+        assert result.exhaustive
+        assert result.satisfiable
+        assert not any(d.rule_id == "SPACE301" for d in diags)
+
+    def test_contradictory_constraints_exhaustive(self, small_pattern):
+        # A resource check that rejects everything makes every point
+        # invalid: SPACE301 fires and every value is dead.
+        from repro.space.space import SearchSpace
+
+        space = SearchSpace(
+            small_pattern,
+            self._tiny_params(small_pattern),
+            resource_check=lambda s: "contradiction: always rejected",
+        )
+        result, diags = prove_space(space, None)
+        assert result.exhaustive
+        assert not result.satisfiable
+        space301 = [d for d in diags if d.rule_id == "SPACE301"]
+        assert len(space301) == 1
+        assert space301[0].severity.value == "error"
+        all_values = {
+            (name, int(v))
+            for name in PARAMETER_ORDER
+            for v in space.param(name).values
+        }
+        assert set(result.dead_values) == all_values
+
+    def test_all_points_invalid_stratified(self, small_pattern):
+        # Large space + always-failing scalar check: the sampler dead-
+        # ends (SearchError swallowed), every targeted witness fails,
+        # and the stratified proof reports unsatisfiability.
+        from repro.space.parameters import build_parameters
+        from repro.space.space import SearchSpace
+
+        space = SearchSpace(
+            small_pattern,
+            build_parameters(small_pattern),
+            resource_check=lambda s: "contradiction: always rejected",
+        )
+        assert space.nominal_size() > 1 << 17
+        result, diags = prove_space(space, None)
+        assert not result.exhaustive
+        assert not result.satisfiable
+        msgs = [d for d in diags if d.rule_id == "SPACE301"]
+        assert len(msgs) == 1
+        assert "no witness found" in msgs[0].message
+
+    def test_contradiction_diagnostics_deterministic(self, small_pattern):
+        from repro.space.space import SearchSpace
+
+        def run():
+            space = SearchSpace(
+                small_pattern,
+                self._tiny_params(small_pattern),
+                resource_check=lambda s: "nope",
+            )
+            result, diags = prove_space(space, None)
+            return result.dead_values, [d.render() for d in diags]
+
+        assert run() == run()

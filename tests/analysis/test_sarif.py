@@ -1,0 +1,116 @@
+"""SARIF exporter tests: schema shape, level mapping, locations, and
+round-tripping through the CLI's --sarif flag."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Severity,
+    SourceSpan,
+    emit,
+    register_rule,
+    to_sarif,
+    write_sarif,
+)
+
+pytestmark = pytest.mark.analysis
+
+register_rule("TEST901", Severity.ERROR, "test error rule")
+register_rule("TEST902", Severity.WARNING, "test warning rule")
+register_rule("TEST903", Severity.INFO, "test info rule")
+
+
+def _report():
+    report = AnalysisReport(subject="test", passes=["test"])
+    emit(report.diagnostics, "TEST901", "a file finding",
+         subject="repro/parallel/pool.py", span=SourceSpan.at(42))
+    emit(report.diagnostics, "TEST902", "a kernel finding",
+         subject="kernel:j3d7pt")
+    emit(report.diagnostics, "TEST903", "an observation",
+         subject="space:j3d7pt@A100")
+    return report
+
+
+class TestToSarif:
+    def test_schema_envelope(self):
+        log = to_sarif([_report()])
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+
+    def test_levels_map(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels == {
+            "TEST901": "error", "TEST902": "warning", "TEST903": "note"
+        }
+
+    def test_file_subject_gets_location(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        loc = by_rule["TEST901"]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "repro/parallel/pool.py"
+        assert loc["region"] == {"startLine": 42, "endLine": 42}
+
+    def test_generated_subject_stays_in_message(self):
+        results = to_sarif([_report()])["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert "locations" not in by_rule["TEST902"]
+        assert by_rule["TEST902"]["message"]["text"].startswith(
+            "kernel:j3d7pt:"
+        )
+
+    def test_rules_metadata_only_for_used_rules(self):
+        driver = to_sarif([_report()])["runs"][0]["tool"]["driver"]
+        ids = {r["id"] for r in driver["rules"]}
+        assert ids == {"TEST901", "TEST902", "TEST903"}
+
+    def test_empty_reports_give_empty_results(self):
+        log = to_sarif([AnalysisReport(subject="clean", passes=["x"])])
+        assert log["runs"][0]["results"] == []
+
+    def test_write_sarif_is_valid_json(self, tmp_path):
+        path = tmp_path / "out.sarif"
+        write_sarif([_report()], str(path))
+        parsed = json.loads(path.read_text())
+        assert parsed["version"] == "2.1.0"
+
+
+class TestRealPasses:
+    def test_concurrency_findings_export_with_locations(self, tmp_path):
+        # Synthetic tree with one violation -> SARIF with a physical
+        # location CI can annotate.
+        import textwrap
+
+        from repro.analysis.concurrency import lint_tree
+
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        (root / "jobs.py").write_text(textwrap.dedent("""
+            from pkg.pool import Task
+
+            STATE = {}
+
+            def work(x):
+                STATE[x] = 1
+
+            def submit():
+                return Task(work)
+        """))
+        (root / "pool.py").write_text(textwrap.dedent("""
+            class Task:
+                def __init__(self, fn):
+                    self.fn = fn
+        """))
+        report = lint_tree(root, package="pkg")
+        log = to_sarif([report])
+        results = log["runs"][0]["results"]
+        assert results
+        assert results[0]["ruleId"] == "RACE501"
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("jobs.py")
