@@ -56,6 +56,7 @@ bench:
 	$(PYTHON) benchmarks/bench_runner_scaling.py
 	$(PYTHON) benchmarks/bench_search_path.py
 	$(PYTHON) benchmarks/bench_static_prune.py
+	$(PYTHON) benchmarks/bench_warmstart.py
 
 # Seconds-long smoke variants: reduced budget/reps but the same
 # identity and overhead gates as the full benchmarks.
@@ -64,6 +65,7 @@ bench-fast:
 	REPRO_BENCH_OBS_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py
 	REPRO_BENCH_SCALING_FAST=1 $(PYTHON) benchmarks/bench_runner_scaling.py
 	REPRO_BENCH_PRUNE_FAST=1 $(PYTHON) benchmarks/bench_static_prune.py
+	REPRO_BENCH_WARMSTART_FAST=1 $(PYTHON) benchmarks/bench_warmstart.py
 
 # Compare fresh bench-fast results against the committed baselines
 # (benchmarks/baselines/); >20% slowdown fails. CI runs this right
@@ -78,4 +80,5 @@ bench-baselines: bench-fast
 	cp benchmarks/results/BENCH_search_path.json \
 	   benchmarks/results/BENCH_obs_overhead.json \
 	   benchmarks/results/BENCH_runner_scaling.json \
+	   benchmarks/results/BENCH_warmstart.json \
 	   benchmarks/baselines/

@@ -66,11 +66,17 @@ class BaselineTuner(ABC):
         space: SearchSpace | None = None,
         dataset: PerformanceDataset | None = None,
         seed: int | None = None,
+        seed_settings: Sequence[Setting] | None = None,
     ) -> TuningResult:
         """Run the tuner under ``budget`` and return its result.
 
         ``dataset`` is the shared offline stencil dataset; tuners that
         do not use one (OpenTuner, random search) ignore it.
+        ``seed_settings`` warm-starts the run: the (already repaired)
+        settings are evaluated as an iteration-zero batch before the
+        tuner's own search loop, so every baseline benefits from
+        nearest-neighbor records the same way. ``None``/empty is the
+        cold path, bit-identical to before the parameter existed.
         """
         with obs.span(
             "tuner.run",
@@ -84,8 +90,17 @@ class BaselineTuner(ABC):
                 charge_invalid=self.charge_invalid,
             )
             rng = rng_from_seed(self.seed if seed is None else seed)
+            warm_injected = 0
             with obs.span("phase.search", stencil=pattern.name):
+                if seed_settings:
+                    warm = [s for s in seed_settings if space.is_valid(s)]
+                    for chunk in batch_iterations(warm):
+                        if evaluator.exhausted:
+                            break
+                        self.evaluate_batch(evaluator, chunk)
+                        warm_injected += len(chunk)
                 meta = self._search(pattern, space, evaluator, rng, dataset) or {}
+            meta.setdefault("warm_seeds", warm_injected)
             return evaluator.result(self.name, meta=meta)
 
     @abstractmethod

@@ -17,6 +17,10 @@ Subcommands cover the common workflows:
 ``analyze``
     Static analysis: lint generated kernels, cross-check plans, prove
     constraint consistency (see ``docs/analysis.md``).
+``db``
+    Manage the sharded tuning-results database: import evaluation
+    caches, promote golden records, export/compact/stats (see
+    ``docs/resultsdb.md``).
 ``trace``
     Run tuners with span tracing on and emit ``trace.json``,
     ``phases.txt`` and the Fig-12-style overhead breakdown (see
@@ -33,6 +37,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.analysis.cli import add_analyze_arguments, run_from_args
+from repro.resultsdb.cli import add_db_arguments, run_db_from_args
 from repro.core import Budget, CsTuner, CsTunerConfig
 from repro.experiments import (
     compare_stencil,
@@ -131,6 +136,24 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_tune(args: argparse.Namespace) -> int:
     pattern = get_stencil(args.stencil)
     device = get_device(args.device)
+    db = None
+    if args.db is not None:
+        from repro.resultsdb.db import ResultsDB
+
+        db = ResultsDB(args.db)
+        if not args.no_db_fastpath:
+            record = db.serve(pattern, device)
+            if record is not None:
+                # O(1): no simulator, space or tuner is ever built.
+                obs.count("resultsdb.golden_hits")
+                print(
+                    f"golden record (v{record.version}) for {pattern.name} "
+                    f"on {device.name}: {record.time_s * 1e3:.3f} ms, "
+                    f"0 evaluations"
+                )
+                print(f"best setting: {record.setting()!r}")
+                return 0
+            obs.count("resultsdb.golden_misses")
     with _evaluation_store(args):
         simulator = GpuSimulator(device=device, seed=args.seed)
         space = build_space(
@@ -149,6 +172,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             if args.iterations
             else Budget(max_cost_s=args.budget)
         )
+        seed_settings = None
+        if db is not None and args.warm_start:
+            from repro.resultsdb.warmstart import warm_start_settings
+
+            seed_settings = warm_start_settings(
+                db, pattern, device, space, k=args.warm_seeds,
+            ) or None
+            if seed_settings:
+                print(f"warm start: {len(seed_settings)} nearest-neighbor "
+                      f"seed settings from {args.db}")
         result = run_tuner(
             args.tuner,
             simulator,
@@ -159,6 +192,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 simulator, CsTunerConfig(seed=args.seed)
             ).collect_dataset(pattern, space),
             seed=args.seed,
+            seed_settings=seed_settings,
         )
     print(result.summary())
     print(f"best setting: {result.best_setting!r}")
@@ -224,7 +258,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.export import write_phase_table, write_trace_json
+    from repro.obs.export import (
+        instrument_counters,
+        write_phase_table,
+        write_trace_json,
+    )
     from repro.obs.fig12 import format_fig12
 
     out = Path(args.out)
@@ -272,12 +310,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "tuners": list(args.tuners),
         "seed": args.seed,
     }
+    counters = instrument_counters()
     trace_path = write_trace_json(out / "trace.json", tracer, meta=meta)
     phases_path = write_phase_table(
         out / "phases.txt", tracer,
         title="phase breakdown — repro trace",
+        counters=counters,
     )
-    print(format_fig12(tracer.spans()))
+    print(format_fig12(tracer.spans(), counters=counters or None))
     print(f"wrote {trace_path} and {phases_path}")
     return 0
 
@@ -309,6 +349,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prune-static", action="store_true",
                    help="statically reject provably-dominated settings "
                         "before evaluation (analysis-driven pre-pruning)")
+    p.add_argument("--db", default=None,
+                   help="tuning-results database root; a fresh golden "
+                        "record answers in O(1) without running the tuner")
+    p.add_argument("--no-db-fastpath", action="store_true",
+                   help="always run the search, even when a golden record "
+                        "could answer")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed the search with nearest-neighbor records "
+                        "from --db")
+    p.add_argument("--warm-seeds", type=int, default=8,
+                   help="how many warm-start settings to inject")
 
     p = sub.add_parser("motivation", help="print the Fig 2-4 distributions")
     _add_common(p)
@@ -324,6 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="static analysis of kernels and spaces")
     add_analyze_arguments(p)
+
+    p = sub.add_parser(
+        "db",
+        help="manage the sharded tuning-results database "
+             "(import/update-golden/export/compact/stats)",
+    )
+    add_db_arguments(p)
 
     p = sub.add_parser(
         "trace",
@@ -358,6 +416,7 @@ _COMMANDS = {
     "motivation": _cmd_motivation,
     "compare": _cmd_compare,
     "analyze": run_from_args,
+    "db": run_db_from_args,
     "trace": _cmd_trace,
 }
 

@@ -201,3 +201,45 @@ def sample_search_space(
         models=models,
         representatives=reps,
     )
+
+
+def with_seed_settings(
+    sampled: SampledSpace,
+    space: SearchSpace,
+    seed_settings: Sequence[Setting],
+) -> SampledSpace:
+    """A sampled space with warm-start settings prepended.
+
+    The evolutionary search seeds its first generation from the head of
+    ``sampled.settings`` and requires every seed to be representable in
+    the group indexes (see
+    :meth:`~repro.core.genetic.EvolutionarySearch._genes_of`), so the
+    injected settings are validity-screened, deduplicated, prepended
+    *and* folded into rebuilt group indexes. Injecting an empty
+    sequence returns ``sampled`` unchanged — the cold path never pays
+    for the rebuild.
+    """
+    screened: list[Setting] = []
+    # Seeds already present in the sampled pool are representable as-is;
+    # re-injecting them would only duplicate rows.
+    seen: set[Setting] = set(sampled.settings)
+    batch_valid = getattr(space, "_batch_valid", None)
+    candidates = list(seed_settings)
+    if batch_valid is not None and candidates:
+        valid = batch_valid(candidates).tolist()
+    else:
+        valid = [space.is_valid(s) for s in candidates]
+    for setting, ok in zip(candidates, valid):
+        if ok and setting not in seen:
+            seen.add(setting)
+            screened.append(setting)
+    if not screened:
+        return sampled
+    settings = screened + list(sampled.settings)
+    return SampledSpace(
+        settings=settings,
+        groups=sampled.groups,
+        group_indexes=build_group_indexes(sampled.groups, settings),
+        models=sampled.models,
+        representatives=sampled.representatives,
+    )

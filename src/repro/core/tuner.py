@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro import obs
@@ -24,10 +25,16 @@ from repro.core.budget import Budget, Evaluator
 from repro.core.genetic import EvolutionarySearch, GAConfig
 from repro.core.grouping import group_parameters, pairwise_cv
 from repro.core.result import TuningResult
-from repro.core.sampling import SampledSpace, SamplingConfig, sample_search_space
+from repro.core.sampling import (
+    SampledSpace,
+    SamplingConfig,
+    sample_search_space,
+    with_seed_settings,
+)
 from repro.gpusim.simulator import GpuSimulator
 from repro.profiler.dataset import PerformanceDataset
 from repro.profiler.nsight import NsightCollector
+from repro.space.setting import Setting
 from repro.space.space import SearchSpace, build_space
 from repro.stencil.pattern import StencilPattern
 from repro.utils.timer import Stopwatch
@@ -138,12 +145,19 @@ class CsTuner:
         dataset: PerformanceDataset | None = None,
         preprocessed: Preprocessed | None = None,
         seed: int | None = None,
+        seed_settings: Sequence[Setting] | None = None,
     ) -> TuningResult:
         """Run the whole pipeline and return the tuning result.
 
         ``dataset`` and ``preprocessed`` may be supplied to reuse the
         offline stage across repeated runs (e.g. the 10 repetitions the
         paper averages over); the online budget covers only the search.
+        ``seed_settings`` warm-starts the GA: the settings (typically
+        nearest-neighbor records from the results database) are
+        injected at the head of the sampled space, so the first
+        generation evaluates them before anything else. ``None`` or an
+        empty sequence is the cold path, bit-identical to before the
+        parameter existed.
         """
         with obs.span(
             "tuner.run",
@@ -154,6 +168,7 @@ class CsTuner:
             return self._tune(
                 pattern, budget, space=space, dataset=dataset,
                 preprocessed=preprocessed, seed=seed,
+                seed_settings=seed_settings,
             )
 
     def _tune(
@@ -165,12 +180,26 @@ class CsTuner:
         dataset: PerformanceDataset | None,
         preprocessed: Preprocessed | None,
         seed: int | None,
+        seed_settings: Sequence[Setting] | None = None,
     ) -> TuningResult:
         space = space or build_space(pattern, self.simulator.device)
         if preprocessed is None:
             if dataset is None:
                 dataset = self.collect_dataset(pattern, space)
             preprocessed = self.preprocess(pattern, space, dataset)
+        warm_injected = 0
+        if seed_settings:
+            sampled = with_seed_settings(
+                preprocessed.sampled, space, seed_settings
+            )
+            warm_injected = len(sampled.settings) - len(preprocessed.sampled)
+            if warm_injected:
+                preprocessed = Preprocessed(
+                    groups=preprocessed.groups,
+                    sampled=sampled,
+                    kernels=preprocessed.kernels,
+                    watch=preprocessed.watch,
+                )
 
         evaluator = Evaluator(self.simulator, pattern, budget)
         watch = Stopwatch()
@@ -200,6 +229,7 @@ class CsTuner:
                 "generations": search.generations,
                 "search_cost_s": evaluator.cost_s,
                 "search_info": search.search_info(),
+                "warm_seeds": warm_injected,
             },
         )
 

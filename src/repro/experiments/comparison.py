@@ -18,6 +18,7 @@ from repro.core import Budget, CsTuner, CsTunerConfig, TuningResult
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.simulator import GpuSimulator
 from repro.profiler.dataset import PerformanceDataset
+from repro.space.setting import Setting
 from repro.space.space import SearchSpace, build_space
 from repro.stencil.pattern import StencilPattern
 
@@ -35,23 +36,37 @@ def run_tuner(
     dataset: PerformanceDataset | None = None,
     seed: int = 0,
     cstuner_config: CsTunerConfig | None = None,
+    seed_settings: Sequence[Setting] | None = None,
 ) -> TuningResult:
-    """Run one named tuner under a budget."""
+    """Run one named tuner under a budget.
+
+    ``seed_settings`` (optional) warm-starts any tuner with
+    nearest-neighbor records from the results database — csTuner
+    injects them into the GA's seed generation, the baselines evaluate
+    them as an iteration-zero batch. ``None`` keeps the cold path
+    bit-identical.
+    """
     if name == "csTuner":
         config = cstuner_config or CsTunerConfig(seed=seed)
         tuner = CsTuner(simulator, config)
-        return tuner.tune(pattern, budget, space=space, dataset=dataset, seed=seed)
+        return tuner.tune(
+            pattern, budget, space=space, dataset=dataset, seed=seed,
+            seed_settings=seed_settings,
+        )
     if name == "Garvey":
         return GarveyTuner(simulator, seed=seed).tune(
-            pattern, budget, space=space, dataset=dataset, seed=seed
+            pattern, budget, space=space, dataset=dataset, seed=seed,
+            seed_settings=seed_settings,
         )
     if name == "OpenTuner":
         return OpenTunerGA(simulator, seed=seed).tune(
-            pattern, budget, space=space, seed=seed
+            pattern, budget, space=space, seed=seed,
+            seed_settings=seed_settings,
         )
     if name == "Artemis":
         return ArtemisTuner(simulator, seed=seed).tune(
-            pattern, budget, space=space, seed=seed
+            pattern, budget, space=space, seed=seed,
+            seed_settings=seed_settings,
         )
     raise ValueError(f"unknown tuner {name!r}; known: {TUNER_NAMES}")
 

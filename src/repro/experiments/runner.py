@@ -69,6 +69,9 @@ class ExperimentRunner:
         workers: int = 1,
         cache_dir: str | Path | None = None,
         trace: bool = False,
+        results_db: str | Path | None = None,
+        db_fastpath: bool = True,
+        warm_start: bool = False,
     ) -> None:
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
@@ -80,6 +83,9 @@ class ExperimentRunner:
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.trace = bool(trace)
+        self.results_db = Path(results_db) if results_db is not None else None
+        self.db_fastpath = bool(db_fastpath)
+        self.warm_start = bool(warm_start)
         self.reports: dict[str, str] = {}
         self._pool: WorkerPool | None = None
         self.orchestration: dict[str, int | float] = {}
@@ -106,6 +112,37 @@ class ExperimentRunner:
                 self.orchestration["workers"] = value
             else:
                 self.orchestration[key] = self.orchestration.get(key, 0) + value
+
+    def _merge_db_stats(self, results: Sequence) -> None:
+        """Results-database counters, derived from returned results.
+
+        Worker-side ``obs.count`` values don't travel through the pool's
+        counter-delta protocol (only store/search deltas do), so the
+        parent reconstructs golden-hit/warm-seed counts from the result
+        metadata — exact at any worker count, and double-count-free.
+        """
+        if self.results_db is None:
+            return
+        hits = sum(
+            1 for r in results if r.meta.get("golden_served")
+        )
+        warm = sum(
+            int(r.meta.get("warm_seeds", 0) or 0) for r in results
+        )
+        misses = len(results) - hits
+        self.orchestration["db_golden_hits"] = (
+            self.orchestration.get("db_golden_hits", 0) + hits
+        )
+        self.orchestration["db_golden_misses"] = (
+            self.orchestration.get("db_golden_misses", 0) + misses
+        )
+        self.orchestration["db_warm_seeds"] = (
+            self.orchestration.get("db_warm_seeds", 0) + warm
+        )
+        registry = obs.get_registry()
+        registry.count("resultsdb.golden_hits", hits)
+        registry.count("resultsdb.golden_misses", misses)
+        registry.count("resultsdb.warm_seeds", warm)
 
     # -- artifacts ------------------------------------------------------------
 
@@ -145,10 +182,16 @@ class ExperimentRunner:
         out flat, then regroups into the sequential layout.
         """
         budget = Budget(max_cost_s=self.budget_s)
+        db_args: tuple = ()
+        if self.results_db is not None:
+            db_args = (
+                str(self.results_db), self.db_fastpath, self.warm_start,
+            )
         tasks = [
             Task(
                 fn=tuner_run_task,
-                args=(name, device.name, tuner, budget, rep, self.seed),
+                args=(name, device.name, tuner, budget, rep, self.seed, 128,
+                      *db_args),
                 tag=f"compare:{name}@{device.name}/{tuner}/{rep}",
                 cost_hint=self.budget_s,
             )
@@ -157,6 +200,7 @@ class ExperimentRunner:
             for rep in range(self.repetitions)
         ]
         flat = self._map(tasks)
+        self._merge_db_stats(flat)
 
         all_results: dict[str, dict] = {}
         fig8_blocks, fig9_blocks, norm_rows = [], [], []
@@ -260,6 +304,19 @@ class ExperimentRunner:
             lines.append("  cache dir:        (disabled)")
         else:
             lines.append(f"  cache dir:        {self.cache_dir}")
+        if self.results_db is not None:
+            g_hits = int(o.get("db_golden_hits", 0))
+            g_miss = int(o.get("db_golden_misses", 0))
+            g_total = g_hits + g_miss
+            g_rate = f"{g_hits / g_total:.1%}" if g_total else "n/a"
+            lines += [
+                "results database — golden fast path and warm starts",
+                f"  golden hits:      {g_hits}",
+                f"  golden misses:    {g_miss}",
+                f"  golden hit rate:  {g_rate}",
+                f"  warm seeds:       {int(o.get('db_warm_seeds', 0))}",
+                f"  db root:          {self.results_db}",
+            ]
         return "\n".join(lines)
 
     def run_all(self) -> dict[str, str]:
@@ -304,7 +361,11 @@ class ExperimentRunner:
         deterministic artifacts remain byte-identical with tracing on
         or off.
         """
-        from repro.obs.export import write_phase_table, write_trace_json
+        from repro.obs.export import (
+            instrument_counters,
+            write_phase_table,
+            write_trace_json,
+        )
 
         tracer = obs.get_tracer()
         meta = {
@@ -320,6 +381,7 @@ class ExperimentRunner:
         write_phase_table(
             self.out_dir / "phases.txt", tracer,
             title="phase breakdown — full experiment run",
+            counters=instrument_counters(),
         )
 
 
@@ -339,6 +401,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="record a span trace and write trace.json + "
                              "phases.txt next to the reports")
+    parser.add_argument("--results-db", default=None,
+                        help="sharded tuning-results database root; golden "
+                             "records short-circuit comparison runs in O(1)")
+    parser.add_argument("--no-db-fastpath", action="store_true",
+                        help="consult the results database for warm starts "
+                             "only; always run the full search")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="seed searches with nearest-neighbor records "
+                             "from the results database")
     args = parser.parse_args(argv)
     runner = ExperimentRunner(
         args.out,
@@ -350,6 +421,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         trace=args.trace,
+        results_db=args.results_db,
+        db_fastpath=not args.no_db_fastpath,
+        warm_start=args.warm_start,
     )
     runner.run_all()
     print(f"wrote {len(runner.reports)} reports to {runner.out_dir}/")

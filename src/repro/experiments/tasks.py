@@ -90,6 +90,28 @@ def motivation_task(stencil: str, samples: int, seed: int) -> dict[str, list]:
     }
 
 
+#: Process-local memo of opened results databases, keyed by root path.
+#: A ``ResultsDB`` only caches the (read-only within a run) golden
+#: table, so reuse across tasks is safe and skips re-reading
+#: ``golden.json`` for every work unit.
+_RESULTSDB_MEMO: OrderedDict[str, object] = OrderedDict()
+_RESULTSDB_MEMO_CAP = 4
+
+
+def _results_db(db_root: str):
+    cached = _RESULTSDB_MEMO.get(db_root)
+    if cached is not None:
+        _RESULTSDB_MEMO.move_to_end(db_root)  # race-ok: worker-local memo
+        return cached
+    from repro.resultsdb.db import ResultsDB
+
+    db = ResultsDB(db_root)
+    _RESULTSDB_MEMO[db_root] = db  # race-ok: worker-local memo
+    while len(_RESULTSDB_MEMO) > _RESULTSDB_MEMO_CAP:
+        _RESULTSDB_MEMO.popitem(last=False)  # race-ok: worker-local memo
+    return db
+
+
 def tuner_run_task(
     stencil: str,
     device_name: str,
@@ -98,6 +120,10 @@ def tuner_run_task(
     rep: int,
     seed: int,
     dataset_size: int = 128,
+    db_root: str | None = None,
+    db_fastpath: bool = True,
+    warm_start: bool = False,
+    warm_seeds: int = 8,
 ) -> TuningResult:
     """One (stencil, device, tuner, repetition) comparison run.
 
@@ -105,15 +131,35 @@ def tuner_run_task(
     :func:`repro.experiments.comparison.compare_stencil`: base-seeded
     simulator and dataset, repetition-derived search seed
     (``seed + 1000 * rep``).
+
+    With ``db_root`` set, the results database is consulted first: a
+    fresh golden record for (stencil, device, grid) short-circuits the
+    whole run in O(1) — no simulator, space or tuner is constructed —
+    unless ``db_fastpath`` is off. ``warm_start`` additionally seeds
+    the search with nearest-neighbor records when no golden record
+    serves (or the fast path is disabled).
     """
     pattern = get_stencil(stencil)
     device = get_device(device_name)
+    if db_root is not None and db_fastpath:
+        record = _results_db(db_root).serve(pattern, device)
+        if record is not None:
+            from repro.resultsdb.golden import golden_result
+
+            return golden_result(record, tuner, stencil, device)
     simulator = GpuSimulator(device=device, seed=seed)
     space = build_space(pattern, device)
     config = CsTunerConfig(seed=seed, dataset_size=dataset_size)
     dataset = None
     if tuner in _DATASET_TUNERS:
         dataset = _shared_dataset(simulator, pattern, space, config, device_name)
+    seed_settings = None
+    if db_root is not None and warm_start:
+        from repro.resultsdb.warmstart import warm_start_settings
+
+        seed_settings = warm_start_settings(
+            _results_db(db_root), pattern, device, space, k=warm_seeds,
+        ) or None
     return run_tuner(
         tuner,
         simulator,
@@ -123,6 +169,7 @@ def tuner_run_task(
         dataset=dataset,
         seed=seed + 1000 * rep,
         cstuner_config=config,
+        seed_settings=seed_settings,
     )
 
 

@@ -199,6 +199,15 @@ class EvaluationStore:
     def __len__(self) -> int:
         return len(self._mem)
 
+    def items(self) -> Iterator[tuple[StoreKey, StoreValue]]:
+        """Snapshot iteration over every in-memory record.
+
+        The public ingest surface for tooling layered on top of the
+        store (the results database imports journals through this), so
+        external readers never touch the journal format directly.
+        """
+        return iter(list(self._mem.items()))
+
     def lookup(
         self, tok: str, stencil: str, values: tuple[int, ...]
     ) -> StoreValue | None:
@@ -363,6 +372,59 @@ class EvaluationStore:
         self.shards_merged += len(shards)
         self._journal_sig = self._journal_signature()
         return len(shards)
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite the journal, dropping corrupt and duplicate lines.
+
+        The journal is append-only, so crash tails, partial writes and
+        records re-journaled by concurrent merges accumulate forever.
+        Compaction first absorbs any closed shards, then rewrites the
+        journal atomically (temp file + ``os.replace``) keeping exactly
+        the surviving records in first-seen order — a reopened store
+        loads the same keys and values, with ``bad_records == 0``.
+
+        Returns ``{"kept": n, "dropped_bad": n, "dropped_duplicates": n}``.
+        Only the orchestrating process (journal owner) may call this.
+        """
+        self.absorb_shards()
+        kept: dict[StoreKey, StoreValue] = {}
+        decodable = 0
+        bad_before = self.bad_records
+        if self.journal_path.exists():
+            for obj in self._iter_records(self.journal_path):
+                decoded = self._decode(obj)
+                if decoded is None:
+                    self.bad_records += 1
+                    continue
+                decodable += 1
+                key, value = decoded
+                if key not in kept:
+                    kept[key] = value
+        dropped_bad = self.bad_records - bad_before
+        dropped_dup = decodable - len(kept)
+        tmp = self.journal_path.with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as f:
+            f.write(self._header_line())
+            for key, (time_s, metrics) in kept.items():
+                f.write(
+                    json.dumps(
+                        {
+                            "k": [key[0], key[1], list(key[2])],
+                            "t": time_s,
+                            "m": metrics,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.journal_path)
+        self._journaled = set(kept)
+        self._journal_sig = self._journal_signature()
+        return {
+            "kept": len(kept),
+            "dropped_bad": dropped_bad,
+            "dropped_duplicates": dropped_dup,
+        }
 
     def close(self) -> None:
         """Flush, merge all shards into the journal, stop accepting writes.

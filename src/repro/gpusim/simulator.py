@@ -211,6 +211,7 @@ class GpuSimulator:
         )
         if value is not None:
             self.disk_hits += 1
+            obs.count("sim.disk_hits")
         return value
 
     def _store_record(
@@ -347,6 +348,7 @@ class GpuSimulator:
                     # Disk hits skip the model pipeline; only their
                     # plans are rebuilt (needed by the cache tuple).
                     self.disk_hits += len(hits_j)
+                    obs.count("sim.disk_hits", len(hits_j))
                     hit_settings = [todo[j] for j in hits_j]
                     hit_values = values[np.array(hits_j)]
                     hit_plans = plans_from_arrays(

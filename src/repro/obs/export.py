@@ -115,19 +115,68 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_phase_table(spans: Sequence[Span], title: str = "phase totals") -> str:
-    """Human-readable per-name aggregation of a span buffer."""
+#: Counter namespaces surfaced in the phase/Fig-12 reports: the
+#: evaluation store (``diskcache.*``), the simulator's persistent-store
+#: hits (``sim.disk_hits``) and the results database's golden fast path
+#: and warm starts (``resultsdb.*``).
+INSTRUMENT_PREFIXES: tuple[str, ...] = ("diskcache.", "sim.", "resultsdb.")
+
+
+def instrument_counters(
+    counters: dict[str, float] | None = None,
+    prefixes: Sequence[str] = INSTRUMENT_PREFIXES,
+) -> dict[str, float]:
+    """Report-worthy counters, filtered to the persistence namespaces.
+
+    Reads the default registry when ``counters`` is ``None``; pass a
+    ``trace.json`` metrics snapshot's ``counters`` dict to reconstruct
+    the same view offline.
+    """
+    if counters is None:
+        from repro.obs.metrics import get_registry
+
+        counters = get_registry().counters()
+    return {
+        k: v
+        for k, v in sorted(counters.items())
+        if any(k.startswith(p) for p in prefixes)
+    }
+
+
+def format_counters(counters: dict[str, float]) -> str:
+    """An ``instruments`` footer block for report tables."""
+    lines = ["instruments — persistence and results-database counters"]
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name}: {value:g}")
+    return "\n".join(lines)
+
+
+def format_phase_table(
+    spans: Sequence[Span],
+    title: str = "phase totals",
+    counters: dict[str, float] | None = None,
+) -> str:
+    """Human-readable per-name aggregation of a span buffer.
+
+    ``counters`` (optional, explicit — never read implicitly from the
+    global registry, so exact-output callers stay deterministic)
+    appends an instruments footer; see :func:`instrument_counters`.
+    """
     agg = aggregate_spans(spans)
     if not agg:
-        return f"{title}\n(no spans recorded)"
-    rows = [
-        [name, s["count"], s["total_s"], s["mean_s"], s["min_s"], s["max_s"]]
-        for name, s in agg.items()
-    ]
-    return format_table(
-        ["span", "count", "total_s", "mean_s", "min_s", "max_s"], rows,
-        title=title,
-    )
+        text = f"{title}\n(no spans recorded)"
+    else:
+        rows = [
+            [name, s["count"], s["total_s"], s["mean_s"], s["min_s"], s["max_s"]]
+            for name, s in agg.items()
+        ]
+        text = format_table(
+            ["span", "count", "total_s", "mean_s", "min_s", "max_s"], rows,
+            title=title,
+        )
+    if counters:
+        text += "\n\n" + format_counters(counters)
+    return text
 
 
 def trace_payload(
@@ -160,13 +209,17 @@ def write_trace_json(
 
 
 def write_phase_table(
-    path: str | Path, tracer: Tracer, title: str = "phase totals"
+    path: str | Path,
+    tracer: Tracer,
+    title: str = "phase totals",
+    counters: dict[str, float] | None = None,
 ) -> Path:
     """Write the aggregated phase table for a tracer's buffer."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        format_phase_table(tracer.spans(), title=title) + "\n",
+        format_phase_table(tracer.spans(), title=title, counters=counters)
+        + "\n",
         encoding="utf-8",
     )
     return path

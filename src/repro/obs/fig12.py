@@ -107,29 +107,43 @@ def fig12_rows(
     return rows
 
 
-def format_fig12(spans: Sequence[Span]) -> str:
-    """The Fig-12-style overhead table for a span buffer."""
+def format_fig12(
+    spans: Sequence[Span], counters: dict[str, float] | None = None
+) -> str:
+    """The Fig-12-style overhead table for a span buffer.
+
+    ``counters`` (optional, explicit — callers that need determinism
+    simply omit it) appends the persistence-instrument footer, so the
+    disk-cache/results-database hit counts land next to the phase
+    seconds they explain.
+    """
     rows = fig12_rows(spans)
     if not rows:
-        return (
+        text = (
             "Fig 12 — tuning-cost breakdown\n"
             "(no phase spans in trace — was tracing enabled?)"
         )
-    headers = (
-        ["tuner", "stencil", "device"]
-        + [f"{p}(s)" for p in PHASE_COLUMNS]
-        + ["pre/search %"]
-    )
-    table_rows = [
-        [r["tuner"], r["stencil"], r["device"]]
-        + [r[p] for p in PHASE_COLUMNS]
-        + [r["pre_pct_of_search"]]
-        for r in rows
-    ]
-    return format_table(
-        headers, table_rows,
-        title="Fig 12 — tuning-cost breakdown (host wall-clock seconds)",
-    )
+    else:
+        headers = (
+            ["tuner", "stencil", "device"]
+            + [f"{p}(s)" for p in PHASE_COLUMNS]
+            + ["pre/search %"]
+        )
+        table_rows = [
+            [r["tuner"], r["stencil"], r["device"]]
+            + [r[p] for p in PHASE_COLUMNS]
+            + [r["pre_pct_of_search"]]
+            for r in rows
+        ]
+        text = format_table(
+            headers, table_rows,
+            title="Fig 12 — tuning-cost breakdown (host wall-clock seconds)",
+        )
+    if counters:
+        from repro.obs.export import format_counters
+
+        text += "\n\n" + format_counters(counters)
+    return text
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -137,9 +151,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if len(argv) != 1:
         print("usage: python -m repro.obs.fig12 <trace.json>", file=sys.stderr)
         return 2
-    from repro.obs.export import load_trace
+    import json
+    from pathlib import Path
 
-    print(format_fig12(load_trace(argv[0])))
+    from repro.obs.export import instrument_counters, load_trace
+
+    doc = json.loads(Path(argv[0]).read_text(encoding="utf-8"))
+    snapshot = doc.get("metrics", {}) if isinstance(doc, dict) else {}
+    counters = instrument_counters(snapshot.get("counters", {}) or {})
+    print(format_fig12(load_trace(argv[0]), counters=counters or None))
     return 0
 
 

@@ -1,0 +1,33 @@
+"""Sharded tuning-results database with golden records and warm starts.
+
+``repro.resultsdb`` layers a queryable, compacting results database on
+top of the raw evaluation journal kept by
+:class:`repro.gpusim.diskcache.EvaluationStore`:
+
+* :mod:`repro.resultsdb.db` — the sharded store itself: one JSONL
+  shard per (device token, stencil), import/export/compact/stats
+  tooling, ingest from evaluation-cache directories.
+* :mod:`repro.resultsdb.golden` — the versioned golden-record table of
+  best-known settings per (stencil, device, grid) and the O(1) serve
+  fast path.
+* :mod:`repro.resultsdb.features` — the stencil feature vector and
+  device-family map behind nearest-neighbor transfer.
+* :mod:`repro.resultsdb.warmstart` — GA population seeding from
+  nearest-neighbor records, repaired through the matrix-native
+  genotype path.
+* :mod:`repro.resultsdb.cli` — the ``repro db`` subcommands.
+
+See ``docs/resultsdb.md`` for the schema and lifecycle.
+"""
+
+from repro.resultsdb.db import ResultsDB
+from repro.resultsdb.golden import GoldenRecord, GoldenTable, golden_result
+from repro.resultsdb.warmstart import warm_start_settings
+
+__all__ = [
+    "GoldenRecord",
+    "GoldenTable",
+    "ResultsDB",
+    "golden_result",
+    "warm_start_settings",
+]

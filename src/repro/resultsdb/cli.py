@@ -1,0 +1,106 @@
+"""``repro db`` — tooling for the sharded tuning-results database.
+
+Sub-subcommands (all take ``--db ROOT``):
+
+``import``
+    Ingest an evaluation-cache directory (``--from-cache DIR``) and/or
+    merge an exported dump (``--from-json FILE``) into the shards.
+``update-golden``
+    Recompute the golden-record table from the shards.
+``export``
+    Dump shards + golden table to one JSON file (``--out FILE``).
+``compact``
+    Rewrite every shard, dropping corrupt and duplicate lines.
+``stats``
+    Print a database summary (shards, records, goldens, per device).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.resultsdb.db import ResultsDB
+
+
+def add_db_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro db`` sub-subcommand tree to a parser."""
+    sub = parser.add_subparsers(dest="db_command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--db", required=True,
+                       help="results-database root directory")
+        return p
+
+    p = add("import", "ingest caches or exported dumps into the shards")
+    p.add_argument("--from-cache", default=None, metavar="DIR",
+                   help="evaluation-cache directory to ingest "
+                        "(journal + crash shards, read-only)")
+    p.add_argument("--from-json", default=None, metavar="FILE",
+                   help="exported resultsdb dump to merge")
+
+    add("update-golden",
+        "recompute golden records (best per stencil/device/grid)")
+
+    p = add("export", "dump shards + golden table to one JSON file")
+    p.add_argument("--out", required=True, help="output JSON path")
+
+    add("compact", "rewrite shards dropping corrupt/duplicate lines")
+    add("stats", "print a database summary")
+
+
+def run_db_from_args(args: argparse.Namespace) -> int:
+    db = ResultsDB(args.db)
+    command = args.db_command
+    if command == "import":
+        if not args.from_cache and not args.from_json:
+            print("db import: need --from-cache and/or --from-json")
+            return 2
+        if args.from_cache:
+            stats = db.ingest_cache_dir(args.from_cache)
+            print(
+                f"ingested {args.from_cache}: "
+                f"{stats['records_added']} records added across "
+                f"{stats['shards_touched']} shards "
+                f"({stats['duplicates_skipped']} duplicates, "
+                f"{stats['source_bad_records']} bad source records)"
+            )
+        if args.from_json:
+            stats = db.import_json(args.from_json)
+            print(
+                f"merged {args.from_json}: "
+                f"{stats['records_added']} records added "
+                f"({stats['duplicates_skipped']} duplicates, "
+                f"{stats['bad_records']} bad records)"
+            )
+        print("run `repro db update-golden` to refresh golden records")
+        return 0
+    if command == "update-golden":
+        summary = db.update_golden()
+        print(
+            f"golden table v{summary['version']}: "
+            f"{summary['promoted']} promoted, "
+            f"{summary['retained']} retained, "
+            f"{summary['total']} records total"
+        )
+        return 0
+    if command == "export":
+        stats = db.export_json(args.out)
+        print(
+            f"exported {stats['records']} records "
+            f"({stats['shards']} shards) to {args.out}"
+        )
+        return 0
+    if command == "compact":
+        stats = db.compact()
+        print(
+            f"compacted {stats['shards']} shards: {stats['kept']} records "
+            f"kept, {stats['dropped_bad']} bad and "
+            f"{stats['dropped_duplicates']} duplicate lines dropped"
+        )
+        return 0
+    if command == "stats":
+        print(json.dumps(db.stats(), indent=2))
+        return 0
+    raise ValueError(f"unknown db command {command!r}")

@@ -1,0 +1,93 @@
+"""Stencil feature vectors and device families for transfer tuning.
+
+Warm starts transfer settings between *similar* tuning problems. Two
+axes of similarity:
+
+* **Device family** — performance landscapes transfer within an
+  architecture family far better than across (the hardware-counter
+  dataset literature grounds this); records are only borrowed from
+  devices in the same family as the target.
+* **Stencil footprint** — a small feature vector over the pattern
+  metadata the :class:`~repro.space.space.SearchSpace` is built from:
+  log-scaled grid volume, stencil order, neighbourhood taps, FLOPs per
+  point, array counts and the neighbourhood-shape one-hot. L2 distance
+  in this space ranks donor stencils; the same stencil is distance 0.
+
+Every component is scaled to roughly unit range over the Table III
+suite so no single axis dominates the distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import UnknownStencilError
+from repro.stencil.pattern import StencilPattern, StencilShape
+
+#: Device name → architecture family. Unknown devices fall back to
+#: their own name — they only ever match themselves.
+DEVICE_FAMILIES: dict[str, str] = {
+    "A100": "nvidia-ampere",
+    "V100": "nvidia-volta",
+}
+
+
+def device_family(name: str) -> str:
+    """Architecture family of a device name (itself when unknown)."""
+    return DEVICE_FAMILIES.get(name, name)
+
+
+def same_family(a: str, b: str) -> bool:
+    return device_family(a) == device_family(b)
+
+
+def stencil_features(pattern: StencilPattern) -> np.ndarray:
+    """The warm-start feature vector of one stencil pattern."""
+    volume = float(pattern.grid[0]) * pattern.grid[1] * pattern.grid[2]
+    shape_onehot = [
+        1.0 if pattern.shape is s else 0.0
+        for s in (StencilShape.STAR, StencilShape.BOX, StencilShape.MULTI)
+    ]
+    return np.array(
+        [
+            math.log2(volume) / 30.0,       # 320^3..512^3 → ~0.83..0.9
+            pattern.order / 4.0,            # suite orders 1..4
+            math.log2(pattern.taps_per_point) / 5.0,
+            math.log2(pattern.flops) / 10.0,
+            pattern.io_arrays / 30.0,       # up to 29 arrays (rhs4center)
+            pattern.outputs / 10.0,
+            *shape_onehot,
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_distance(a: StencilPattern, b: StencilPattern) -> float:
+    """L2 distance between two stencils' feature vectors."""
+    return float(np.linalg.norm(stencil_features(a) - stencil_features(b)))
+
+
+def rank_donor_stencils(
+    pattern: StencilPattern, candidates: list[str]
+) -> list[tuple[float, str]]:
+    """Candidate stencil names sorted by feature distance to ``pattern``.
+
+    Names the current build doesn't register are skipped — their
+    features can't be computed, so their records can't be ranked.
+    """
+    from repro.stencil.suite import get_stencil
+
+    ranked: list[tuple[float, str]] = []
+    for name in candidates:
+        if name == pattern.name:
+            donor = pattern
+        else:
+            try:
+                donor = get_stencil(name)
+            except UnknownStencilError:
+                continue
+        ranked.append((feature_distance(pattern, donor), name))
+    ranked.sort(key=lambda pair: (pair[0], pair[1]))
+    return ranked

@@ -1,6 +1,7 @@
 """Tests for the persistent cross-run evaluation store."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -248,3 +249,103 @@ class TestDefaultStore:
         finally:
             set_default_store(previous)
         assert get_default_store() is previous
+
+
+class TestMidRunAbsorption:
+    def test_truncated_shard_absorbed_while_another_worker_evaluates(
+        self, tmp_path, pattern, settings
+    ):
+        # A worker crashed mid-write: its shard's tail is cut inside the
+        # last record. The orchestrator absorbs that specific shard via
+        # absorb_shard_paths while a second worker store is still live
+        # and evaluating — the surviving record lands in the journal,
+        # the torn one is counted bad, and the live worker's results
+        # arrive intact at its own sync point.
+        crashed = EvaluationStore(tmp_path)
+        crashed.record("tok", "s", (1,), 1.0, {})
+        crashed.record("tok", "s", (2,), 2.0, {})
+        crashed_path = crashed.release_shard()
+        raw = Path(crashed_path).read_bytes()
+        Path(crashed_path).write_bytes(raw[:-7])  # tear the last record
+
+        worker = EvaluationStore(tmp_path)
+        sim = GpuSimulator(device=A100, seed=0, store=worker)
+        sim.run(pattern, settings[0])  # worker mid-run, shard open
+
+        merger = EvaluationStore(tmp_path)
+        bad_at_open = merger.bad_records  # replay already saw the tear
+        absorbed = merger.absorb_shard_paths([crashed_path])
+        assert absorbed == 1
+        assert merger.bad_records == bad_at_open + 1
+        assert merger.lookup("tok", "s", (1,)) == (1.0, {})
+        assert merger.lookup("tok", "s", (2,)) is None
+
+        # The live worker keeps evaluating and syncs afterwards.
+        sim.run(pattern, settings[1])
+        worker_shard = worker.release_shard()
+        assert merger.absorb_shard_paths([worker_shard]) == 1
+
+        reopened = EvaluationStore(tmp_path)
+        assert reopened.lookup("tok", "s", (1,)) == (1.0, {})
+        assert reopened.bad_records == 0  # journal itself is clean
+        # Both of the worker's evaluations survived the interleaving.
+        token = device_token(A100)
+        worker_keys = [
+            k for k in dict(reopened.items()) if k[0] == token
+        ]
+        assert len(worker_keys) >= 2
+
+
+class TestCompaction:
+    def _grow_dirty_journal(self, tmp_path):
+        with EvaluationStore(tmp_path) as store:
+            store.record("tok", "s", (1,), 1.0, {"occ": 0.5})
+            store.record("tok", "s", (2,), 2.0, {})
+        journal = tmp_path / "journal.jsonl"
+        with journal.open("a", encoding="utf-8") as f:
+            f.write("{torn json\n")  # crash tail
+            f.write('{"k":["tok","s",[1]],"t":9.0,"m":{}}\n')  # stale dup
+            f.write('{"k":["tok","s",[3]],"t":3.0,"m":{}}\n')  # late record
+        return journal
+
+    def test_compact_preserves_every_surviving_record(self, tmp_path):
+        journal = self._grow_dirty_journal(tmp_path)
+        store = EvaluationStore(tmp_path)
+        before = dict(store.items())
+
+        summary = store.compact()
+        assert summary == {"kept": 3, "dropped_bad": 1,
+                           "dropped_duplicates": 1}
+        # First-seen wins: the original (1,) value, not the stale dup.
+        assert dict(store.items()) == before
+        assert store.lookup("tok", "s", (1,)) == (1.0, {"occ": 0.5})
+
+        reopened = EvaluationStore(tmp_path)
+        assert dict(reopened.items()) == before
+        assert reopened.bad_records == 0
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1 + 3  # header + exactly the survivors
+
+    def test_compact_is_idempotent(self, tmp_path):
+        self._grow_dirty_journal(tmp_path)
+        store = EvaluationStore(tmp_path)
+        store.compact()
+        again = store.compact()
+        assert again == {"kept": 3, "dropped_bad": 0,
+                         "dropped_duplicates": 0}
+
+    def test_compact_absorbs_open_shards_first(self, tmp_path):
+        with EvaluationStore(tmp_path) as store:
+            store.record("tok", "s", (1,), 1.0, {})
+        writer = EvaluationStore(tmp_path)
+        shard = tmp_path / "shard-9-feedface.jsonl"
+        shard.write_text(
+            json.dumps({"kind": "repro-evalstore", "schema": SCHEMA_VERSION})
+            + "\n"
+            + '{"k":["tok","s",[2]],"t":2.0,"m":{}}\n',
+            encoding="utf-8",
+        )
+        summary = writer.compact()
+        assert summary["kept"] == 2
+        assert not list(tmp_path.glob("shard-*.jsonl"))
+        assert EvaluationStore(tmp_path).lookup("tok", "s", (2,)) == (2.0, {})

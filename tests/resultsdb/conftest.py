@@ -1,0 +1,58 @@
+"""Shared fixtures for the results-database tests.
+
+The populated database is built the way production does it: real
+settings sampled from the real (suite-scale) search space, journaled
+through an :class:`EvaluationStore` and ingested — so golden records
+and warm-start seeds decode into settings the space accepts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A100
+from repro.gpusim.diskcache import EvaluationStore, device_token
+from repro.resultsdb.db import ResultsDB
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+@pytest.fixture(scope="session")
+def pattern():
+    return get_stencil("j3d7pt")
+
+
+@pytest.fixture(scope="session")
+def space(pattern):
+    return build_space(pattern, A100)
+
+
+@pytest.fixture(scope="session")
+def sampled_values(space):
+    """12 real value tuples with deterministic fake times (fastest last,
+    so the golden pick is not just 'first record wins')."""
+    settings = space.sample(np.random.default_rng(11), 12)
+    return [
+        (s.values_tuple(), 1.0 - 0.05 * i) for i, s in enumerate(settings)
+    ]
+
+
+@pytest.fixture
+def cache_dir(tmp_path, pattern, sampled_values):
+    """An evaluation-cache directory holding the sampled records."""
+    path = tmp_path / "cache"
+    tok = device_token(A100)
+    with EvaluationStore(path) as store:
+        for values, time_s in sampled_values:
+            store.record(tok, pattern.name, values, time_s, {"occ": 0.5})
+    return path
+
+
+@pytest.fixture
+def db(tmp_path, cache_dir):
+    """A ResultsDB populated from the cache, golden table refreshed."""
+    db = ResultsDB(tmp_path / "db")
+    db.ingest_cache_dir(cache_dir)
+    db.update_golden()
+    return db

@@ -1,0 +1,120 @@
+"""End-to-end tests for ``repro db`` and the ``repro tune`` fast path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gpusim.device import A100
+from repro.gpusim.diskcache import device_token
+
+TOK = device_token(A100)
+
+
+class TestDbSubcommand:
+    def test_import_needs_a_source(self, tmp_path, capsys):
+        rc = main(["db", "import", "--db", str(tmp_path / "db")])
+        assert rc == 2
+        assert "--from-cache" in capsys.readouterr().out
+
+    def test_full_lifecycle(self, tmp_path, cache_dir, capsys):
+        db_root = str(tmp_path / "db")
+
+        assert main(["db", "import", "--db", db_root,
+                     "--from-cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "12 records added" in out
+        assert "update-golden" in out  # nudges the next step
+
+        assert main(["db", "update-golden", "--db", db_root]) == 0
+        assert "1 promoted" in capsys.readouterr().out
+
+        assert main(["db", "stats", "--db", db_root]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 12
+        assert stats["golden_records"] == 1
+
+        dump = tmp_path / "dump.json"
+        assert main(["db", "export", "--db", db_root,
+                     "--out", str(dump)]) == 0
+        assert "exported 12 records" in capsys.readouterr().out
+
+        other = str(tmp_path / "other")
+        assert main(["db", "import", "--db", other,
+                     "--from-json", str(dump)]) == 0
+        assert "12 records added" in capsys.readouterr().out
+
+        assert main(["db", "compact", "--db", db_root]) == 0
+        assert "12 records kept" in capsys.readouterr().out
+
+
+class TestTuneFastPath:
+    def test_golden_record_served_without_simulator(
+        self, db, monkeypatch, capsys
+    ):
+        # The O(1) claim, enforced: any simulator construction fails.
+        import repro.cli as cli_mod
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("fast path built a simulator")
+
+        monkeypatch.setattr(cli_mod, "GpuSimulator", _boom)
+        rc = main(["tune", "j3d7pt", "--db", str(db.root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "golden record (v1) for j3d7pt on A100" in out
+        assert "0 evaluations" in out
+        assert "best setting:" in out
+
+    def test_no_db_fastpath_runs_the_search(self, db, tmp_path, capsys):
+        rc = main([
+            "tune", "j3d7pt", "--db", str(db.root), "--no-db-fastpath",
+            "--iterations", "2", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "golden record" not in out
+        assert "best setting:" in out
+
+    def test_miss_falls_through_to_search(self, tmp_path, capsys):
+        # Empty database: no golden record, the tuner must run.
+        rc = main([
+            "tune", "j3d7pt", "--db", str(tmp_path / "empty"),
+            "--iterations", "2", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        assert "best setting:" in capsys.readouterr().out
+
+
+class TestTaskFastPath:
+    def test_golden_short_circuits_task(self, db, monkeypatch):
+        import repro.experiments.tasks as tasks_mod
+        from repro.core.budget import Budget
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("fast path built a simulator")
+
+        monkeypatch.setattr(tasks_mod, "GpuSimulator", _boom)
+        result = tasks_mod.tuner_run_task(
+            "j3d7pt", "A100", "csTuner", Budget(max_iterations=5),
+            rep=0, seed=0, db_root=str(db.root),
+        )
+        assert result.evaluations == 0
+        assert result.meta["golden_served"] is True
+
+    def test_fastpath_off_reaches_simulator(self, db, monkeypatch):
+        import repro.experiments.tasks as tasks_mod
+        from repro.core.budget import Budget
+
+        class _Probe(Exception):
+            pass
+
+        def _boom(*args, **kwargs):
+            raise _Probe
+
+        monkeypatch.setattr(tasks_mod, "GpuSimulator", _boom)
+        with pytest.raises(_Probe):
+            tasks_mod.tuner_run_task(
+                "j3d7pt", "A100", "csTuner", Budget(max_iterations=5),
+                rep=0, seed=0, db_root=str(db.root), db_fastpath=False,
+            )

@@ -1,0 +1,61 @@
+"""Tests for device families and the stencil feature vector."""
+
+from repro.resultsdb.features import (
+    device_family,
+    feature_distance,
+    rank_donor_stencils,
+    same_family,
+    stencil_features,
+)
+from repro.stencil.suite import get_stencil, suite_names
+
+
+class TestFamilies:
+    def test_known_devices(self):
+        assert device_family("A100") == "nvidia-ampere"
+        assert device_family("V100") == "nvidia-volta"
+
+    def test_same_family(self):
+        assert same_family("A100", "A100")
+        assert not same_family("A100", "V100")
+
+    def test_unknown_device_matches_only_itself(self):
+        assert same_family("TPUv4", "TPUv4")
+        assert not same_family("TPUv4", "A100")
+
+
+class TestFeatures:
+    def test_vector_is_finite_and_bounded(self):
+        for name in suite_names():
+            vec = stencil_features(get_stencil(name))
+            assert vec.shape == (9,)
+            assert (vec >= 0).all()
+            assert (vec <= 2.0).all()  # roughly unit-scaled components
+
+    def test_self_distance_zero(self):
+        p = get_stencil("j3d7pt")
+        assert feature_distance(p, p) == 0.0
+
+    def test_related_stencils_are_closer(self):
+        j7 = get_stencil("j3d7pt")
+        j27 = get_stencil("j3d27pt")
+        rhs = get_stencil("rhs4center")
+        assert feature_distance(j7, j27) < feature_distance(j7, rhs)
+
+
+class TestRanking:
+    def test_same_stencil_ranks_first(self):
+        p = get_stencil("j3d7pt")
+        ranked = rank_donor_stencils(p, ["rhs4center", "j3d7pt", "cheby"])
+        assert ranked[0] == (0.0, "j3d7pt")
+
+    def test_unknown_stencils_skipped(self):
+        p = get_stencil("j3d7pt")
+        ranked = rank_donor_stencils(p, ["no-such-stencil", "cheby"])
+        assert [name for _d, name in ranked] == ["cheby"]
+
+    def test_deterministic_tie_break(self):
+        p = get_stencil("j3d7pt")
+        a = rank_donor_stencils(p, sorted(suite_names()))
+        b = rank_donor_stencils(p, sorted(suite_names(), reverse=True))
+        assert a == b
