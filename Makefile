@@ -8,7 +8,7 @@ PYTEST_ARGS ?= -x -q -m "not slow"
 COV_FLOOR ?= 75
 
 .PHONY: verify lint typecheck test coverage analyze bench bench-fast \
-        check-regression bench-baselines
+        check-regression bench-baselines profile-eval
 
 verify: lint typecheck test
 
@@ -50,6 +50,7 @@ coverage:
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
+	$(PYTHON) benchmarks/bench_record_path.py
 	$(PYTHON) benchmarks/bench_strict_overhead.py
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 	$(PYTHON) benchmarks/bench_runner_parallel.py
@@ -61,6 +62,8 @@ bench:
 # Seconds-long smoke variants: reduced budget/reps but the same
 # identity and overhead gates as the full benchmarks.
 bench-fast:
+	REPRO_BENCH_THROUGHPUT_FAST=1 $(PYTHON) benchmarks/bench_throughput.py
+	REPRO_BENCH_RECORD_PATH_FAST=1 $(PYTHON) benchmarks/bench_record_path.py
 	REPRO_BENCH_SEARCH_FAST=1 $(PYTHON) benchmarks/bench_search_path.py
 	REPRO_BENCH_OBS_FAST=1 $(PYTHON) benchmarks/bench_obs_overhead.py
 	REPRO_BENCH_SCALING_FAST=1 $(PYTHON) benchmarks/bench_runner_scaling.py
@@ -81,4 +84,12 @@ bench-baselines: bench-fast
 	   benchmarks/results/BENCH_obs_overhead.json \
 	   benchmarks/results/BENCH_runner_scaling.json \
 	   benchmarks/results/BENCH_warmstart.json \
+	   benchmarks/results/BENCH_eval_throughput.json \
+	   benchmarks/results/BENCH_record_path.json \
 	   benchmarks/baselines/
+
+# py-spy flamegraph of the evaluation hot path (run_batch + the GA
+# tell path). Skips gracefully when py-spy is not installed; nightly
+# CI uploads the SVG as an artifact.
+profile-eval:
+	$(PYTHON) tools/profile_eval.py

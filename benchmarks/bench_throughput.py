@@ -16,6 +16,11 @@ every metric, cache counters); the benchmark verifies this before
 timing anything. Exits nonzero if the default-noise batch speedup falls
 below 2x.
 
+``REPRO_BENCH_THROUGHPUT_FAST=1`` switches to the CI smoke scale
+(fewer settings and repetitions — the identity gate and the speedup
+floor still apply in full); the explicit ``REPRO_BENCH_THROUGHPUT_N``
+/ ``REPRO_BENCH_THROUGHPUT_REPS`` knobs override either scale.
+
 Run standalone: ``python benchmarks/bench_throughput.py``.
 """
 
@@ -41,6 +46,7 @@ from repro.stencil.suite import get_stencil
 
 STENCIL = "j3d7pt"
 MIN_SPEEDUP = 2.0
+FAST = os.environ.get("REPRO_BENCH_THROUGHPUT_FAST", "") == "1"
 
 
 def _best_of_interleaved(fs, reps: int) -> list[float]:
@@ -100,8 +106,12 @@ def _sweep(pattern, settings, noise: float, reps: int) -> dict[str, object]:
 
 
 def main() -> int:
-    n = int(os.environ.get("REPRO_BENCH_THROUGHPUT_N", "2000"))
-    reps = int(os.environ.get("REPRO_BENCH_THROUGHPUT_REPS", "7"))
+    n = int(
+        os.environ.get("REPRO_BENCH_THROUGHPUT_N", "500" if FAST else "2000")
+    )
+    reps = int(
+        os.environ.get("REPRO_BENCH_THROUGHPUT_REPS", "3" if FAST else "7")
+    )
 
     pattern = get_stencil(STENCIL)
     space = build_space(pattern, A100)
@@ -117,6 +127,7 @@ def main() -> int:
     result = {
         "stencil": STENCIL,
         "device": A100.name,
+        "fast_mode": FAST,
         "n_settings": n,
         "reps": reps,
         "identical": True,

@@ -120,7 +120,12 @@ class BaselineTuner(ABC):
     def evaluate_batch(
         evaluator: Evaluator, settings: Sequence[Setting]
     ) -> list[float | None]:
-        """Evaluate one iteration's batch and mark the boundary."""
-        out = [evaluator.evaluate(s) for s in settings]
+        """Evaluate one iteration's batch and mark the boundary.
+
+        Routed through :meth:`Evaluator.evaluate_many`, so baseline
+        batches ride the same columnar record path as the GA — with
+        identical results to the sequential loop this used to be.
+        """
+        out = evaluator.evaluate_many(settings)
         evaluator.end_iteration()
         return out

@@ -20,7 +20,7 @@ import numpy as np
 from repro import obs
 from repro.core.result import TracePoint, TuningResult
 from repro.errors import InvalidSettingError
-from repro.gpusim.simulator import GpuSimulator
+from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 from repro.space.setting import Setting
 from repro.stencil.pattern import StencilPattern
 
@@ -131,21 +131,34 @@ class Evaluator:
     def evaluate_many(self, settings: Sequence[Setting]) -> list[float | None]:
         """Evaluate a batch of settings; one result slot per setting.
 
-        The noise-free model runs vectorized for all settings that are
-        neither cached here nor in the simulator, then each setting is
-        replayed through :meth:`evaluate` in order — so budget
-        accounting, caching, noise seeding and the best-so-far trace are
-        exactly what sequential :meth:`evaluate` calls would produce.
+        Results, budget accounting, caching, noise seeding and the
+        best-so-far trace are exactly what sequential :meth:`evaluate`
+        calls would produce. On the columnar record path the batch runs
+        end-to-end through :meth:`GpuSimulator.run_batch` and the
+        per-setting bookkeeping consumes the returned
+        :class:`~repro.gpusim.simulator.MeasuredRun` objects directly —
+        no per-setting dict or scalar-replay pass. Otherwise (reference
+        mode, duck-typed simulators, cost-bounded budgets whose
+        exhaustion can trip mid-batch, active tracing) the batch warms
+        the simulator cache and replays each setting through
+        :meth:`evaluate`.
         """
         settings = list(settings)
         with obs.span("phase.measurement", n=len(settings)):
-            true_run_batch = getattr(self.simulator, "_true_run_batch", None)
+            sim = self.simulator
+            if (
+                getattr(sim, "columnar", False)
+                and self.budget.max_cost_s is None
+                and not obs.tracing()
+            ):
+                return self._evaluate_many_bulk(settings)
+            true_run_batch = getattr(sim, "_true_run_batch", None)
             if true_run_batch is not None:  # duck-typed simulators: scalar only
                 todo = [
                     s
                     for s in settings
                     if s not in self._cache
-                    and (self.pattern.name, s) not in self.simulator._true_cache
+                    and not sim.cache_contains(self.pattern, s)
                 ]
                 if todo and not self.exhausted:
                     # Warm the simulator's cache; invalid settings are
@@ -153,6 +166,70 @@ class Evaluator:
                     # the scalar replay.
                     true_run_batch(self.pattern, todo, on_invalid="skip")
             return [self.evaluate(s) for s in settings]
+
+    def _evaluate_many_bulk(self, settings: list[Setting]) -> list[float | None]:
+        """Columnar bulk twin of the scalar-replay :meth:`evaluate_many`.
+
+        Valid only when exhaustion cannot change mid-batch (iteration
+        budgets advance at :meth:`end_iteration`, never inside a batch),
+        so the budget gate is hoisted out of the loop and the per-setting
+        pass is pure bookkeeping over the batch's ``MeasuredRun`` rows.
+        """
+        if self.exhausted:
+            # evaluate() serves cached settings even when exhausted.
+            return [self._cache.get(s) for s in settings]
+        sim = self.simulator
+        cache = self._cache
+        todo: list[Setting] = []
+        seen: set[Setting] = set()
+        for s in settings:
+            if s not in cache and s not in seen:
+                seen.add(s)
+                todo.append(s)
+        run_by: dict[Setting, MeasuredRun | None] = {}
+        if todo:
+            runs = sim.run_batch(self.pattern, todo, on_invalid="skip")
+            run_by = dict(zip(todo, runs))
+        out: list[float | None] = []
+        append = out.append
+        invalid_seen: set[Setting] = set()
+        trace = self.trace
+        for s in settings:
+            t = cache.get(s)
+            if t is not None:
+                append(t)
+                continue
+            run = run_by.get(s)
+            if run is None:
+                # Invalid candidate. The batch already replayed the
+                # first occurrence's cache-miss accounting; repeats
+                # must miss again, as sequential evaluate() would.
+                if s in invalid_seen:
+                    try:
+                        sim.run(self.pattern, s)
+                    except InvalidSettingError:
+                        pass
+                else:
+                    invalid_seen.add(s)
+                if self.charge_invalid:
+                    self.cost_s += sim.compile_cost_s
+                append(None)
+                continue
+            self.evaluations += 1
+            self.cost_s += run.tuning_cost_s
+            time_s = run.time_s
+            cache[s] = time_s
+            if time_s < self.best_time_s:
+                self.best_time_s = time_s
+                self.best_setting = s
+                trace.append(
+                    TracePoint(
+                        self.evaluations, self.iteration, self.cost_s,
+                        self.best_time_s,
+                    )
+                )
+            append(time_s)
+        return out
 
     # -- result assembly ------------------------------------------------------
 

@@ -41,7 +41,8 @@ from repro.ml.regression import (
 )
 from repro.ml.stats import pearson_correlation
 from repro.profiler.dataset import PerformanceDataset
-from repro.space.setting import Setting
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting, settings_matrix
 from repro.space.space import SearchSpace
 from repro.utils.rng import rng_from_seed
 
@@ -148,9 +149,21 @@ def sample_search_space(
     names = tuple(
         dict.fromkeys(n for m in models.values() for n in m.parameter_names)
     )
-    pool_values = np.array(
-        [s.values_tuple(names) for s in pool], dtype=np.int64
-    ).reshape(len(pool), len(names))
+    param_index = {n: j for j, n in enumerate(PARAMETER_ORDER)}
+    if (
+        pool
+        and all(n in param_index for n in names)
+        and all(n in pool[0] for n in PARAMETER_ORDER)
+    ):
+        # Standard stencil spaces: lower once through the cached
+        # default-order rows and column-select, instead of building a
+        # per-setting tuple in model-name order.
+        cols = np.array([param_index[n] for n in names], dtype=np.intp)
+        pool_values = settings_matrix(pool)[:, cols]
+    else:  # spaces with their own parameters (e.g. the GEMM extension)
+        pool_values = np.array(
+            [s.values_tuple(names) for s in pool], dtype=np.int64
+        ).reshape(len(pool), len(names))
 
     # Predicted metrics for the whole pool, oriented so larger = slower
     # and weighted by how strongly each metric tracks execution time in

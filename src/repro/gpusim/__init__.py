@@ -14,9 +14,12 @@ from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.memory import MemoryTraffic, compute_traffic
 from repro.gpusim.timing import TimingBreakdown, compute_timing
 from repro.gpusim.batch import BatchResult, evaluate_settings, valid_mask
+from repro.gpusim.records import MetricsRow, MetricsTable
 from repro.gpusim.simulator import GpuSimulator, MeasuredRun
 
 __all__ = [
+    "MetricsRow",
+    "MetricsTable",
     "DeviceSpec",
     "A100",
     "V100",

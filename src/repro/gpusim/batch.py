@@ -36,6 +36,7 @@ from repro.gpusim.memory import _CONST_CACHE_ENTRIES, _SECTOR_DOUBLES
 from repro.gpusim.metrics import METRIC_NAMES
 from repro.gpusim.noise import roughness_factors
 from repro.gpusim.occupancy import _REG_ALLOC_UNIT, _SMEM_ALLOC_UNIT
+from repro.gpusim.records import MetricsTable
 from repro.space.constraints import explicit_ok_array
 from repro.space.parameters import PARAM_INDEX
 from repro.space.setting import Setting, settings_matrix
@@ -368,11 +369,15 @@ def batch_metrics(
     occ: BatchOccupancy,
     traffic: BatchTraffic,
     timing: BatchTiming,
-) -> list[dict[str, float]]:
+) -> MetricsTable:
     """Vectorized :func:`repro.gpusim.metrics.derive_metrics`.
 
-    Returns one plain-float dict per setting (``elapsed_time`` is added
-    by the simulator, as in the scalar path).
+    Returns the metrics in columnar form — one
+    :class:`~repro.gpusim.records.MetricsTable` whose column order is
+    :data:`~repro.gpusim.metrics.METRIC_NAMES`, i.e. the scalar dict's
+    insertion order (``elapsed_time`` is appended by the simulator, as
+    in the scalar path). Per-setting dicts are materialized only at
+    reporting boundaries via the table's lazy views.
     """
     n = len(arrays)
     total = np.maximum(timing.total_s, 1e-12)
@@ -413,11 +418,14 @@ def batch_metrics(
         "static_shared_memory": arrays.shared_memory_per_block.astype(np.float64),
         "eligible_warps_per_cycle": eligible,
     }
-    lists = [
-        np.broadcast_to(np.asarray(columns[name], dtype=np.float64), (n,)).tolist()
-        for name in METRIC_NAMES
-    ]
-    return [dict(zip(METRIC_NAMES, row)) for row in zip(*lists)]
+    data = np.stack(
+        [
+            np.broadcast_to(np.asarray(columns[name], dtype=np.float64), (n,))
+            for name in METRIC_NAMES
+        ],
+        axis=1,
+    )
+    return MetricsTable(METRIC_NAMES, data)
 
 
 # ---------------------------------------------------------------------------
@@ -427,14 +435,23 @@ def batch_metrics(
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Noise-free batch evaluation of many settings on one pattern."""
+    """Noise-free batch evaluation of many settings on one pattern.
+
+    ``metrics`` is columnar (:class:`~repro.gpusim.records.MetricsTable`);
+    ``metrics[i]`` is a lazy per-setting mapping view and
+    :meth:`as_dicts` materializes plain dicts at reporting boundaries.
+    """
 
     true_times: np.ndarray
-    metrics: list[dict[str, float]]
+    metrics: MetricsTable
     plans: list[KernelPlan]
 
     def __len__(self) -> int:
         return len(self.metrics)
+
+    def as_dicts(self) -> list[dict[str, float]]:
+        """One plain-float metrics dict per setting (materializing)."""
+        return self.metrics.as_dicts()
 
 
 def valid_mask(

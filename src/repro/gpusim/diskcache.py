@@ -36,9 +36,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.gpusim.device import DeviceSpec
 from repro.utils.hashing import stable_hash
@@ -225,7 +227,7 @@ class EvaluationStore:
         stencil: str,
         values: tuple[int, ...],
         true_time_s: float,
-        metrics: dict[str, float],
+        metrics: Mapping[str, float],
     ) -> None:
         """Journal one evaluation (idempotent per key)."""
         key = (tok, stencil, values)
@@ -240,6 +242,65 @@ class EvaluationStore:
         )
         self._shard().write(line + "\n")
         self._shard_file.flush()
+
+    def record_batch(
+        self,
+        tok: str,
+        stencil: str,
+        values_rows: Sequence[tuple[int, ...]],
+        true_times: Any,
+        metrics_rows: Any,
+    ) -> None:
+        """Journal a batch of evaluations in one shard write.
+
+        Byte-identical to calling :meth:`record` per row in order
+        (idempotent per key, same JSON encoding) but encodes the whole
+        batch with one pass over the columnar data and one
+        write+flush. ``metrics_rows`` is normally a
+        :class:`~repro.gpusim.records.MetricsTable`; any sequence of
+        mappings (or a table holding non-finite floats, whose encoding
+        the fast formatter can't reproduce) falls back to per-row
+        :meth:`record` calls.
+        """
+        if self._closed:
+            return
+        names = getattr(metrics_rows, "names", None)
+        data = getattr(metrics_rows, "data", None)
+        tt = np.asarray(true_times, dtype=np.float64)
+        if (
+            names is None
+            or data is None
+            or not np.isfinite(data).all()
+            or not np.isfinite(tt).all()
+        ):
+            rows = (
+                metrics_rows.as_dicts()
+                if hasattr(metrics_rows, "as_dicts")
+                else list(metrics_rows)
+            )
+            for values, t, m in zip(values_rows, true_times, rows):
+                self.record(tok, stencil, tuple(values), float(t), dict(m))
+            return
+        # Fast path: for finite floats json.dumps emits float.__repr__
+        # and for ints str(), so f-string assembly from pre-escaped
+        # name fragments reproduces record()'s bytes exactly.
+        tok_s = json.dumps(tok)
+        st_s = json.dumps(stencil)
+        name_s = [json.dumps(n) for n in names]
+        mem = self._mem
+        lines: list[str] = []
+        for values, t, mrow in zip(values_rows, tt.tolist(), data.tolist()):
+            key = (tok, stencil, tuple(values))
+            if key in mem:
+                continue
+            mem[key] = (t, dict(zip(names, mrow)))
+            self.puts += 1
+            vals = ",".join(map(str, key[2]))
+            m = ",".join(f"{ns}:{mv!r}" for ns, mv in zip(name_s, mrow))
+            lines.append(f'{{"k":[{tok_s},{st_s},[{vals}]],"t":{t!r},"m":{{{m}}}}}')
+        if lines:
+            self._shard().write("\n".join(lines) + "\n")
+            self._shard_file.flush()
 
     def _shard(self) -> Any:
         if self._shard_file is None:

@@ -1,0 +1,281 @@
+"""Flat array-backed LRU for the simulator's true-time cache.
+
+Replaces the ``OrderedDict[(name, Setting), value]`` hot loop with an
+open-addressed hash table over parallel NumPy arrays:
+
+* ``_keys``   — uint64 cache keys (see :mod:`repro.gpusim.records`);
+* ``_state``  — per-slot occupancy (empty / occupied / tombstone);
+* ``_stamps`` — monotonic access clock: ``move_to_end`` becomes
+  "stamp := clock++", eviction becomes "argmin(stamp)", so eviction
+  order is *exactly* the OrderedDict reference order;
+* ``_times``  — the cached noise-free times, gatherable in bulk;
+* ``_values`` / ``_tokens`` — per-slot Python payload (metrics
+  mapping + kernel plan) and the setting's value tuple, kept as a
+  verification token because 64-bit content keys can collide in
+  principle (a token mismatch reads as a miss and is counted in
+  :attr:`collisions`).
+
+Batch paths use :meth:`lookup_many` (vectorized linear probing over
+the whole key array) and :meth:`touch_many` (one fancy-indexed stamp
+assignment; duplicate slots last-write-win, which is precisely the
+sequential re-touch semantics). ``capacity=None`` disables eviction;
+``capacity=0`` admits-then-evicts every insert, matching the
+reference's ``while len > cap: popitem(last=False)`` loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+_EMPTY = 0
+_FULL = 1
+_TOMB = 2
+
+#: Stamp value no live entry can hold (argmin sentinel for eviction).
+_NEVER = np.iinfo(np.int64).max
+
+#: Rehash once occupied+tombstone slots exceed this fill fraction.
+_MAX_LOAD = 0.7
+
+_MIN_SIZE = 256
+
+
+class ArrayLRU:
+    """Open-addressed LRU keyed by uint64 hashes, exact OrderedDict order."""
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0 or None: {capacity}")
+        self.capacity = capacity
+        self._clock = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.collisions = 0
+        self._alloc(_MIN_SIZE)
+
+    def _alloc(self, size: int) -> None:
+        self._size = size
+        self._keys = np.zeros(size, dtype=np.uint64)
+        self._state = np.zeros(size, dtype=np.int8)
+        self._stamps = np.zeros(size, dtype=np.int64)
+        self._times = np.zeros(size, dtype=np.float64)
+        self._values: list[Any] = [None] * size
+        self._tokens: list[Any] = [None] * size
+        self._used = 0  # occupied + tombstones (probe-chain occupancy)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- scalar ops --------------------------------------------------------
+
+    def find(self, key: int, token: Any) -> int:
+        """Slot of ``key`` (token-verified), or -1. Never mutates."""
+        mask = self._size - 1
+        keys = self._keys
+        state = self._state
+        i = key & mask
+        while True:
+            st = state[i]
+            if st == _EMPTY:
+                return -1
+            if st == _FULL and keys[i] == key:
+                if self._tokens[i] == token:
+                    return i
+                self.collisions += 1
+                return -1
+            i = (i + 1) & mask
+
+    def touch(self, slot: int) -> None:
+        """Mark one slot most-recently-used (``move_to_end``)."""
+        self._stamps[slot] = self._clock
+        self._clock += 1
+
+    def insert(self, key: int, token: Any, time_s: float, value: Any) -> int:
+        """Insert a (verified-absent) entry as MRU; evict LRU if over
+        capacity. Returns the slot (stale after the next rehash)."""
+        mask = self._size - 1
+        keys = self._keys
+        state = self._state
+        i = key & mask
+        first_tomb = -1
+        while True:
+            st = state[i]
+            if st == _EMPTY:
+                break
+            if st == _TOMB and first_tomb < 0:
+                first_tomb = i
+            elif st == _FULL and keys[i] == key and self._tokens[i] != token:
+                # 64-bit key collision with a live entry: the colliding
+                # key would shadow ours on lookup, so replace it (the
+                # astronomically-rare loser re-computes on next access).
+                self.collisions += 1
+                state[i] = _TOMB
+                self._values[i] = None
+                self._tokens[i] = None
+                self._n -= 1
+                if first_tomb < 0:
+                    first_tomb = i
+            i = (i + 1) & mask
+        if first_tomb >= 0:
+            i = first_tomb
+        else:
+            self._used += 1
+        state[i] = _FULL
+        keys[i] = key
+        self._times[i] = time_s
+        self._values[i] = value
+        self._tokens[i] = token
+        self._stamps[i] = self._clock
+        self._clock += 1
+        self._n += 1
+        self.inserts += 1
+        cap = self.capacity
+        if cap is not None:
+            while self._n > cap:
+                self._evict_lru()
+        if self._used > int(_MAX_LOAD * self._size):
+            self._rehash()
+            return self.find(key, token)  # slot moved
+        return i if (cap is None or cap > 0 or self._n) else -1
+
+    def _evict_lru(self) -> None:
+        order = np.where(self._state == _FULL, self._stamps, _NEVER)
+        i = int(order.argmin())
+        self._state[i] = _TOMB
+        self._values[i] = None
+        self._tokens[i] = None
+        self._n -= 1
+        self.evictions += 1
+
+    def _rehash(self) -> None:
+        """Re-seat live entries (drops tombstones; doubles when full)."""
+        occupied = np.flatnonzero(self._state == _FULL)
+        size = self._size
+        while self._n >= int(_MAX_LOAD * size * 0.5):
+            size *= 2
+        old_keys = self._keys
+        old_stamps = self._stamps
+        old_times = self._times
+        old_values = self._values
+        old_tokens = self._tokens
+        n, clock = self._n, self._clock
+        ins, ev, coll = self.inserts, self.evictions, self.collisions
+        self._alloc(size)
+        mask = size - 1
+        keys = self._keys
+        state = self._state
+        for j in occupied.tolist():
+            key = old_keys[j]
+            i = int(key) & mask
+            while state[i] != _EMPTY:
+                i = (i + 1) & mask
+            state[i] = _FULL
+            keys[i] = key
+            self._stamps[i] = old_stamps[j]
+            self._times[i] = old_times[j]
+            self._values[i] = old_values[j]
+            self._tokens[i] = old_tokens[j]
+        self._used = self._n = n
+        self._clock = clock
+        self.inserts, self.evictions, self.collisions = ins, ev, coll
+
+    def reserve(self, n_more: int) -> None:
+        """Pre-size so ``n_more`` inserts cannot trigger a mid-batch
+        rehash (batch commit holds slot indices across inserts)."""
+        if self._used + n_more > int(_MAX_LOAD * self._size):
+            self._grow_to(self._size, self._n, n_more)
+
+    def _grow_to(self, size: int, live: int, n_more: int) -> None:
+        while live + n_more >= int(_MAX_LOAD * size):
+            size *= 2
+        occupied = np.flatnonzero(self._state == _FULL)
+        old_keys = self._keys
+        old_stamps = self._stamps
+        old_times = self._times
+        old_values = self._values
+        old_tokens = self._tokens
+        clock = self._clock
+        ins, ev, coll = self.inserts, self.evictions, self.collisions
+        self._alloc(size)
+        mask = size - 1
+        keys = self._keys
+        state = self._state
+        for j in occupied.tolist():
+            key = old_keys[j]
+            i = int(key) & mask
+            while state[i] != _EMPTY:
+                i = (i + 1) & mask
+            state[i] = _FULL
+            keys[i] = key
+            self._stamps[i] = old_stamps[j]
+            self._times[i] = old_times[j]
+            self._values[i] = old_values[j]
+            self._tokens[i] = old_tokens[j]
+        self._used = self._n = live
+        self._clock = clock
+        self.inserts, self.evictions, self.collisions = ins, ev, coll
+
+    # -- slot accessors ----------------------------------------------------
+
+    def value_at(self, slot: int) -> Any:
+        return self._values[slot]
+
+    def token_at(self, slot: int) -> Any:
+        return self._tokens[slot]
+
+    def key_at(self, slot: int) -> int:
+        return int(self._keys[slot])
+
+    def live_at(self, slot: int) -> bool:
+        return bool(self._state[slot] == _FULL)
+
+    # -- batch ops ---------------------------------------------------------
+
+    def lookup_many(self, keys: np.ndarray) -> np.ndarray:
+        """Slot per key (-1 = miss), vectorized probing. Never mutates.
+
+        Tokens are *not* verified here — batch callers verify at value
+        extraction, where the per-slot payload is touched anyway.
+        """
+        n = len(keys)
+        mask64 = np.uint64(self._size - 1)
+        mask = self._size - 1
+        idx = (keys & mask64).astype(np.int64)
+        slots = np.full(n, -1, dtype=np.int64)
+        pending = np.arange(n)
+        while pending.size:
+            cur = idx[pending]
+            st = self._state[cur]
+            hit = (st == _FULL) & (self._keys[cur] == keys[pending])
+            slots[pending[hit]] = cur[hit]
+            cont = ~(hit | (st == _EMPTY))
+            pending = pending[cont]
+            idx[pending] = (idx[pending] + 1) & mask
+        return slots
+
+    def touch_many(self, slots: np.ndarray) -> None:
+        """Sequential :meth:`touch` semantics for a slot array (duplicate
+        slots: the later occurrence wins, as sequential touches would)."""
+        n = len(slots)
+        self._stamps[slots] = np.arange(self._clock, self._clock + n)
+        self._clock += n
+
+    def times_at(self, slots: np.ndarray) -> np.ndarray:
+        return self._times[slots]
+
+    # -- introspection -----------------------------------------------------
+
+    def keys_in_lru_order(self) -> list[int]:
+        """Live keys, least- to most-recently-used (for identity tests)."""
+        occupied = np.flatnonzero(self._state == _FULL)
+        order = np.argsort(self._stamps[occupied], kind="stable")
+        return [int(k) for k in self._keys[occupied[order]]]
+
+    def tokens_in_lru_order(self) -> list[Any]:
+        """Live tokens, least- to most-recently-used."""
+        occupied = np.flatnonzero(self._state == _FULL)
+        order = np.argsort(self._stamps[occupied], kind="stable")
+        return [self._tokens[j] for j in occupied[order].tolist()]

@@ -12,9 +12,10 @@ iso-time comparisons (Figs 9-11).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import OrderedDict
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.codegen.plan import (
 from repro.errors import InvalidSettingError
 from repro.gpusim import batch as _batch
 from repro.gpusim import diskcache as _diskcache
+from repro.gpusim import records as _records
+from repro.gpusim.lru import ArrayLRU
 from repro.gpusim.device import A100, DeviceSpec
 from repro.gpusim.memory import compute_traffic
 from repro.gpusim.metrics import derive_metrics
@@ -52,6 +55,10 @@ DEFAULT_TRIALS = 3
 #: paper-scale multi-stencil sweeps cannot grow memory without bound.
 DEFAULT_TRUE_CACHE_CAPACITY = 50_000
 
+#: Process-wide fast noise replayer (lazy singleton; per-process after
+#: fork, like every other RNG in the tree).
+_REPLAYER = None
+
 
 @dataclass(frozen=True)
 class MeasuredRun:
@@ -61,6 +68,11 @@ class MeasuredRun:
     noise-free model output used as ground truth by the motivation
     experiments; ``tuning_cost_s`` what the evaluation charged against
     an iso-time budget.
+
+    ``metrics`` is a read-only mapping — on the columnar path it is a
+    lazy :class:`~repro.gpusim.records.MetricsRow` view shared with the
+    evaluation cache, so treat it as immutable and copy
+    (``dict(run.metrics)``) before mutating.
     """
 
     stencil: str
@@ -69,7 +81,7 @@ class MeasuredRun:
     time_s: float
     true_time_s: float
     tuning_cost_s: float
-    metrics: dict[str, float]
+    metrics: Mapping[str, float]
 
     @property
     def time_ms(self) -> float:
@@ -116,6 +128,17 @@ class GpuSimulator:
         invalid setting — and fresh evaluations are journaled. Stored
         values are noise-free, so warm-started runs reproduce measured
         runs bit-for-bit.
+    columnar:
+        Selects the columnar evaluation-record path (default): uint64
+        content keys computed vectorized per batch, a flat array-backed
+        LRU (:class:`~repro.gpusim.lru.ArrayLRU`) instead of the
+        ``OrderedDict`` hot loop, lazy
+        :class:`~repro.gpusim.records.MetricsRow` views instead of
+        per-setting metric dicts, and fast per-evaluation noise replay
+        (:mod:`repro.gpusim.fastrng`). ``False`` keeps the original
+        dict-based path as the bit-identical reference: every time,
+        metric value, counter and RNG stream is equal between the two
+        modes (see ``tests/gpusim/test_columnar_identity.py``).
     """
 
     device: DeviceSpec = field(default_factory=lambda: A100)
@@ -131,17 +154,34 @@ class GpuSimulator:
     cache_misses: int = 0
     store: _diskcache.EvaluationStore | None = None
     disk_hits: int = 0
+    columnar: bool = True
+    cache_inserts: int = 0
+    cache_evictions: int = 0
     _device_token: str = field(default="", repr=False, init=False)
     _true_cache: OrderedDict[
-        tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]
+        tuple[str, Setting], tuple[float, Mapping[str, float], KernelPlan]
     ] = field(default_factory=OrderedDict, repr=False)
-    _compiled: set[tuple[str, Setting]] = field(default_factory=set, repr=False)
+    _alru: ArrayLRU | None = field(default=None, repr=False, init=False)
+    _prefixes: dict[str, int] = field(default_factory=dict, repr=False, init=False)
+    _noise_heads: dict[str, "hashlib.blake2b"] = field(
+        default_factory=dict, repr=False, init=False
+    )
+    _compiled: set = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.store is None:
             self.store = _diskcache.get_default_store()
         if self.store is not None:
             self._device_token = _diskcache.device_token(self.device)
+        if self.columnar:
+            self._alru = ArrayLRU(self.true_cache_capacity)
+
+    def _prefix(self, name: str) -> int:
+        """Per-stencil namespace prefix of the uint64 cache keys."""
+        p = self._prefixes.get(name)
+        if p is None:
+            p = self._prefixes[name] = _records.pattern_prefix(name)
+        return p
 
     # -- validity ------------------------------------------------------------
 
@@ -168,7 +208,7 @@ class GpuSimulator:
 
     def _cache_get(
         self, key: tuple[str, Setting]
-    ) -> tuple[float, dict[str, float], KernelPlan] | None:
+    ) -> tuple[float, Mapping[str, float], KernelPlan] | None:
         cached = self._true_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
@@ -180,24 +220,43 @@ class GpuSimulator:
     def _cache_put(
         self,
         key: tuple[str, Setting],
-        value: tuple[float, dict[str, float], KernelPlan],
+        value: tuple[float, Mapping[str, float], KernelPlan],
     ) -> None:
         self._true_cache[key] = value
         self._true_cache.move_to_end(key)
+        self.cache_inserts += 1
+        obs.count("sim.cache_inserts")
         cap = self.true_cache_capacity
         if cap is not None:
             while len(self._true_cache) > cap:
                 self._true_cache.popitem(last=False)
+                self.cache_evictions += 1
+                obs.count("sim.cache_evictions")
 
     def cache_info(self) -> dict[str, int | None]:
-        """Hit/miss counters and occupancy of the noise-free cache."""
+        """Hit/miss/insert/evict counters and occupancy of the
+        noise-free cache (mode-independent: columnar and reference
+        report identical numbers for identical call sequences)."""
+        alru = self._alru
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
-            "size": len(self._true_cache),
+            "inserts": self.cache_inserts,
+            "evictions": self.cache_evictions,
+            "size": len(alru) if alru is not None else len(self._true_cache),
             "capacity": self.true_cache_capacity,
             "disk_hits": self.disk_hits,
         }
+
+    def cache_contains(self, pattern: StencilPattern, setting: Setting) -> bool:
+        """Is a noise-free evaluation cached? Counters are untouched —
+        this is the mode-agnostic peek used by batch warm-up filters."""
+        if self.columnar:
+            alru = self._alru
+            assert alru is not None
+            key = _records.setting_key64(self._prefix(pattern.name), setting)
+            return alru.find(key, setting.values_tuple()) >= 0
+        return (pattern.name, setting) in self._true_cache
 
     # -- persistent store ----------------------------------------------------
 
@@ -229,13 +288,13 @@ class GpuSimulator:
 
     # -- core model ---------------------------------------------------------
 
-    def _true_run(
+    def _compute_value(
         self, pattern: StencilPattern, setting: Setting
-    ) -> tuple[float, dict[str, float], KernelPlan]:
-        key = (pattern.name, setting)
-        cached = self._cache_get(key)
-        if cached is not None:
-            return cached
+    ) -> tuple[float, Mapping[str, float], KernelPlan]:
+        """Full cache-miss pipeline for one setting (no cache access):
+        validate, plan, strict-gate, consult the store, run the model,
+        journal. Shared by both cache modes and by the batch commit's
+        mid-batch-eviction recompute fallback."""
         reason = self.violation(pattern, setting)
         if reason is not None:
             raise InvalidSettingError(f"{pattern.name}: {reason}")
@@ -245,9 +304,7 @@ class GpuSimulator:
         stored = self._store_lookup(pattern.name, setting)
         if stored is not None:
             true_time, stored_metrics = stored
-            value = (true_time, dict(stored_metrics), plan)
-            self._cache_put(key, value)
-            return value
+            return (true_time, dict(stored_metrics), plan)
         occ = compute_occupancy(plan, self.device)
         traffic = compute_traffic(plan, self.device)
         timing = compute_timing(plan, self.device, traffic, occ)
@@ -255,9 +312,40 @@ class GpuSimulator:
         true_time = timing.total_s * rough
         metrics = derive_metrics(plan, self.device, occ, traffic, timing)
         metrics["elapsed_time"] = true_time
-        value = (true_time, metrics, plan)
         self._store_record(pattern.name, setting, true_time, metrics)
-        self._cache_put(key, value)
+        return (true_time, metrics, plan)
+
+    def _true_run(
+        self, pattern: StencilPattern, setting: Setting
+    ) -> tuple[float, Mapping[str, float], KernelPlan]:
+        if self.columnar:
+            alru = self._alru
+            assert alru is not None
+            key = _records.setting_key64(self._prefix(pattern.name), setting)
+            token = setting.values_tuple()
+            slot = alru.find(key, token)
+            if slot >= 0:
+                self.cache_hits += 1
+                alru.touch(slot)
+                return alru.value_at(slot)
+            self.cache_misses += 1
+            value = self._compute_value(pattern, setting)
+            alru.capacity = self.true_cache_capacity
+            ev0 = alru.evictions
+            alru.insert(key, token, value[0], value)
+            self.cache_inserts += 1
+            obs.count("sim.cache_inserts")
+            evicted = alru.evictions - ev0
+            if evicted:
+                self.cache_evictions += evicted
+                obs.count("sim.cache_evictions", evicted)
+            return value
+        key2 = (pattern.name, setting)
+        cached = self._cache_get(key2)
+        if cached is not None:
+            return cached
+        value = self._compute_value(pattern, setting)
+        self._cache_put(key2, value)
         return value
 
     def _true_run_batch(
@@ -297,9 +385,11 @@ class GpuSimulator:
         pattern: StencilPattern,
         settings: list[Setting],
         on_invalid: str,
-    ) -> list[tuple[float, dict[str, float], KernelPlan] | None]:
+    ) -> list[tuple[float, Mapping[str, float], KernelPlan] | None]:
         obs.count("sim.batch_calls")
         obs.count("sim.batch_settings", len(settings))
+        if self.columnar:
+            return self._columnar_batch(pattern, settings, on_invalid)
         keys = [(pattern.name, s) for s in settings]
 
         # Peek (no counter/LRU mutation yet — keeps "raise" atomic).
@@ -310,7 +400,9 @@ class GpuSimulator:
                 seen.add(key)
                 need.append(i)
 
-        computed: dict[tuple[str, Setting], tuple[float, dict[str, float], KernelPlan]] = {}
+        computed: dict[
+            tuple[str, Setting], tuple[float, Mapping[str, float], KernelPlan]
+        ] = {}
         invalid: set[tuple[str, Setting]] = set()
         if need:
             todo = [settings[i] for i in need]
@@ -372,7 +464,7 @@ class GpuSimulator:
                         values=sub_values, arrays=sub_arrays,
                     )
                     for j, s, metrics, true_time, plan in zip(
-                        miss_j, sub, result.metrics,
+                        miss_j, sub, result.as_dicts(),
                         result.true_times.tolist(), result.plans,
                     ):
                         if gate is not None and gate[j]:
@@ -385,13 +477,13 @@ class GpuSimulator:
         # match what the equivalent scalar loop would have produced
         # (the cache helpers are inlined here — this loop dominates the
         # batch path's Python overhead).
-        out: list[tuple[float, dict[str, float], KernelPlan] | None] = []
+        out: list[tuple[float, Mapping[str, float], KernelPlan] | None] = []
         append = out.append
         cache = self._true_cache
         get, move = cache.get, cache.move_to_end
         cap = self.true_cache_capacity
-        hits = misses = 0
-        for key in keys:
+        hits = misses = inserts = evictions = 0
+        for key, setting in zip(keys, settings):
             if key in invalid:
                 misses += 1  # a scalar attempt would have missed
                 append(None)
@@ -402,14 +494,208 @@ class GpuSimulator:
                 move(key)
             else:
                 misses += 1
-                cached = computed[key]
+                cached = computed.get(key)
+                if cached is None:
+                    # Cached at peek time but evicted by this very
+                    # commit (the batch inserted more fresh entries
+                    # than the capacity holds): a scalar loop would
+                    # miss here and recompute, so do exactly that.
+                    cached = self._compute_value(pattern, setting)
                 cache[key] = cached  # fresh key lands last: already MRU
+                inserts += 1
                 if cap is not None:
                     while len(cache) > cap:
                         cache.popitem(last=False)
+                        evictions += 1
             append(cached)
         self.cache_hits += hits
         self.cache_misses += misses
+        self.cache_inserts += inserts
+        self.cache_evictions += evictions
+        if inserts:
+            obs.count("sim.cache_inserts", inserts)
+        if evictions:
+            obs.count("sim.cache_evictions", evictions)
+        return out
+
+    def _columnar_batch(
+        self,
+        pattern: StencilPattern,
+        settings: list[Setting],
+        on_invalid: str,
+    ) -> list[tuple[float, Mapping[str, float], KernelPlan] | None]:
+        """Columnar twin of the reference batch path.
+
+        Keys for the whole batch come from one vectorized hash over the
+        settings' cached value rows; the cache probe is one vectorized
+        :meth:`~repro.gpusim.lru.ArrayLRU.lookup_many`. A fully-warm
+        batch then commits with a single vectorized stamp update and a
+        value gather — the case the record-path benchmark gates. Mixed
+        batches evaluate the missing settings through the columnar
+        model pipeline and replay the commit sequentially, so counters,
+        LRU order, eviction choices and journal contents stay exactly
+        equal to the reference (and thus to a scalar loop).
+        """
+        alru = self._alru
+        assert alru is not None
+        alru.capacity = self.true_cache_capacity
+        name = pattern.name
+        keys = _records.settings_key64(self._prefix(name), settings)
+        tokens = [s.values_tuple() for s in settings]
+        slots = alru.lookup_many(keys)
+        slots_list = slots.tolist()
+
+        if slots_list and min(slots_list) >= 0:
+            # All keys present: verify tokens, gather, one bulk touch.
+            vals: list[tuple[float, Mapping[str, float], KernelPlan] | None] = []
+            append = vals.append
+            token_at, value_at = alru.token_at, alru.value_at
+            for sl, t in zip(slots_list, tokens):
+                tok = token_at(sl)
+                if tok is not t and tok != t:  # 64-bit key collision
+                    break
+                append(value_at(sl))
+            else:
+                alru.touch_many(slots)
+                self.cache_hits += len(settings)
+                return vals
+
+        # Peek (no counter/LRU mutation yet — keeps "raise" atomic).
+        need: list[int] = []
+        seen: set[tuple[int, ...]] = set()
+        for i, sl in enumerate(slots_list):
+            if sl < 0 and tokens[i] not in seen:
+                seen.add(tokens[i])
+                need.append(i)
+
+        computed: dict[
+            tuple[int, ...], tuple[float, Mapping[str, float], KernelPlan]
+        ] = {}
+        invalid: set[tuple[int, ...]] = set()
+        if need:
+            todo = [settings[i] for i in need]
+            values = settings_matrix(todo)
+            arrays = _batch.build_plan_arrays(pattern, values)
+            ok = _batch.valid_mask(pattern, self.device, values, arrays)
+            if not ok.all():
+                if on_invalid == "raise":
+                    bad = settings[need[int(np.argmax(~ok))]]
+                    reason = self.violation(pattern, bad)
+                    raise InvalidSettingError(f"{pattern.name}: {reason}")
+                invalid = {tokens[need[j]] for j in np.flatnonzero(~ok)}
+                todo = [s for s, good in zip(todo, ok) if good]
+                values, arrays = values[ok], None
+            if todo:
+                stored_vals: list[tuple[float, Mapping[str, float]] | None]
+                stored_vals = [None] * len(todo)
+                if self.store is not None:
+                    tok_dev, store = self._device_token, self.store
+                    stored_vals = [
+                        store.lookup(tok_dev, name, s.values_tuple()) for s in todo
+                    ]
+                if self.strict:
+                    from repro.analysis.gate import gate_selected_batch
+
+                    gate = gate_selected_batch(name, values, self.strict_every)
+                else:
+                    gate = None
+                hits_j = [j for j, v in enumerate(stored_vals) if v is not None]
+                if hits_j:
+                    self.disk_hits += len(hits_j)
+                    obs.count("sim.disk_hits", len(hits_j))
+                    hit_settings = [todo[j] for j in hits_j]
+                    hit_values = values[np.array(hits_j)]
+                    hit_plans = plans_from_arrays(
+                        pattern, hit_settings,
+                        build_plan_arrays(pattern, hit_values),
+                    )
+                    for j, s, plan in zip(hits_j, hit_settings, hit_plans):
+                        if gate is not None and gate[j]:
+                            self._strict_check(pattern, s, plan)
+                        true_time, stored_metrics = stored_vals[j]  # type: ignore[misc]
+                        computed[s.values_tuple()] = (
+                            true_time, dict(stored_metrics), plan,
+                        )
+                miss_j = [j for j, v in enumerate(stored_vals) if v is None]
+                if miss_j:
+                    sub = [todo[j] for j in miss_j]
+                    if len(miss_j) == len(todo):
+                        sub_values, sub_arrays = values, arrays
+                    else:
+                        sub_values, sub_arrays = values[np.array(miss_j)], None
+                    result = _batch.evaluate_settings(
+                        pattern, self.device, sub,
+                        values=sub_values, arrays=sub_arrays,
+                    )
+                    # Settings stay columnar: one appended time column,
+                    # lazy row views shared between cache and callers.
+                    table = result.metrics.with_column(
+                        "elapsed_time", result.true_times
+                    )
+                    tt = result.true_times.tolist()
+                    if gate is not None:
+                        for r, (j, s) in enumerate(zip(miss_j, sub)):
+                            if gate[j]:
+                                self._strict_check(pattern, s, result.plans[r])
+                            row = table.row(r)
+                            self._store_record(name, s, tt[r], row)
+                            computed[s.values_tuple()] = (
+                                tt[r], row, result.plans[r],
+                            )
+                    else:
+                        if self.store is not None:
+                            self.store.record_batch(
+                                self._device_token, name,
+                                [s.values_tuple() for s in sub], tt, table,
+                            )
+                        for r, (j, s) in enumerate(zip(miss_j, sub)):
+                            computed[s.values_tuple()] = (
+                                tt[r], table.row(r), result.plans[r],
+                            )
+
+        # Sequential commit, scalar-loop order. Slots from the bulk
+        # probe may have been tombstoned or recycled by this commit's
+        # own inserts/evictions, so every position re-probes — the
+        # warm all-hit case above never reaches this loop.
+        keys_list = keys.tolist()
+        out: list[tuple[float, Mapping[str, float], KernelPlan] | None] = []
+        append_out = out.append
+        hits = misses = 0
+        ins0, ev0 = alru.inserts, alru.evictions
+        find, touch, value_at, insert = (
+            alru.find, alru.touch, alru.value_at, alru.insert,
+        )
+        for i, setting in enumerate(settings):
+            t = tokens[i]
+            if t in invalid:
+                misses += 1  # a scalar attempt would have missed
+                append_out(None)
+                continue
+            sl = find(keys_list[i], t)
+            if sl >= 0:
+                hits += 1
+                touch(sl)
+                append_out(value_at(sl))
+            else:
+                misses += 1
+                value = computed.get(t)
+                if value is None:
+                    # Cached at probe time but evicted by this commit
+                    # (or a once-in-the-universe key collision): a
+                    # scalar loop would miss and recompute here.
+                    value = self._compute_value(pattern, setting)
+                insert(keys_list[i], t, value[0], value)
+                append_out(value)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        inserts = alru.inserts - ins0
+        evictions = alru.evictions - ev0
+        self.cache_inserts += inserts
+        self.cache_evictions += evictions
+        if inserts:
+            obs.count("sim.cache_inserts", inserts)
+        if evictions:
+            obs.count("sim.cache_evictions", evictions)
         return out
 
     def run(self, pattern: StencilPattern, setting: Setting) -> MeasuredRun:
@@ -424,8 +710,12 @@ class GpuSimulator:
         return self._measured_run(pattern, setting, true_time, metrics)
 
     def run_batch(
-        self, pattern: StencilPattern, settings: Sequence[Setting]
-    ) -> list[MeasuredRun]:
+        self,
+        pattern: StencilPattern,
+        settings: Sequence[Setting],
+        *,
+        on_invalid: str = "raise",
+    ) -> list[MeasuredRun | None]:
         """Evaluate many settings at once — bit-identical to a loop of
         :meth:`run` calls, at array speed.
 
@@ -434,24 +724,43 @@ class GpuSimulator:
         seeded by the running evaluation index, cache updates) then
         replays in setting order, so every returned
         :class:`MeasuredRun` equals what the scalar path would produce.
-        The one intentional difference: when a setting is invalid, the
-        :class:`InvalidSettingError` is raised *before* any setting in
-        the batch is evaluated or charged (a scalar loop would have
-        processed the earlier ones first).
+        With ``on_invalid="raise"`` (default) a constraint-violating
+        setting raises :class:`InvalidSettingError` — *before* any
+        setting in the batch is evaluated or charged, the one
+        intentional difference from a scalar loop (which would have
+        processed the earlier ones first). ``on_invalid="skip"``
+        returns ``None`` in invalid settings' slots instead; the valid
+        settings are measured exactly as if the invalid ones had raised
+        and been skipped by a scalar caller (same evaluation indices,
+        same noise stream).
         """
         settings = list(settings)
-        results = self._true_run_batch(pattern, settings, on_invalid="raise")
+        results = self._true_run_batch(pattern, settings, on_invalid=on_invalid)
         return self._measured_run_batch(pattern, settings, results)
+
+    def _noise_replayer(self) -> "object":
+        """Process-wide fast noise replayer (lazy; see fastrng)."""
+        global _REPLAYER
+        if _REPLAYER is None:
+            from repro.gpusim.fastrng import NoiseReplayer
+
+            _REPLAYER = NoiseReplayer()
+        return _REPLAYER
 
     def _measured_run(
         self,
         pattern: StencilPattern,
         setting: Setting,
         true_time: float,
-        metrics: dict[str, float],
+        metrics: Mapping[str, float],
     ) -> MeasuredRun:
         """Per-evaluation bookkeeping: tuning cost, noise, eval counter."""
-        key = (pattern.name, setting)
+        columnar = self.columnar
+        key: object
+        if columnar:
+            key = _records.setting_key64(self._prefix(pattern.name), setting)
+        else:
+            key = (pattern.name, setting)
         cost = true_time * self.trials
         if key not in self._compiled:
             self._compiled.add(key)
@@ -459,13 +768,14 @@ class GpuSimulator:
 
         measured = true_time
         if self.noise > 0.0:
-            rng = np.random.default_rng(
-                stable_hash(self.seed, pattern.name, setting.values_tuple(),
-                            self.evaluations)
+            seed = stable_hash(
+                self.seed, pattern.name, setting.values_tuple(), self.evaluations
             )
-            samples = true_time * (
-                1.0 + self.noise * rng.standard_normal(self.trials)
-            )
+            if columnar:
+                draws = self._noise_replayer().standard_normal(seed, self.trials)
+            else:
+                draws = np.random.default_rng(seed).standard_normal(self.trials)
+            samples = true_time * (1.0 + self.noise * draws)
             measured = float(np.median(np.abs(samples)))
         self.evaluations += 1
 
@@ -476,59 +786,108 @@ class GpuSimulator:
             time_s=measured,
             true_time_s=true_time,
             tuning_cost_s=cost,
-            metrics=dict(metrics),
+            metrics=metrics if columnar else dict(metrics),
         )
 
     def _measured_run_batch(
         self,
         pattern: StencilPattern,
         settings: list[Setting],
-        results: list[tuple[float, dict[str, float], KernelPlan]],
-    ) -> list[MeasuredRun]:
+        results: list[tuple[float, Mapping[str, float], KernelPlan] | None],
+    ) -> list[MeasuredRun | None]:
         """Batched :meth:`_measured_run` — identical bookkeeping, in order.
 
         Compile-cost charging and noise seeding walk the settings in
         order (the noise RNG is seeded per evaluation index, so each
-        generator is constructed exactly as the scalar path would);
-        the arithmetic on the draws and the median-of-trials reduction
-        then run as array operations, which reproduce the scalar
-        elementwise float ops bit for bit.
+        generator's state is exactly what the scalar path would have
+        constructed); the arithmetic on the draws and the
+        median-of-trials reduction then run as array operations, which
+        reproduce the scalar elementwise float ops bit for bit.
+        ``None`` slots (invalid settings under ``on_invalid="skip"``)
+        consume no evaluation index, no compile cost and no noise draw,
+        exactly like a scalar loop that skipped them.
         """
+        if any(r is None for r in results):
+            dense_i = [i for i, r in enumerate(results) if r is not None]
+            dense = self._measured_run_batch(
+                pattern,
+                [settings[i] for i in dense_i],
+                [results[i] for i in dense_i],
+            )
+            out: list[MeasuredRun | None] = [None] * len(settings)
+            for i, run in zip(dense_i, dense):
+                out[i] = run
+            return out
+
         n = len(settings)
         name = pattern.name
-        true_times = np.array([r[0] for r in results], dtype=np.float64)
+        columnar = self.columnar
+        true_times = np.array([r[0] for r in results], dtype=np.float64)  # type: ignore[index]
         costs = true_times * self.trials
         compiled = self._compiled
-        for i, s in enumerate(settings):
-            key = (name, s)
-            if key not in compiled:
-                compiled.add(key)
-                costs[i] += self.compile_cost_s
+        if columnar:
+            keys64 = _records.settings_key64(self._prefix(name), settings)
+            for i, k in enumerate(keys64.tolist()):
+                if k not in compiled:
+                    compiled.add(k)
+                    costs[i] += self.compile_cost_s
+        else:
+            for i, s in enumerate(settings):
+                key = (name, s)
+                if key not in compiled:
+                    compiled.add(key)
+                    costs[i] += self.compile_cost_s
 
         measured = true_times
         if self.noise > 0.0:
             prefix = hash_prefix(self.seed, name)
             trials = self.trials
-            draws = np.empty((n, trials), dtype=np.float64)
             base = self.evaluations
-            default_rng = np.random.default_rng
             sep = "\x1f"
-            for i, s in enumerate(settings):
-                draws[i] = default_rng(
-                    stable_hash_with_prefix(
-                        prefix + s.values_repr() + sep, base + i
-                    )
-                ).standard_normal(trials)
+            if columnar:
+                # Streaming BLAKE2 with the per-setting head absorbed
+                # once: feeding the evaluation index into a copy() of a
+                # memoized partial hash yields the same digest as the
+                # one-shot hash over the concatenated payload, and the
+                # low 8 digest bytes are exactly the reference's
+                # ``% (1 << 64)``.
+                heads = self._noise_heads
+                blake2b = hashlib.blake2b
+                get = heads.get
+
+                def _seeds():
+                    for i, s in enumerate(settings):
+                        head = prefix + s.values_repr() + sep
+                        h = get(head)
+                        if h is None:
+                            h = blake2b(head.encode("utf-8"), digest_size=32)
+                            heads[head] = h
+                        d = h.copy()
+                        d.update(repr(base + i).encode("utf-8"))
+                        yield int.from_bytes(d.digest()[-8:], "big")
+
+                seeds = np.fromiter(_seeds(), dtype=np.uint64, count=n)
+                draws = self._noise_replayer().standard_normal_rows(seeds, trials)
+            else:
+                draws = np.empty((n, trials), dtype=np.float64)
+                default_rng = np.random.default_rng
+                for i, s in enumerate(settings):
+                    draws[i] = default_rng(
+                        stable_hash_with_prefix(
+                            prefix + s.values_repr() + sep, base + i
+                        )
+                    ).standard_normal(trials)
             samples = true_times[:, None] * (1.0 + self.noise * draws)
             measured = np.median(np.abs(samples), axis=1)
         self.evaluations += n
 
         # Fast MeasuredRun construction (see plans_from_arrays): build
         # the instance dict directly instead of paying the frozen
-        # dataclass __init__ per run.
+        # dataclass __init__ per run. Columnar mode hands out the
+        # cached metrics view instead of a per-run dict copy.
         device_name = self.device.name
         new = MeasuredRun.__new__
-        runs: list[MeasuredRun] = []
+        runs: list[MeasuredRun | None] = []
         append = runs.append
         for s, r, time_s, true_time, cost in zip(
             settings, results, measured.tolist(), true_times.tolist(), costs.tolist()
@@ -541,7 +900,7 @@ class GpuSimulator:
                 "time_s": time_s,
                 "true_time_s": true_time,
                 "tuning_cost_s": cost,
-                "metrics": dict(r[1]),
+                "metrics": r[1] if columnar else dict(r[1]),  # type: ignore[index]
             })
             append(run)
         return runs

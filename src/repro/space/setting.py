@@ -25,7 +25,7 @@ class Setting(Mapping[str, int]):
     orders compare equal.
     """
 
-    __slots__ = ("_values", "_key", "_hash", "_vt", "_vtr")
+    __slots__ = ("_values", "_key", "_hash", "_vt", "_vtr", "_h64")
 
     def __init__(self, values: Mapping[str, int]) -> None:
         for name, v in values.items():
@@ -36,6 +36,10 @@ class Setting(Mapping[str, int]):
         self._hash = hash(self._key)
         self._vt: tuple[int, ...] | None = None
         self._vtr: str | None = None
+        #: Cached uint64 content hash of the default-order value row —
+        #: the columnar cache key (see :mod:`repro.gpusim.records`).
+        #: Seeded vectorized by :func:`settings_from_matrix`.
+        self._h64: int | None = None
 
     # -- Mapping protocol ------------------------------------------------
 
@@ -163,12 +167,30 @@ def settings_from_matrix(values: np.ndarray) -> list[Setting]:
 
     This is the single point where a vectorized pipeline stage lifts its
     structure-of-arrays matrix back into setting objects; the cached
-    default-order value tuple is seeded from the row so the settings are
-    born "lowered" (no later per-setting tuple rebuild).
+    default-order value tuple and the 64-bit cache-key row hash are
+    seeded from the matrix so the settings are born "lowered" (no later
+    per-setting tuple rebuild or scalar re-hash).
     """
+    from repro.utils import rowhash  # local: keep module import light
+
+    hashes = rowhash.row_hashes(values, _h64_constants()).tolist()
     out: list[Setting] = []
-    for row in values.tolist():  # tolist() yields plain Python ints
+    for row, h in zip(values.tolist(), hashes):  # plain Python ints
         s = Setting(dict(zip(PARAMETER_ORDER, row)))
         s._vt = tuple(row)
+        s._h64 = h
         out.append(s)
     return out
+
+
+_H64_CONSTANTS = None
+
+
+def _h64_constants() -> "np.ndarray":
+    """Column multipliers for the cached row hash (lazy singleton)."""
+    global _H64_CONSTANTS
+    if _H64_CONSTANTS is None:
+        from repro.utils import rowhash
+
+        _H64_CONSTANTS = rowhash.column_constants(len(PARAMETER_ORDER))
+    return _H64_CONSTANTS

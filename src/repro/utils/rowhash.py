@@ -1,0 +1,88 @@
+"""Vectorized 64-bit content hashing of lowered setting rows.
+
+The columnar evaluation-record path keys the simulator's true-time
+cache by a ``uint64`` per (stencil, setting) instead of hashing a
+``(name, Setting)`` tuple per lookup. The hash is a multilinear map
+over the int64 value row (one random odd constant per parameter
+column) finished with a splitmix64 mixer — computable either for a
+whole ``(n, k)`` genotype matrix in one NumPy pass or for a single
+value tuple in pure Python, with bit-identical results.
+
+These are *in-memory* cache keys only: they never reach disk, so the
+constants just have to be stable within a process (they are in fact
+fixed literals, so they are stable across processes and platforms
+too). Collisions are possible in principle (~2^-64 per pair; about
+1.4e-10 for a 50k-entry cache) which is why the consumers keep the
+setting's value tuple next to each entry as a verification token.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+#: splitmix64 constants (Steele, Lea & Flood; public domain reference).
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+
+
+def splitmix64(x: int) -> int:
+    """One splitmix64 step: uniform 64-bit mix of a 64-bit input."""
+    z = (x + _SM_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _SM_MUL1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_MUL2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vector twin of :func:`splitmix64` (uint64 in, uint64 out)."""
+    with np.errstate(over="ignore"):
+        z = x + np.uint64(_SM_GAMMA)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_MUL1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_MUL2)
+        return z ^ (z >> np.uint64(31))
+
+
+def column_constants(n: int) -> np.ndarray:
+    """``n`` fixed odd 64-bit multipliers (one per matrix column)."""
+    out = np.empty(n, dtype=np.uint64)
+    for j in range(n):
+        out[j] = splitmix64((j * _SM_GAMMA) & _MASK64) | 1
+    return out
+
+
+def row_hashes(values: np.ndarray, constants: np.ndarray) -> np.ndarray:
+    """uint64 content hash per row of a lowered value matrix.
+
+    ``values`` is the ``(n, k)`` int64 matrix produced by
+    :func:`repro.space.setting.settings_matrix`; ``constants`` the
+    matching :func:`column_constants` array. Row-for-row equal to
+    :func:`row_hash` over the row's value tuple.
+    """
+    with np.errstate(over="ignore"):
+        acc = (values.astype(np.uint64) * constants[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+        return splitmix64_array(acc)
+
+
+def row_hash(values: Sequence[int], constants: np.ndarray) -> int:
+    """Scalar twin of :func:`row_hashes` for one value tuple."""
+    acc = 0
+    for v, c in zip(values, constants.tolist()):
+        acc = (acc + v * c) & _MASK64
+    return splitmix64(acc)
+
+
+def combine_key(prefix: int, content_hash: int) -> int:
+    """Mix a 64-bit namespace prefix into a content hash."""
+    return splitmix64(prefix ^ content_hash)
+
+
+def combine_keys(prefix: int, content_hashes: np.ndarray) -> np.ndarray:
+    """Vector twin of :func:`combine_key`."""
+    return splitmix64_array(content_hashes ^ np.uint64(prefix))

@@ -120,7 +120,7 @@ class TestStrictSimulator:
         with pytest.raises(AnalysisError):
             sim.run(small_pattern, setting)
         assert sim.evaluations == 0
-        assert (small_pattern.name, setting) not in sim._true_cache
+        assert not sim.cache_contains(small_pattern, setting)
 
     def test_default_subsampling_rate(self):
         assert DEFAULT_STRICT_EVERY == 1024

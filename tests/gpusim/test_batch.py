@@ -149,7 +149,8 @@ def test_true_cache_lru_eviction_and_counters(small_pattern, small_space, rng):
     sim.run_batch(small_pattern, settings)
     info = sim.cache_info()
     assert info == {
-        "hits": 0, "misses": 6, "size": 4, "capacity": 4, "disk_hits": 0,
+        "hits": 0, "misses": 6, "inserts": 6, "evictions": 2,
+        "size": 4, "capacity": 4, "disk_hits": 0,
     }
     # The two oldest entries were evicted; re-running the newest four
     # hits, re-running the oldest two misses and recomputes.
@@ -165,7 +166,8 @@ def test_unbounded_cache(small_pattern, small_space, rng):
     sim = GpuSimulator(device=A100, true_cache_capacity=None)
     sim.run_batch(small_pattern, settings)
     assert sim.cache_info() == {
-        "hits": 0, "misses": 8, "size": 8, "capacity": None, "disk_hits": 0,
+        "hits": 0, "misses": 8, "inserts": 8, "evictions": 0,
+        "size": 8, "capacity": None, "disk_hits": 0,
     }
 
 

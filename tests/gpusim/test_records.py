@@ -1,0 +1,120 @@
+"""Columnar record types: lazy views equal to their dict references."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.gpusim import records
+from repro.gpusim.records import MetricsRow, MetricsTable
+from repro.space.parameters import PARAMETER_ORDER
+from repro.space.setting import Setting, settings_from_matrix, settings_matrix
+
+
+def _table() -> MetricsTable:
+    names = ("occupancy", "dram_bytes", "elapsed_time")
+    data = np.array(
+        [[0.5, 1e9, 0.001], [0.75, 2e9, 0.002], [1.0, 3e9, 0.003]]
+    )
+    return MetricsTable(names, data)
+
+
+class TestMetricsTable:
+    def test_as_dicts_matches_rows(self):
+        t = _table()
+        dicts = t.as_dicts()
+        assert len(t) == 3 == len(dicts)
+        for i, d in enumerate(dicts):
+            assert dict(t.row(i)) == d
+            assert t[i] == d  # Mapping equality against plain dict
+
+    def test_column_view(self):
+        t = _table()
+        np.testing.assert_array_equal(t.column("occupancy"), [0.5, 0.75, 1.0])
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_with_column_appends(self):
+        t = _table()
+        t2 = t.with_column("extra", np.array([1.0, 2.0, 3.0]))
+        assert t2.names == t.names + ("extra",)
+        assert t2.row(1)["extra"] == 2.0
+        assert "extra" not in t.row(1)  # original untouched
+        with pytest.raises(ValueError):
+            t.with_column("occupancy", np.zeros(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsTable(("a", "b"), np.zeros((2, 3)))
+
+
+class TestMetricsRow:
+    def test_mapping_protocol(self):
+        row = _table().row(1)
+        assert row["occupancy"] == 0.75
+        assert len(row) == 3
+        assert list(row) == ["occupancy", "dram_bytes", "elapsed_time"]
+        assert "dram_bytes" in row and "nope" not in row
+        with pytest.raises(KeyError):
+            row["nope"]
+
+    def test_iteration_order_is_column_order(self):
+        # dict(row) must reproduce the scalar reference's insertion
+        # order — JSON serialization depends on it.
+        row = _table().row(0)
+        assert list(dict(row)) == list(row.as_dict()) == list(_table().names)
+
+    def test_equality_and_unhashable(self):
+        t = _table()
+        assert t.row(0) == t.row(0)
+        assert t.row(0) != t.row(1)
+        assert t.row(2) == {"occupancy": 1.0, "dram_bytes": 3e9,
+                            "elapsed_time": 0.003}
+        with pytest.raises(TypeError):
+            hash(t.row(0))
+
+    def test_items_are_plain_floats(self):
+        for _, v in _table().row(0).items():
+            assert type(v) is float
+
+
+class TestCacheKeys:
+    def test_settings_from_matrix_seed_cached_hash(self):
+        values = np.ones((3, len(PARAMETER_ORDER)), dtype=np.int64)
+        values[1, 0] = 2
+        values[2, 3] = 2
+        settings = settings_from_matrix(values)
+        for s in settings:
+            assert s._h64 is not None
+            assert records.setting_hash64(s) == s._h64
+
+    def test_scalar_and_batch_keys_agree(self):
+        values = np.ones((2, len(PARAMETER_ORDER)), dtype=np.int64)
+        values[0, :3] = (16, 8, 1)
+        values[1, :3] = (32, 4, 2)
+        settings = settings_from_matrix(values)
+        prefix = records.pattern_prefix("j3d7pt")
+        batch = records.settings_key64(prefix, settings)
+        for s, k in zip(settings, batch.tolist()):
+            assert records.setting_key64(prefix, s) == k
+
+    def test_hand_built_setting_lowers_lazily(self):
+        values = np.ones((1, len(PARAMETER_ORDER)), dtype=np.int64)
+        values[0, 0] = 16
+        (born,) = settings_from_matrix(values)
+        by_hand = Setting(born.to_dict())
+        assert by_hand._h64 is None
+        assert records.setting_hash64(by_hand) == born._h64
+
+    def test_pickle_roundtrip_recomputes_same_key(self):
+        values = np.ones((1, len(PARAMETER_ORDER)), dtype=np.int64)
+        values[0, 1] = 8
+        (s,) = settings_from_matrix(values)
+        s2 = pickle.loads(pickle.dumps(s))
+        assert records.setting_hash64(s2) == records.setting_hash64(s)
+        assert settings_matrix([s2]).tolist() == values.tolist()
+
+    def test_distinct_patterns_get_distinct_prefixes(self):
+        assert records.pattern_prefix("a") != records.pattern_prefix("b")

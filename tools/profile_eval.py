@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Flamegraph the evaluation hot path with py-spy.
+
+Runs a representative record-path workload — warm ``run_batch`` sweeps
+plus GA-generation-shaped ``evaluate_many`` chunks, the same shapes
+``benchmarks/bench_record_path.py`` gates — under ``py-spy record`` and
+writes an SVG flamegraph. ``make profile-eval`` wraps this; nightly CI
+uploads the SVG as an artifact so hot-path drift is visible without
+rerunning anything locally.
+
+py-spy is optional tooling (it is not a runtime dependency): when it is
+not installed, or cannot attach in this environment (it needs process
+tracing permissions some sandboxes withhold), the script prints why and
+exits 0 so ``make profile-eval`` never breaks an offline checkout.
+
+Usage::
+
+    python tools/profile_eval.py [--out profile_eval.svg]
+        [--duration 10] [--self]
+
+``--self`` runs the workload inline instead of profiling (used as the
+py-spy target, and handy for a quick smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "profile_eval.svg"
+
+
+def _workload() -> None:
+    """The profiled workload: warm batches + generation-sized chunks."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    import numpy as np
+
+    from repro.core.budget import Budget, Evaluator
+    from repro.gpusim.device import A100
+    from repro.gpusim.simulator import GpuSimulator
+    from repro.space.space import build_space
+    from repro.stencil.suite import get_stencil
+
+    pattern = get_stencil("j3d7pt")
+    space = build_space(pattern, A100)
+    settings = space.sample(np.random.default_rng(0), 2000)
+    chunks = [settings[i : i + 50] for i in range(0, len(settings), 50)]
+    sim = GpuSimulator(device=A100, seed=0)
+    sim.run_batch(pattern, settings)  # pay the model cost once
+    for _ in range(60):
+        sim.run_batch(pattern, settings)
+        evaluator = Evaluator(
+            sim, pattern, Budget(max_iterations=2 * len(settings))
+        )
+        for chunk in chunks:
+            evaluator.evaluate_many(chunk)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output SVG path (default: {DEFAULT_OUT})")
+    parser.add_argument("--duration", type=int, default=10,
+                        help="seconds to sample (default: 10)")
+    parser.add_argument("--self", dest="run_self", action="store_true",
+                        help="run the workload inline (py-spy's target)")
+    args = parser.parse_args(argv)
+
+    if args.run_self:
+        _workload()
+        return 0
+
+    py_spy = shutil.which("py-spy")
+    if py_spy is None:
+        print("py-spy not installed - skipping eval profile")
+        return 0
+
+    cmd = [
+        py_spy, "record",
+        "--output", str(args.out),
+        "--format", "flamegraph",
+        "--duration", str(args.duration),
+        "--", sys.executable, str(Path(__file__).resolve()), "--self",
+    ]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        # Attach failures (missing SYS_PTRACE etc.) are environmental,
+        # not a build problem — report and move on.
+        print(
+            f"py-spy exited {proc.returncode} - skipping eval profile "
+            f"(needs process-tracing permissions)"
+        )
+        return 0
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
