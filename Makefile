@@ -8,7 +8,7 @@ PYTEST_ARGS ?= -x -q -m "not slow"
 COV_FLOOR ?= 75
 
 .PHONY: verify lint typecheck test coverage analyze bench bench-fast \
-        check-regression bench-baselines profile-eval
+        check-regression bench-baselines profile-eval service-smoke
 
 verify: lint typecheck test
 
@@ -93,3 +93,9 @@ bench-baselines: bench-fast
 # CI uploads the SVG as an artifact.
 profile-eval:
 	$(PYTHON) tools/profile_eval.py
+
+# End-to-end smoke of the tuning service against a real `repro serve`
+# subprocess: golden fast path, worker SIGKILL + retry, cancel, and
+# daemon-restart queue replay. Same script CI's service-smoke job runs.
+service-smoke:
+	$(PYTHON) tools/service_smoke.py

@@ -87,6 +87,17 @@ _COUNTER_RESETS = frozenset({"reset_search_stats", "reset_metrics"})
 #: (they are submitted to the pool by name from the experiment runner).
 _TASK_MODULE = "repro.experiments.tasks"
 
+#: Long-lived daemon/scheduler entry points (tuning-as-a-service).
+#: These run on daemon threads next to the HTTP handlers and fan work
+#: into the warm fleet, so everything they reach is walked with the
+#: same shared-state checks as the Task payloads themselves.
+_SERVICE_ROOTS = frozenset({
+    "repro.service.scheduler.Scheduler._run_one",
+    "repro.service.executor.execute_job",
+    "repro.service.executor._execute_tune",
+    "repro.service.executor._execute_experiment",
+})
+
 #: Functions that *own* the worker protocols: the worker main loop,
 #: chunk executor and setup/teardown legitimately touch the store
 #: lifecycle and counter baselines, so reachability stops at them.
@@ -324,6 +335,7 @@ def _task_payload_roots(
             qual = f"{_TASK_MODULE}.{name}"
             if not name.startswith("_") and qual in index.functions:
                 roots.add(qual)
+    roots.update(q for q in _SERVICE_ROOTS if q in index.functions)
     return roots, diags
 
 

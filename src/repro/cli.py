@@ -25,6 +25,9 @@ Subcommands cover the common workflows:
     Run tuners with span tracing on and emit ``trace.json``,
     ``phases.txt`` and the Fig-12-style overhead breakdown (see
     ``docs/observability.md``).
+``serve`` / ``submit`` / ``status`` / ``result`` / ``jobs`` / ``cancel``
+    Tuning-as-a-service: run the job daemon, submit tuning jobs over
+    its HTTP/JSON API and track them (see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -52,6 +55,15 @@ from repro.experiments import (
 from repro.experiments.comparison import TUNER_NAMES, run_tuner
 from repro.gpusim.device import get_device
 from repro.gpusim.simulator import GpuSimulator
+from repro.service.cli import (
+    add_cancel_arguments,
+    add_jobs_arguments,
+    add_result_arguments,
+    add_serve_arguments,
+    add_status_arguments,
+    add_submit_arguments,
+    run_service_command,
+)
 from repro.space.space import build_space
 from repro.stencil.suite import STENCIL_SUITE, get_stencil
 
@@ -405,6 +417,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="persistent evaluation-cache directory")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the tuning-as-a-service daemon (HTTP/JSON job API)",
+    )
+    add_serve_arguments(p)
+
+    p = sub.add_parser("submit", help="submit a job to a running daemon")
+    add_submit_arguments(p)
+
+    p = sub.add_parser("status", help="show one job's state")
+    add_status_arguments(p)
+
+    p = sub.add_parser("result", help="fetch a finished job's result")
+    add_result_arguments(p)
+
+    p = sub.add_parser("jobs", help="list jobs on a running daemon")
+    add_jobs_arguments(p)
+
+    p = sub.add_parser("cancel", help="cancel a pending or running job")
+    add_cancel_arguments(p)
+
     return parser
 
 
@@ -418,6 +451,12 @@ _COMMANDS = {
     "analyze": run_from_args,
     "db": run_db_from_args,
     "trace": _cmd_trace,
+    "serve": run_service_command,
+    "submit": run_service_command,
+    "status": run_service_command,
+    "result": run_service_command,
+    "jobs": run_service_command,
+    "cancel": run_service_command,
 }
 
 

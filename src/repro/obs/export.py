@@ -119,7 +119,9 @@ def format_table(
 #: evaluation store (``diskcache.*``), the simulator's persistent-store
 #: hits (``sim.disk_hits``) and the results database's golden fast path
 #: and warm starts (``resultsdb.*``).
-INSTRUMENT_PREFIXES: tuple[str, ...] = ("diskcache.", "sim.", "resultsdb.")
+INSTRUMENT_PREFIXES: tuple[str, ...] = (
+    "diskcache.", "sim.", "resultsdb.", "service.",
+)
 
 
 def instrument_counters(

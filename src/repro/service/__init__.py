@@ -1,0 +1,72 @@
+"""Tuning-as-a-service: daemon, job queue and worker-fleet service core.
+
+The experiment stack below this package is a library: you construct an
+:class:`~repro.experiments.runner.ExperimentRunner` (or call
+``repro tune``) and wait. This package turns it into a **long-lived
+service** in the ROCm/MITuna mold — a daemon that accepts many
+(stencil, device, budget, tuner) jobs over a small HTTP/JSON API,
+queues them crash-safely on disk, fans them out to the persistent
+:class:`~repro.parallel.warm.WarmFleet` workers, survives worker death
+with bounded retry-with-backoff, serves golden
+:class:`~repro.resultsdb.db.ResultsDB` records with zero evaluations,
+and streams every job's artifacts into a per-job directory.
+
+Layers (one module each):
+
+* :mod:`repro.service.jobs` — the job model and its state machine
+  (``pending → running → done/errored/cancelled``, with
+  ``running → pending`` as the journaled retry/requeue edge).
+* :mod:`repro.service.queue` — the crash-safe on-disk queue: an
+  append-only ``queue.jsonl`` journal following the
+  :mod:`repro.gpusim.diskcache` record discipline (atomic appends,
+  corruption-tolerant replay, replay-on-restart requeues jobs that
+  were mid-flight when the daemon died).
+* :mod:`repro.service.executor` — maps a claimed job onto the existing
+  execution machinery: :func:`repro.experiments.tasks.tuner_run_task`
+  payloads (with cost hints) through a
+  :class:`~repro.parallel.pool.WorkerPool`, whole
+  :class:`~repro.experiments.runner.ExperimentRunner` invocations for
+  experiment jobs, and the O(1) golden fast path for tune jobs.
+* :mod:`repro.service.scheduler` — the scheduler thread: claims
+  pending jobs FIFO, executes them, retries on
+  :class:`~repro.errors.OrchestrationError` (worker death) with
+  exponential backoff, honors cancellation.
+* :mod:`repro.service.daemon` — ``repro serve``: a stdlib
+  ``ThreadingHTTPServer`` exposing ``POST /jobs``, ``GET /jobs``,
+  ``GET /jobs/<id>``, ``GET /jobs/<id>/result``,
+  ``POST /jobs/<id>/cancel`` and ``GET /healthz``.
+* :mod:`repro.service.client` — a thin stdlib-``urllib`` client, the
+  substrate of the ``repro submit/status/result/jobs/cancel``
+  subcommands (:mod:`repro.service.cli`).
+
+See ``docs/service.md`` for the API reference and job lifecycle.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, service_endpoint
+from repro.service.daemon import ServiceDaemon
+from repro.service.executor import ExecutionContext
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    Job,
+    JobSpecError,
+    JobState,
+    TransitionError,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "ExecutionContext",
+    "Job",
+    "JobQueue",
+    "JobSpecError",
+    "JobState",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "TransitionError",
+    "service_endpoint",
+]

@@ -1,0 +1,261 @@
+"""CLI entry points for the tuning service.
+
+``repro serve`` boots the daemon; ``repro submit/status/result/jobs/
+cancel`` are thin :class:`~repro.service.client.ServiceClient`
+wrappers. Client commands find the daemon either via ``--url`` or by
+reading ``daemon.json`` from ``--state-dir`` (so an ephemeral-port
+daemon needs no copy-pasting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import threading
+from typing import Any
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    service_endpoint,
+)
+
+#: Default state directory shared by ``serve`` and the client commands.
+DEFAULT_STATE_DIR = "service-state"
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+def add_serve_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                   help="queue journal + per-job artifact directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "written to <state-dir>/daemon.json)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker-fleet width for job fan-out")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent evaluation-cache directory")
+    p.add_argument("--results-db", default=None,
+                   help="results-database root; fresh golden records "
+                        "serve tune jobs with zero evaluations")
+    p.add_argument("--no-db-fastpath", action="store_true",
+                   help="never serve golden records; always run jobs")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="requeues per job after worker death before "
+                        "the job is marked errored")
+    p.add_argument("--backoff", type=float, default=0.5,
+                   help="base retry backoff in seconds (doubles per "
+                        "attempt)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import ServiceDaemon
+
+    daemon = ServiceDaemon(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_db=args.results_db,
+        db_fastpath=not args.no_db_fastpath,
+        max_retries=args.max_retries,
+        backoff_s=args.backoff,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    daemon.start()
+    print(f"repro service listening on {daemon.url} "
+          f"(state: {daemon.state_dir}, workers: {daemon.ctx.workers})",
+          flush=True)
+    stop.wait()
+    print("shutting down", flush=True)
+    daemon.stop()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# client commands
+# ---------------------------------------------------------------------------
+
+def add_client_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--url", default=None,
+                   help="daemon base URL (e.g. http://127.0.0.1:8123)")
+    p.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                   help="discover the daemon via <state-dir>/daemon.json "
+                        "when --url is not given")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request HTTP timeout in seconds")
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    url = args.url or service_endpoint(args.state_dir)
+    return ServiceClient(url, timeout_s=args.timeout)
+
+
+def add_submit_arguments(p: argparse.ArgumentParser) -> None:
+    add_client_arguments(p)
+    p.add_argument("--key", default=None,
+                   help="idempotency key: resubmitting the same key "
+                        "returns the existing job")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal and print the "
+                        "result")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    sub = p.add_subparsers(dest="job_kind", required=True)
+
+    t = sub.add_parser("tune", help="one (stencil, device, tuner) run")
+    t.add_argument("stencil")
+    t.add_argument("--device", default="A100")
+    t.add_argument("--tuner", default="csTuner")
+    t.add_argument("--budget", type=float, default=None,
+                   help="tuning-cost budget in seconds")
+    t.add_argument("--iterations", type=int, default=None,
+                   help="iteration budget instead of time")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--rep", type=int, default=0)
+    t.add_argument("--dataset-size", type=int, default=128)
+    t.add_argument("--warm-start", action="store_true")
+    t.add_argument("--no-db-fastpath", action="store_true")
+
+    e = sub.add_parser("experiment", help="a full ExperimentRunner pass")
+    e.add_argument("--stencils", nargs="+", default=None)
+    e.add_argument("--samples", type=int, default=1500)
+    e.add_argument("--reps", type=int, default=2)
+    e.add_argument("--budget", type=float, default=100.0)
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--trace", action="store_true")
+
+    s = sub.add_parser("sleep", help="diagnostic timed wait")
+    s.add_argument("--seconds", type=float, default=5.0)
+
+
+def _submit_spec(args: argparse.Namespace) -> tuple[str, dict[str, Any]]:
+    if args.job_kind == "tune":
+        params: dict[str, Any] = {
+            "stencil": args.stencil,
+            "device": args.device,
+            "tuner": args.tuner,
+            "seed": args.seed,
+            "rep": args.rep,
+            "dataset_size": args.dataset_size,
+            "warm_start": bool(args.warm_start),
+            "db_fastpath": not args.no_db_fastpath,
+        }
+        if args.iterations is not None:
+            params["iterations"] = args.iterations
+        elif args.budget is not None:
+            params["budget_s"] = args.budget
+        return "tune", params
+    if args.job_kind == "experiment":
+        return "experiment", {
+            "stencils": args.stencils,
+            "samples": args.samples,
+            "repetitions": args.reps,
+            "budget_s": args.budget,
+            "seed": args.seed,
+            "trace": bool(args.trace),
+        }
+    return "sleep", {"seconds": args.seconds}
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    client = _client(args)
+    kind, params = _submit_spec(args)
+    params = {k: v for k, v in params.items() if v is not None}
+    reply = client.submit(kind, params, key=args.key)
+    job = reply["job"]
+    verb = "accepted" if reply.get("created") else "already queued"
+    print(f"{verb}: {job['id']} [{kind}] state={job['state']}")
+    if not args.wait:
+        return 0
+    final = client.wait(job["id"], timeout_s=args.wait_timeout)
+    print(f"{job['id']} finished: {final['state']}")
+    if final["state"] == "done":
+        print(json.dumps(client.result(job["id"]), indent=2, sort_keys=True))
+        return 0
+    if final.get("error"):
+        print(final["error"])
+    return 1
+
+
+def add_status_arguments(p: argparse.ArgumentParser) -> None:
+    add_client_arguments(p)
+    p.add_argument("job_id")
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    print(json.dumps(_client(args).job(args.job_id), indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def add_result_arguments(p: argparse.ArgumentParser) -> None:
+    add_client_arguments(p)
+    p.add_argument("job_id")
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    print(json.dumps(_client(args).result(args.job_id), indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def add_jobs_arguments(p: argparse.ArgumentParser) -> None:
+    add_client_arguments(p)
+    p.add_argument("--state", default=None,
+                   choices=["pending", "running", "done", "errored",
+                            "cancelled"])
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    rows = _client(args).jobs(args.state)
+    if not rows:
+        print("no jobs")
+        return 0
+    width = max(len(r["id"]) for r in rows)
+    for r in rows:
+        flag = " cancel-requested" if r.get("cancel_requested") else ""
+        print(f"{r['id']:<{width}}  {r['kind']:<10} {r['state']:<9} "
+              f"retries={r['retries']}{flag}")
+    return 0
+
+
+def add_cancel_arguments(p: argparse.ArgumentParser) -> None:
+    add_client_arguments(p)
+    p.add_argument("job_id")
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    reply = _client(args).cancel(args.job_id)
+    job = reply["job"]
+    print(f"{job['id']}: state={job['state']} "
+          f"cancel_requested={job['cancel_requested']}")
+    return 0
+
+
+def run_service_command(args: argparse.Namespace) -> int:
+    """Dispatch a service subcommand; map API errors to exit code 1."""
+    commands = {
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "result": cmd_result,
+        "jobs": cmd_jobs,
+        "cancel": cmd_cancel,
+    }
+    try:
+        return commands[args.command](args)
+    except ServiceError as exc:
+        print(f"service error: {exc}")
+        return 1

@@ -1,0 +1,143 @@
+"""Thin stdlib-``urllib`` client for the tuning service.
+
+:class:`ServiceClient` wraps the daemon's JSON API one method per
+endpoint, raising :class:`ServiceError` (carrying the HTTP status and
+decoded error payload) on anything non-2xx. :func:`service_endpoint`
+resolves a daemon started on an ephemeral port through the
+``daemon.json`` discovery file its state directory holds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceError(ReproError):
+    """An API call failed; carries the status and server payload."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)!r}"
+        )
+
+
+def service_endpoint(state_dir: str | Path) -> str:
+    """Daemon base URL from a state directory's ``daemon.json``."""
+    path = Path(state_dir) / "daemon.json"
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(
+            0, {"error": f"no readable daemon.json under {state_dir}: {exc}"}
+        ) from exc
+    url = obj.get("url")
+    if not isinstance(url, str):
+        raise ServiceError(0, {"error": f"malformed daemon.json: {obj!r}"})
+    return url
+
+
+class ServiceClient:
+    """HTTP/JSON client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                payload = {"error": str(exc)}
+            raise ServiceError(exc.code, payload) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, {"error": str(exc)}) from exc
+        if not isinstance(payload, dict):
+            raise ServiceError(0, {"error": f"non-object reply {payload!r}"})
+        return payload
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        key: str | None = None,
+    ) -> dict[str, Any]:
+        """``POST /jobs``; returns ``{"job": ..., "created": bool}``."""
+        body: dict[str, Any] = {"kind": kind, "params": params}
+        if key is not None:
+            body["key"] = key
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, state: str | None = None) -> list[dict[str, Any]]:
+        path = "/jobs" if state is None else f"/jobs?state={state}"
+        reply = self._request("GET", path)
+        jobs = reply.get("jobs", [])
+        return jobs if isinstance(jobs, list) else []
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    # -- polling -----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.2,
+        states: frozenset[str] = TERMINAL_STATES,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches one of ``states`` (terminal by
+        default); returns the final job dict or raises ``TimeoutError``."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in states:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.get('state')!r} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,261 @@
+"""Job model and state machine for the tuning service.
+
+A job is one unit of tuning work the daemon accepted: a *kind*
+(``tune``, ``experiment`` or the diagnostic ``sleep``), a validated
+parameter dict, and a lifecycle state. States move only along the
+edges of :data:`LEGAL_TRANSITIONS`:
+
+.. code-block:: text
+
+            submit                 claim
+    (new) ─────────▶ pending ──────────────▶ running ──▶ done
+                       │  ▲                    │ │
+                cancel │  │ retry / requeue    │ │ exhausted retries
+                       ▼  └────────────────────┘ ▼
+                   cancelled ◀─────────────── errored
+                              cancel (running)
+
+``running → pending`` is the *retry/requeue* edge: the scheduler takes
+it after a worker death (bounded by the retry budget) and the queue
+takes it during replay for jobs that were mid-flight when the daemon
+died — so a killed daemon resumes its queue with no lost jobs.
+``done``, ``errored`` and ``cancelled`` are terminal.
+
+Job specs are validated at submit time (:func:`validate_spec`), so the
+queue only ever journals runnable jobs and a bad request fails fast
+with a 400 instead of an errored job minutes later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class JobState:
+    """Job lifecycle states (plain strings, JSON-journal friendly)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    ERRORED = "errored"
+    CANCELLED = "cancelled"
+
+
+#: Every state a job can be in.
+ALL_STATES: frozenset[str] = frozenset({
+    JobState.PENDING, JobState.RUNNING, JobState.DONE,
+    JobState.ERRORED, JobState.CANCELLED,
+})
+
+#: States with no outgoing edges.
+TERMINAL_STATES: frozenset[str] = frozenset({
+    JobState.DONE, JobState.ERRORED, JobState.CANCELLED,
+})
+
+#: The complete transition relation. ``running → pending`` is the
+#: retry/requeue edge (see module docstring); everything else is the
+#: ordinary submit/claim/finish/cancel flow.
+LEGAL_TRANSITIONS: dict[str, frozenset[str]] = {
+    JobState.PENDING: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset({
+        JobState.DONE, JobState.ERRORED, JobState.CANCELLED,
+        JobState.PENDING,
+    }),
+    JobState.DONE: frozenset(),
+    JobState.ERRORED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+#: Job kinds the executor understands. ``sleep`` is a diagnostic kind
+#: (a cancellation-aware timed wait) used by the smoke tests and by
+#: operators probing a live daemon.
+JOB_KINDS: tuple[str, ...] = ("tune", "experiment", "sleep")
+
+
+class JobSpecError(ReproError):
+    """A submitted job spec failed validation (HTTP 400)."""
+
+
+class TransitionError(ReproError):
+    """An illegal job state transition was requested (HTTP 409)."""
+
+
+@dataclass
+class Job:
+    """One accepted job and its current lifecycle snapshot."""
+
+    id: str
+    kind: str
+    params: dict[str, Any]
+    #: Client-supplied idempotency key: re-submitting the same key
+    #: returns the existing job instead of enqueueing a duplicate.
+    key: str | None = None
+    state: str = JobState.PENDING
+    #: Times the job was requeued after a failed running attempt.
+    retries: int = 0
+    #: Set while the job runs when a cancel arrived; the scheduler and
+    #: executor check it at task boundaries.
+    cancel_requested: bool = False
+    error: str | None = None
+    #: Compact result payload journaled on ``done`` (full artifacts
+    #: live in the per-job directory).
+    result: dict[str, Any] | None = None
+    #: Monotonic submission sequence number (FIFO claim order).
+    seq: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        """The ``GET /jobs`` row."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "retries": self.retries,
+            "key": self.key,
+            "cancel_requested": self.cancel_requested,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full ``GET /jobs/<id>`` payload."""
+        return {
+            **self.summary(),
+            "params": dict(self.params),
+            "error": self.error,
+            "result": self.result,
+            "seq": self.seq,
+        }
+
+
+def check_transition(current: str, to: str) -> None:
+    """Raise :class:`TransitionError` unless ``current → to`` is legal."""
+    if current not in LEGAL_TRANSITIONS:
+        raise TransitionError(f"unknown job state {current!r}")
+    if to not in ALL_STATES:
+        raise TransitionError(f"unknown target state {to!r}")
+    if to not in LEGAL_TRANSITIONS[current]:
+        raise TransitionError(f"illegal transition {current!r} -> {to!r}")
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+def _require(
+    params: dict[str, Any], allowed: dict[str, type | tuple[type, ...]],
+    required: tuple[str, ...] = (),
+) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise JobSpecError(f"unknown spec field(s): {', '.join(unknown)}")
+    for name in required:
+        if name not in params:
+            raise JobSpecError(f"missing required spec field {name!r}")
+    for name, value in params.items():
+        expect = allowed[name]
+        if not isinstance(value, expect) or isinstance(value, bool) and (
+            expect is int or expect == (int, float)
+        ):
+            raise JobSpecError(
+                f"spec field {name!r} has wrong type "
+                f"{type(value).__name__} (value {value!r})"
+            )
+
+
+def _validate_tune(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.experiments.comparison import TUNER_NAMES
+    from repro.gpusim.device import DEVICES
+    from repro.stencil.suite import suite_names
+
+    _require(params, {
+        "stencil": str, "device": str, "tuner": str,
+        "budget_s": (int, float), "iterations": int,
+        "seed": int, "rep": int, "dataset_size": int,
+        "warm_start": bool, "warm_seeds": int, "db_fastpath": bool,
+    }, required=("stencil",))
+    spec = {
+        "stencil": params["stencil"],
+        "device": params.get("device", "A100"),
+        "tuner": params.get("tuner", "csTuner"),
+        "seed": int(params.get("seed", 0)),
+        "rep": int(params.get("rep", 0)),
+        "dataset_size": int(params.get("dataset_size", 128)),
+        "warm_start": bool(params.get("warm_start", False)),
+        "warm_seeds": int(params.get("warm_seeds", 8)),
+        "db_fastpath": bool(params.get("db_fastpath", True)),
+    }
+    if spec["stencil"] not in suite_names():
+        raise JobSpecError(f"unknown stencil {spec['stencil']!r}")
+    if spec["device"] not in DEVICES:
+        raise JobSpecError(f"unknown device {spec['device']!r}")
+    if spec["tuner"] not in TUNER_NAMES:
+        raise JobSpecError(f"unknown tuner {spec['tuner']!r}")
+    if "iterations" in params:
+        if params["iterations"] <= 0:
+            raise JobSpecError("iterations must be positive")
+        spec["iterations"] = int(params["iterations"])
+    else:
+        budget = float(params.get("budget_s", 100.0))
+        if budget <= 0:
+            raise JobSpecError("budget_s must be positive")
+        spec["budget_s"] = budget
+    return spec
+
+
+def _validate_experiment(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.stencil.suite import suite_names
+
+    _require(params, {
+        "stencils": list, "samples": int, "repetitions": int,
+        "budget_s": (int, float), "seed": int, "trace": bool,
+    })
+    stencils = params.get("stencils")
+    if stencils is not None:
+        known = set(suite_names())
+        for name in stencils:
+            if not isinstance(name, str) or name not in known:
+                raise JobSpecError(f"unknown stencil {name!r}")
+        if not stencils:
+            raise JobSpecError("stencils must not be empty when given")
+    spec = {
+        "stencils": list(stencils) if stencils else None,
+        "samples": int(params.get("samples", 1500)),
+        "repetitions": int(params.get("repetitions", 2)),
+        "budget_s": float(params.get("budget_s", 100.0)),
+        "seed": int(params.get("seed", 0)),
+        "trace": bool(params.get("trace", False)),
+    }
+    if spec["samples"] <= 0 or spec["repetitions"] <= 0:
+        raise JobSpecError("samples and repetitions must be positive")
+    if spec["budget_s"] <= 0:
+        raise JobSpecError("budget_s must be positive")
+    return spec
+
+
+def _validate_sleep(params: dict[str, Any]) -> dict[str, Any]:
+    _require(params, {"seconds": (int, float)}, required=("seconds",))
+    seconds = float(params["seconds"])
+    if not 0 <= seconds <= 3600:
+        raise JobSpecError("seconds must be in [0, 3600]")
+    return {"seconds": seconds}
+
+
+def validate_spec(kind: str, params: dict[str, Any]) -> dict[str, Any]:
+    """Validate and normalize a job spec; raise :class:`JobSpecError`.
+
+    Returns the normalized parameter dict (defaults filled in, types
+    coerced) that the queue journals and the executor consumes.
+    """
+    if not isinstance(params, dict):
+        raise JobSpecError("params must be a JSON object")
+    if kind == "tune":
+        return _validate_tune(params)
+    if kind == "experiment":
+        return _validate_experiment(params)
+    if kind == "sleep":
+        return _validate_sleep(params)
+    raise JobSpecError(
+        f"unknown job kind {kind!r} (expected one of {', '.join(JOB_KINDS)})"
+    )

@@ -1,0 +1,171 @@
+"""The scheduler thread: claim → execute → retry/finish.
+
+One daemon-side thread drains the queue FIFO. Each claimed job runs
+through :func:`repro.service.executor.execute_job` (which fans work
+across the warm fleet internally), and the scheduler owns exactly
+three policies:
+
+* **Retry-with-backoff.** Worker death — a SIGKILLed fleet process, a
+  poisoned pipe — surfaces as
+  :class:`~repro.errors.OrchestrationError`. The scheduler takes the
+  journaled ``running → pending`` edge (incrementing the retry
+  counter), sleeps ``backoff_s * 2**(retries-1)``, reclaims and
+  reruns. Only after ``max_retries`` requeues does the *job* become
+  ``errored`` — the daemon never dies with a worker.
+* **Cancellation.** The queue's ``cancel_requested`` flag is checked
+  before the claim, at executor boundaries (via the ``should_cancel``
+  callback) and before finalizing, so a cancel that lands mid-run
+  wins over a computed result.
+* **Crash consistency.** Every edge is journaled before the next step
+  starts; a daemon killed at any point leaves the job either terminal
+  or in a state the queue's replay requeues.
+
+Everything the scheduler runs in-process (``workers=1`` jobs) executes
+on this thread; the HTTP handlers only ever touch the queue, so a slow
+job never blocks the API.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import OrchestrationError
+from repro.service.executor import (
+    ExecutionContext,
+    JobCancelled,
+    execute_job,
+)
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+
+
+@dataclass
+class SchedulerConfig:
+    """Retry and polling knobs."""
+
+    #: Requeues per job before it is marked ``errored``.
+    max_retries: int = 2
+    #: Base backoff; attempt ``n`` sleeps ``backoff_s * 2**(n-1)``.
+    backoff_s: float = 0.5
+    #: Idle queue poll interval.
+    poll_s: float = 0.05
+
+
+class Scheduler:
+    """Single-threaded job executor over a :class:`JobQueue`."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        ctx: ExecutionContext,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.queue = queue
+        self.ctx = ctx
+        self.config = config or SchedulerConfig()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Signal the loop to exit and wait briefly.
+
+        A job still running after the timeout is abandoned in the
+        ``running`` state — exactly what queue replay requeues on the
+        next daemon start, so stopping mid-job loses nothing.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- loop --------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                self._stop.wait(self.config.poll_s)
+                continue
+            self._run_one(job)
+
+    def _cancelled(self, job_id: str) -> bool:
+        job = self.queue.get(job_id)
+        return job is not None and job.cancel_requested
+
+    def _run_one(self, job: Job) -> None:
+        """Drive one claimed job to a terminal state (or abandon on stop)."""
+        while True:
+            if self._cancelled(job.id):
+                self.queue.transition(job.id, JobState.CANCELLED)
+                obs.count("service.jobs_cancelled")
+                return
+            try:
+                result = execute_job(
+                    job.id, job.kind, job.params, self.ctx,
+                    should_cancel=lambda: self._cancelled(job.id)
+                    or self._stop.is_set(),
+                )
+            except JobCancelled:
+                if self._stop.is_set() and not self._cancelled(job.id):
+                    # Daemon shutdown, not a user cancel: leave the job
+                    # `running` for replay to requeue on restart.
+                    return
+                self.queue.transition(job.id, JobState.CANCELLED)
+                obs.count("service.jobs_cancelled")
+                return
+            except OrchestrationError:
+                if job.retries >= self.config.max_retries:
+                    self.queue.transition(
+                        job.id, JobState.ERRORED,
+                        error="retries exhausted:\n"
+                        + traceback.format_exc(limit=20),
+                    )
+                    obs.count("service.jobs_errored")
+                    return
+                job = self.queue.transition(job.id, JobState.PENDING)
+                obs.count("service.jobs_retried")
+                backoff = self.config.backoff_s * 2 ** (job.retries - 1)
+                if self._stop.wait(backoff):
+                    return  # shut down mid-backoff: job replays as pending
+                claimed = self.queue.claim_next()
+                if claimed is None or claimed.id != job.id:
+                    # Another job slipped ahead (it can't: single
+                    # scheduler, FIFO claim) or ours was cancelled
+                    # while pending. Handle the claimed one, if any.
+                    if claimed is None:
+                        return
+                    job = claimed
+                    continue
+                job = claimed
+                continue
+            except Exception:
+                self.queue.transition(
+                    job.id, JobState.ERRORED,
+                    error=traceback.format_exc(limit=20),
+                )
+                obs.count("service.jobs_errored")
+                return
+            if self._cancelled(job.id):
+                self.queue.transition(job.id, JobState.CANCELLED)
+                obs.count("service.jobs_cancelled")
+                return
+            self.queue.transition(job.id, JobState.DONE, result=result)
+            obs.count("service.jobs_completed")
+            return

@@ -1,0 +1,61 @@
+"""Service-test fixtures and on-failure artifact capture.
+
+Every test gets an in-process :class:`ServiceDaemon` on an ephemeral
+port through the ``daemon`` factory fixture. When any test in this
+package fails, the daemon state directory it used (queue journal,
+per-job artifacts, ``service.log``) is copied into
+``service-test-artifacts/<test-name>/`` at the repo root so CI can
+upload it for post-mortem.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.service.daemon import ServiceDaemon
+
+#: Where failing tests park their daemon state for CI upload.
+ARTIFACT_ROOT = Path(__file__).resolve().parents[2] / "service-test-artifacts"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    state_dirs = getattr(item, "_service_state_dirs", None)
+    if not state_dirs:
+        return
+    dest_root = ARTIFACT_ROOT / item.name.replace("/", "_")
+    for i, state_dir in enumerate(state_dirs):
+        if not Path(state_dir).is_dir():
+            continue
+        dest = dest_root / (Path(state_dir).name or f"state-{i}")
+        shutil.copytree(state_dir, dest, dirs_exist_ok=True)
+
+
+@pytest.fixture
+def daemon(tmp_path, request):
+    """Factory for in-process daemons; all are stopped at teardown."""
+    started: list[ServiceDaemon] = []
+    state_dirs: list[Path] = []
+    request.node._service_state_dirs = state_dirs
+
+    def _make(name: str = "svc", **kwargs) -> ServiceDaemon:
+        state_dir = tmp_path / name
+        state_dirs.append(state_dir)
+        d = ServiceDaemon(state_dir, **kwargs)
+        d.start()
+        started.append(d)
+        return d
+
+    yield _make
+    for d in started:
+        try:
+            d.stop(timeout_s=5.0)
+        except Exception:
+            pass

@@ -1,0 +1,268 @@
+"""HTTP API contract of the service daemon.
+
+An in-process :class:`ServiceDaemon` on an ephemeral port, exercised
+through the stdlib :class:`ServiceClient` — every endpoint, every
+documented status code, plus the golden fast path (zero-evaluation
+tune jobs served straight from a :class:`ResultsDB`).
+"""
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import A100
+from repro.gpusim.diskcache import EvaluationStore, device_token
+from repro.resultsdb.db import ResultsDB
+from repro.service.client import ServiceClient, ServiceError, service_endpoint
+from repro.space.space import build_space
+from repro.stencil.suite import get_stencil
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(daemon().url, timeout_s=10.0)
+
+
+def wait_state(client, job_id, state, timeout_s=10.0):
+    final = client.wait(job_id, timeout_s=timeout_s, states=frozenset({state}))
+    assert final["state"] == state
+    return final
+
+
+class TestDiscovery:
+    def test_endpoint_file(self, daemon, tmp_path):
+        d = daemon("disco")
+        url = service_endpoint(tmp_path / "disco")
+        assert url == d.url
+        assert ServiceClient(url, timeout_s=5.0).healthz()["status"] == "ok"
+
+    def test_missing_endpoint_file(self, tmp_path):
+        with pytest.raises(ServiceError, match="daemon.json"):
+            service_endpoint(tmp_path / "nowhere")
+
+
+class TestHealthz:
+    def test_fields(self, client):
+        h = client.healthz()
+        assert h["status"] == "ok"
+        assert h["pid"] > 0
+        assert h["workers"] == 1
+        assert set(h["queue"]) == {
+            "pending", "running", "done", "errored", "cancelled",
+        }
+        assert h["bad_journal_lines"] == 0
+        assert h["requeued_on_replay"] == 0
+        assert isinstance(h["counters"], dict)
+
+
+class TestSubmit:
+    def test_created_201_then_deduped_200(self, daemon):
+        d = daemon()
+        url = d.url + "/jobs"
+        body = json.dumps({
+            "kind": "sleep", "params": {"seconds": 0.01}, "key": "k1",
+        }).encode()
+        req = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.status == 201
+            first = json.loads(resp.read())
+        assert first["created"] is True
+        req = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.status == 200
+            second = json.loads(resp.read())
+        assert second["created"] is False
+        assert second["job"]["id"] == first["job"]["id"]
+
+    @pytest.mark.parametrize("body,match", [
+        (b"{nope", "not valid JSON"),
+        (b'{"params": {}}', "missing job kind"),
+        (b'{"kind": "sleep", "params": {"seconds": 1}, "key": 7}',
+         "key must be a string"),
+        (b'{"kind": "mystery", "params": {}}', "unknown job kind"),
+        (b'{"kind": "sleep", "params": {"seconds": -5}}', "seconds"),
+        (b'{"kind": "tune", "params": {"stencil": "nope"}}',
+         "unknown stencil"),
+    ])
+    def test_bad_requests_400(self, client, body, match):
+        req = urllib.request.Request(
+            client.base_url + "/jobs", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc_info.value.code == 400
+        payload = json.loads(exc_info.value.read())
+        assert match in payload["error"]
+
+    def test_client_maps_400_to_service_error(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client.submit("tune", {"stencil": "nope"})
+        assert exc_info.value.status == 400
+
+
+class TestJobViews:
+    def test_get_job_and_listing(self, client):
+        a = client.submit("sleep", {"seconds": 0.01})["job"]
+        b = client.submit("sleep", {"seconds": 30.0})["job"]
+        wait_state(client, a["id"], "done")
+
+        full = client.job(a["id"])
+        assert full["result"] == {"kind": "sleep", "slept_s": 0.01}
+        assert "params" in full
+
+        rows = client.jobs()
+        assert [r["id"] for r in rows] == [a["id"], b["id"]]
+        assert "params" not in rows[0]  # summaries, not full payloads
+
+        done = client.jobs("done")
+        assert [r["id"] for r in done] == [a["id"]]
+        client.cancel(b["id"])
+
+    def test_unknown_job_404(self, client):
+        for call in (
+            lambda: client.job("job-999999-ffffff"),
+            lambda: client.result("job-999999-ffffff"),
+            lambda: client.cancel("job-999999-ffffff"),
+        ):
+            with pytest.raises(ServiceError) as exc_info:
+                call()
+            assert exc_info.value.status == 404
+
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/frobnicate")
+        assert exc_info.value.status == 404
+
+
+class TestResult:
+    def test_result_of_unfinished_job_409(self, client):
+        job = client.submit("sleep", {"seconds": 30.0})["job"]
+        with pytest.raises(ServiceError) as exc_info:
+            client.result(job["id"])
+        assert exc_info.value.status == 409
+        assert exc_info.value.payload["state"] in ("pending", "running")
+        client.cancel(job["id"])
+
+    def test_tune_result_lists_artifacts(self, client):
+        job = client.submit(
+            "tune", {"stencil": "j3d7pt", "iterations": 25}
+        )["job"]
+        wait_state(client, job["id"], "done", timeout_s=120.0)
+        res = client.result(job["id"])
+        assert res["artifacts"] == ["orchestration.txt", "result.json"]
+        assert res["result"]["golden_served"] is False
+        assert res["result"]["evaluations"] > 0
+
+
+class TestCancel:
+    def test_pending_job_cancels_immediately(self, client):
+        blocker = client.submit("sleep", {"seconds": 30.0})["job"]
+        victim = client.submit("sleep", {"seconds": 30.0})["job"]
+        out = client.cancel(victim["id"])
+        assert out["job"]["state"] == "cancelled"
+        client.cancel(blocker["id"])
+
+    def test_cancel_while_running(self, client):
+        job = client.submit("sleep", {"seconds": 30.0})["job"]
+        deadline = time.monotonic() + 5.0
+        while client.job(job["id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        out = client.cancel(job["id"])
+        assert out["job"]["cancel_requested"] is True
+        final = client.wait(job["id"], timeout_s=10.0)
+        assert final["state"] == "cancelled"
+
+    def test_cancel_terminal_409(self, client):
+        job = client.submit("sleep", {"seconds": 0.01})["job"]
+        wait_state(client, job["id"], "done")
+        with pytest.raises(ServiceError) as exc_info:
+            client.cancel(job["id"])
+        assert exc_info.value.status == 409
+
+
+class TestGoldenFastPath:
+    @pytest.fixture
+    def results_db(self, tmp_path):
+        pattern = get_stencil("j3d7pt")
+        space = build_space(pattern, A100)
+        settings = space.sample(np.random.default_rng(7), 8)
+        cache = tmp_path / "seed-cache"
+        tok = device_token(A100)
+        with EvaluationStore(cache) as store:
+            for i, s in enumerate(settings):
+                store.record(tok, pattern.name, s.values_tuple(),
+                             1.0 - 0.05 * i, {"occ": 0.5})
+        db = ResultsDB(tmp_path / "resultsdb")
+        db.ingest_cache_dir(cache)
+        db.update_golden()
+        return tmp_path / "resultsdb"
+
+    def test_golden_served_with_zero_evaluations(self, daemon, results_db):
+        d = daemon("golden", results_db=results_db)
+        client = ServiceClient(d.url, timeout_s=10.0)
+        job = client.submit("tune", {"stencil": "j3d7pt"})["job"]
+        wait_state(client, job["id"], "done", timeout_s=30.0)
+        res = client.result(job["id"])
+        assert res["result"]["golden_served"] is True
+        assert res["result"]["evaluations"] == 0
+        assert res["artifacts"] == ["result.json"]
+        payload = json.loads(
+            (d.ctx.job_dir(job["id"]) / "result.json").read_text()
+        )
+        assert payload["meta"]["golden_served"] is True
+        assert client.healthz()["counters"].get("service.golden_served", 0) >= 1
+
+    def test_per_job_opt_out_runs_fully(self, daemon, results_db):
+        d = daemon("optout", results_db=results_db)
+        client = ServiceClient(d.url, timeout_s=10.0)
+        job = client.submit("tune", {
+            "stencil": "j3d7pt", "iterations": 25, "db_fastpath": False,
+        })["job"]
+        wait_state(client, job["id"], "done", timeout_s=120.0)
+        res = client.result(job["id"])
+        assert res["result"]["golden_served"] is False
+        assert res["result"]["evaluations"] > 0
+
+
+class TestRestart:
+    def test_queue_survives_daemon_restart(self, daemon, tmp_path):
+        d1 = daemon("restart")
+        c1 = ServiceClient(d1.url, timeout_s=10.0)
+        done = c1.submit("sleep", {"seconds": 0.01}, key="done-key")["job"]
+        c1.wait(done["id"], timeout_s=10.0)
+        running = c1.submit("sleep", {"seconds": 30.0})["job"]
+        deadline = time.monotonic() + 5.0
+        while c1.job(running["id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        d1.stop()  # dies with one job mid-flight
+
+        d2 = daemon("restart")  # same state dir
+        c2 = ServiceClient(d2.url, timeout_s=10.0)
+        h = c2.healthz()
+        assert h["requeued_on_replay"] == 1
+        # Nothing lost, nothing duplicated.
+        assert c2.job(done["id"])["state"] == "done"
+        assert len(c2.jobs()) == 2
+        # Idempotency keys survive the restart.
+        again = c2.submit("sleep", {"seconds": 0.01}, key="done-key")
+        assert again["created"] is False
+        assert again["job"]["id"] == done["id"]
+        # The interrupted job was requeued and completes... eventually;
+        # cancel instead of sleeping 30 s.
+        state = c2.job(running["id"])["state"]
+        assert state in ("pending", "running")
+        c2.cancel(running["id"])
+        final = c2.wait(running["id"], timeout_s=10.0)
+        assert final["state"] == "cancelled"

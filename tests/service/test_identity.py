@@ -1,0 +1,102 @@
+"""Service/direct identity: the byte-equality acceptance gate.
+
+The same experiment configuration is run twice — once directly through
+:class:`ExperimentRunner`, once submitted as an ``experiment`` job to
+an in-process daemon — and every deterministic artifact must come back
+byte-identical. ``fig12``, ``summary`` and ``orchestration`` report
+host wall-clock time and are exempt, exactly as in
+``tests/experiments/test_parallel_runner.py``.
+
+A ``tune`` job is additionally pinned against a direct
+:func:`tuner_run_task` call: same best setting, same evaluation count,
+and a byte-stable ``result.json`` across two daemon instances.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Budget
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tasks import tuner_run_task
+from repro.service.client import ServiceClient
+from repro.service.executor import result_payload
+
+SCALE = dict(stencils=["j3d7pt"], samples=120, repetitions=1, budget_s=2.0,
+             seed=0)
+
+#: Reports containing wall-clock time — never byte-stable.
+NONDETERMINISTIC = {"fig12", "summary", "orchestration"}
+
+
+def _artifacts(out_dir):
+    return {
+        p.stem: p.read_bytes()
+        for p in sorted(out_dir.glob("*.txt"))
+        if p.stem not in NONDETERMINISTIC
+    }
+
+
+@pytest.fixture(scope="module")
+def direct(tmp_path_factory):
+    out = tmp_path_factory.mktemp("direct")
+    runner = ExperimentRunner(out, **SCALE)
+    runner.run_all()
+    return runner
+
+
+class TestExperimentIdentity:
+    def test_service_job_matches_direct_run(self, daemon, direct):
+        d = daemon()
+        client = ServiceClient(d.url, timeout_s=30.0)
+        job = client.submit("experiment", dict(SCALE))["job"]
+        final = client.wait(job["id"], timeout_s=600.0)
+        assert final["state"] == "done", final.get("error")
+
+        res = client.result(job["id"])
+        assert res["result"]["kind"] == "experiment"
+        assert any(a.startswith("artifacts/") for a in res["artifacts"])
+
+        via_service = _artifacts(d.ctx.job_dir(job["id"]) / "artifacts")
+        direct_artifacts = _artifacts(direct.out_dir)
+        assert set(via_service) == set(direct_artifacts)
+        diverged = [
+            name for name in direct_artifacts
+            if direct_artifacts[name] != via_service[name]
+        ]
+        assert diverged == []
+
+
+class TestTuneIdentity:
+    def test_tune_job_matches_direct_task(self, daemon):
+        budget_iters = 40
+        d = daemon()
+        client = ServiceClient(d.url, timeout_s=30.0)
+        job = client.submit("tune", {
+            "stencil": "j3d7pt", "iterations": budget_iters, "seed": 0,
+        })["job"]
+        final = client.wait(job["id"], timeout_s=600.0)
+        assert final["state"] == "done", final.get("error")
+
+        expected = tuner_run_task(
+            "j3d7pt", "A100", "csTuner",
+            Budget(max_iterations=budget_iters), 0, 0, 128,
+        )
+        via_service = json.loads(
+            (d.ctx.job_dir(job["id"]) / "result.json").read_text()
+        )
+        assert via_service == result_payload(expected)
+
+    def test_result_json_byte_stable_across_daemons(self, daemon):
+        spec = {"stencil": "j3d7pt", "iterations": 30, "seed": 1}
+        blobs = []
+        for name in ("one", "two"):
+            d = daemon(name)
+            client = ServiceClient(d.url, timeout_s=30.0)
+            job = client.submit("tune", dict(spec))["job"]
+            final = client.wait(job["id"], timeout_s=600.0)
+            assert final["state"] == "done", final.get("error")
+            blobs.append(
+                (d.ctx.job_dir(job["id"]) / "result.json").read_bytes()
+            )
+        assert blobs[0] == blobs[1]

@@ -1,0 +1,153 @@
+"""Job state machine and spec validation.
+
+Exhaustive over the transition relation: every (state, state) pair is
+checked against :data:`LEGAL_TRANSITIONS` — the legal edges pass
+:func:`check_transition`, every other pair raises
+:class:`TransitionError`. Spec validation is pinned per kind so a bad
+submission always fails at the API boundary, never mid-run.
+"""
+
+import pytest
+
+from repro.service.jobs import (
+    ALL_STATES,
+    JOB_KINDS,
+    LEGAL_TRANSITIONS,
+    TERMINAL_STATES,
+    Job,
+    JobSpecError,
+    JobState,
+    TransitionError,
+    check_transition,
+    validate_spec,
+)
+
+EDGES = [(a, b) for a in sorted(ALL_STATES) for b in sorted(ALL_STATES)]
+
+
+class TestTransitionRelation:
+    @pytest.mark.parametrize("current,to", EDGES)
+    def test_every_pair_matches_relation(self, current, to):
+        if to in LEGAL_TRANSITIONS[current]:
+            check_transition(current, to)  # must not raise
+        else:
+            with pytest.raises(TransitionError):
+                check_transition(current, to)
+
+    def test_terminal_states_have_no_outgoing_edges(self):
+        for state in TERMINAL_STATES:
+            assert LEGAL_TRANSITIONS[state] == frozenset()
+
+    def test_retry_edge_exists(self):
+        # running -> pending is the worker-death requeue edge.
+        check_transition(JobState.RUNNING, JobState.PENDING)
+
+    def test_pending_cannot_complete_directly(self):
+        with pytest.raises(TransitionError):
+            check_transition(JobState.PENDING, JobState.DONE)
+
+    def test_unknown_states_rejected(self):
+        with pytest.raises(TransitionError):
+            check_transition("limbo", JobState.DONE)
+        with pytest.raises(TransitionError):
+            check_transition(JobState.PENDING, "limbo")
+
+    def test_relation_covers_all_states(self):
+        assert set(LEGAL_TRANSITIONS) == set(ALL_STATES)
+        for targets in LEGAL_TRANSITIONS.values():
+            assert targets <= ALL_STATES
+
+
+class TestJobModel:
+    def test_summary_and_to_dict(self):
+        job = Job(id="job-1", kind="sleep", params={"seconds": 1.0},
+                  key="k", seq=3)
+        s = job.summary()
+        assert s == {
+            "id": "job-1", "kind": "sleep", "state": "pending",
+            "retries": 0, "key": "k", "cancel_requested": False,
+        }
+        d = job.to_dict()
+        assert d["params"] == {"seconds": 1.0}
+        assert d["seq"] == 3
+        assert d["error"] is None and d["result"] is None
+
+    def test_params_copied_out(self):
+        job = Job(id="j", kind="sleep", params={"seconds": 1.0})
+        job.to_dict()["params"]["seconds"] = 99
+        assert job.params["seconds"] == 1.0
+
+
+class TestSpecValidation:
+    def test_kinds_pinned(self):
+        assert JOB_KINDS == ("tune", "experiment", "sleep")
+
+    def test_unknown_kind(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            validate_spec("mine-bitcoin", {})
+
+    def test_params_must_be_object(self):
+        with pytest.raises(JobSpecError, match="JSON object"):
+            validate_spec("sleep", [1, 2])  # type: ignore[arg-type]
+
+    # -- tune ----------------------------------------------------------
+
+    def test_tune_defaults(self):
+        spec = validate_spec("tune", {"stencil": "j3d7pt"})
+        assert spec["device"] == "A100"
+        assert spec["tuner"] == "csTuner"
+        assert spec["budget_s"] == 100.0
+        assert "iterations" not in spec
+
+    def test_tune_iterations_exclusive_with_budget(self):
+        spec = validate_spec(
+            "tune", {"stencil": "j3d7pt", "iterations": 40}
+        )
+        assert spec["iterations"] == 40
+        assert "budget_s" not in spec
+
+    @pytest.mark.parametrize("bad", [
+        {},                                        # missing stencil
+        {"stencil": "nope"},                       # unknown stencil
+        {"stencil": "j3d7pt", "device": "H900"},   # unknown device
+        {"stencil": "j3d7pt", "tuner": "magic"},   # unknown tuner
+        {"stencil": "j3d7pt", "iterations": 0},    # empty budget
+        {"stencil": "j3d7pt", "budget_s": -1},     # negative budget
+        {"stencil": "j3d7pt", "surprise": 1},      # unknown field
+        {"stencil": 7},                            # wrong type
+        {"stencil": "j3d7pt", "seed": True},       # bool is not an int
+    ])
+    def test_tune_rejections(self, bad):
+        with pytest.raises(JobSpecError):
+            validate_spec("tune", bad)
+
+    # -- experiment ----------------------------------------------------
+
+    def test_experiment_defaults(self):
+        spec = validate_spec("experiment", {})
+        assert spec["stencils"] is None
+        assert spec["samples"] == 1500
+        assert spec["repetitions"] == 2
+
+    @pytest.mark.parametrize("bad", [
+        {"stencils": ["nope"]},
+        {"stencils": []},
+        {"samples": 0},
+        {"repetitions": -1},
+        {"budget_s": 0},
+        {"surprise": 1},
+    ])
+    def test_experiment_rejections(self, bad):
+        with pytest.raises(JobSpecError):
+            validate_spec("experiment", bad)
+
+    # -- sleep ---------------------------------------------------------
+
+    def test_sleep_bounds(self):
+        assert validate_spec("sleep", {"seconds": 0})["seconds"] == 0.0
+        with pytest.raises(JobSpecError):
+            validate_spec("sleep", {"seconds": -1})
+        with pytest.raises(JobSpecError):
+            validate_spec("sleep", {"seconds": 3601})
+        with pytest.raises(JobSpecError):
+            validate_spec("sleep", {})

@@ -1,0 +1,246 @@
+"""Scheduler policies: retry-with-backoff, cancellation, error capture.
+
+Worker death is simulated by monkeypatching the executor entry the
+scheduler calls (``repro.service.scheduler.execute_job``) to raise
+:class:`OrchestrationError` a controlled number of times — the same
+exception a SIGKILLed warm worker produces — so retry accounting is
+tested without burning real fleet processes (the smoke lane kills a
+real one).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import OrchestrationError
+from repro.service.executor import ExecutionContext, JobCancelled
+from repro.service.jobs import JobState
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler, SchedulerConfig
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "state")
+
+
+@pytest.fixture
+def ctx(tmp_path):
+    return ExecutionContext(jobs_root=tmp_path / "state" / "jobs")
+
+
+def make_scheduler(queue, ctx, **cfg):
+    cfg.setdefault("max_retries", 2)
+    cfg.setdefault("backoff_s", 0.01)
+    cfg.setdefault("poll_s", 0.01)
+    return Scheduler(queue, ctx, SchedulerConfig(**cfg))
+
+
+def wait_terminal(queue, job_id, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if queue.terminal(job_id):
+            return queue.get(job_id)
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} not terminal: "
+                         f"{queue.get(job_id).state}")
+
+
+class TestHappyPath:
+    def test_sleep_job_completes(self, queue, ctx):
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        try:
+            job, _ = queue.submit("sleep", {"seconds": 0.05})
+            final = wait_terminal(queue, job.id)
+            assert final.state == JobState.DONE
+            assert final.result == {"kind": "sleep", "slept_s": 0.05}
+        finally:
+            sched.stop()
+
+    def test_jobs_run_in_submission_order(self, queue, ctx):
+        order = []
+
+        def fake(job_id, kind, params, ctx_, should_cancel=None):
+            order.append(job_id)
+            return {"kind": kind}
+
+        sched = make_scheduler(queue, ctx)
+        import repro.service.scheduler as mod
+        original = mod.execute_job
+        mod.execute_job = fake
+        try:
+            sched.start()
+            ids = [
+                queue.submit("sleep", {"seconds": 1.0})[0].id
+                for _ in range(3)
+            ]
+            for jid in ids:
+                wait_terminal(queue, jid)
+            assert order == ids
+        finally:
+            mod.execute_job = original
+            sched.stop()
+
+
+class TestRetry:
+    def _run_with_failures(self, queue, ctx, monkeypatch, *, failures,
+                           max_retries=2):
+        """Run one job whose executor raises ``failures`` times."""
+        calls = {"n": 0}
+
+        def flaky(job_id, kind, params, ctx_, should_cancel=None):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise OrchestrationError(f"worker died (attempt {calls['n']})")
+            return {"kind": kind, "attempts": calls["n"]}
+
+        monkeypatch.setattr("repro.service.scheduler.execute_job", flaky)
+        sched = make_scheduler(queue, ctx, max_retries=max_retries)
+        sched.start()
+        try:
+            job, _ = queue.submit("sleep", {"seconds": 0.01})
+            final = wait_terminal(queue, job.id)
+        finally:
+            sched.stop()
+        return final, calls["n"]
+
+    def test_worker_death_retries_then_succeeds(self, queue, ctx,
+                                                monkeypatch):
+        before = obs.get_registry().counters("service.").get(
+            "service.jobs_retried", 0)
+        final, attempts = self._run_with_failures(
+            queue, ctx, monkeypatch, failures=2
+        )
+        assert final.state == JobState.DONE
+        assert final.retries == 2
+        assert attempts == 3
+        after = obs.get_registry().counters("service.")
+        assert after["service.jobs_retried"] - before == 2
+
+    def test_retries_exhausted_marks_errored(self, queue, ctx, monkeypatch):
+        final, attempts = self._run_with_failures(
+            queue, ctx, monkeypatch, failures=99, max_retries=2
+        )
+        assert final.state == JobState.ERRORED
+        assert final.retries == 2
+        assert attempts == 3  # initial + 2 retries
+        assert "retries exhausted" in final.error
+        assert "worker died" in final.error
+
+    def test_retry_survives_queue_replay(self, queue, ctx, monkeypatch):
+        final, _ = self._run_with_failures(
+            queue, ctx, monkeypatch, failures=99, max_retries=1
+        )
+        queue.close()
+        replayed = JobQueue(queue.state_dir)
+        job = replayed.get(final.id)
+        assert job.state == JobState.ERRORED
+        assert job.retries == 1
+
+
+class TestErrors:
+    def test_generic_exception_errors_without_retry(self, queue, ctx,
+                                                    monkeypatch):
+        def broken(job_id, kind, params, ctx_, should_cancel=None):
+            raise ValueError("bad job logic")
+
+        monkeypatch.setattr("repro.service.scheduler.execute_job", broken)
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        try:
+            job, _ = queue.submit("sleep", {"seconds": 0.01})
+            final = wait_terminal(queue, job.id)
+        finally:
+            sched.stop()
+        assert final.state == JobState.ERRORED
+        assert final.retries == 0
+        assert "bad job logic" in final.error
+
+
+class TestCancellation:
+    def test_cancel_while_running(self, queue, ctx):
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        try:
+            job, _ = queue.submit("sleep", {"seconds": 30.0})
+            deadline = time.monotonic() + 5.0
+            while queue.get(job.id).state != JobState.RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            queue.request_cancel(job.id)
+            final = wait_terminal(queue, job.id)
+            assert final.state == JobState.CANCELLED
+        finally:
+            sched.stop()
+
+    def test_cancel_before_claim(self, queue, ctx):
+        # Cancel lands while the scheduler is not running: the job must
+        # never be picked up once it starts.
+        job, _ = queue.submit("sleep", {"seconds": 30.0})
+        queue.request_cancel(job.id)
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        try:
+            probe, _ = queue.submit("sleep", {"seconds": 0.01})
+            wait_terminal(queue, probe.id)
+            assert queue.get(job.id).state == JobState.CANCELLED
+        finally:
+            sched.stop()
+
+    def test_cancel_wins_over_computed_result(self, queue, ctx,
+                                              monkeypatch):
+        release = threading.Event()
+
+        def slow(job_id, kind, params, ctx_, should_cancel=None):
+            release.wait(5.0)
+            return {"kind": kind}
+
+        monkeypatch.setattr("repro.service.scheduler.execute_job", slow)
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        try:
+            job, _ = queue.submit("sleep", {"seconds": 0.01})
+            deadline = time.monotonic() + 5.0
+            while queue.get(job.id).state != JobState.RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            queue.request_cancel(job.id)
+            release.set()
+            final = wait_terminal(queue, job.id)
+            # The executor returned a result, but the cancel that
+            # arrived mid-run wins.
+            assert final.state == JobState.CANCELLED
+            assert final.result is None
+        finally:
+            sched.stop()
+
+
+class TestShutdown:
+    def test_stop_mid_job_leaves_running_for_replay(self, queue, ctx,
+                                                    monkeypatch):
+        started = threading.Event()
+
+        def honor_cancel(job_id, kind, params, ctx_, should_cancel=None):
+            started.set()
+            while not (should_cancel and should_cancel()):
+                time.sleep(0.01)
+            raise JobCancelled("stopping")
+
+        monkeypatch.setattr(
+            "repro.service.scheduler.execute_job", honor_cancel
+        )
+        sched = make_scheduler(queue, ctx)
+        sched.start()
+        job, _ = queue.submit("sleep", {"seconds": 30.0})
+        assert started.wait(5.0)
+        sched.stop()
+        # Daemon shutdown is not a user cancel: the job stays `running`
+        # in the journal and the next queue open requeues it.
+        assert queue.get(job.id).state == JobState.RUNNING
+        queue.close()
+        replayed = JobQueue(queue.state_dir)
+        assert replayed.get(job.id).state == JobState.PENDING
+        assert replayed.requeued_on_replay == 1

@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the tuning service, the way CI proves it works.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port and drives
+the full acceptance story against it:
+
+1. **Golden-served job** — a tune job answered from a pre-built results
+   database with zero evaluations.
+2. **Full tune under fire** — a real tune job fanned across 2 warm
+   workers; one worker is SIGKILLed mid-job and the job must still
+   finish ``done`` after at least one journaled retry.
+3. **Cancel-while-running** — a long sleep job cancelled mid-run.
+4. **Queue replay** — the daemon is SIGTERMed while a job is running,
+   restarted on the same state directory, and must requeue the
+   interrupted job and finish it with nothing lost or duplicated.
+
+Exit code 0 means every assertion held. ``make service-smoke`` wraps
+this; the state directory is kept for upload when anything fails.
+
+Usage::
+
+    python tools/service_smoke.py [--state-dir DIR] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service.client import ServiceClient, service_endpoint  # noqa: E402
+
+CHECKS: list[str] = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    line = f"[{mark}] {name}" + (f" — {detail}" if detail else "")
+    print(line, flush=True)
+    CHECKS.append(name)
+    if not ok:
+        raise SystemExit(f"smoke check failed: {name} {detail}")
+
+
+def build_results_db(root: Path) -> Path:
+    """Seed a tiny results database with one golden j3d7pt@A100 record."""
+    import numpy as np
+
+    from repro.gpusim.device import A100
+    from repro.gpusim.diskcache import EvaluationStore, device_token
+    from repro.resultsdb.db import ResultsDB
+    from repro.space.space import build_space
+    from repro.stencil.suite import get_stencil
+
+    pattern = get_stencil("j3d7pt")
+    space = build_space(pattern, A100)
+    settings = space.sample(np.random.default_rng(3), 8)
+    cache = root / "seed-cache"
+    tok = device_token(A100)
+    with EvaluationStore(cache) as store:
+        for i, s in enumerate(settings):
+            store.record(tok, pattern.name, s.values_tuple(),
+                         1.0 - 0.05 * i, {"occ": 0.5})
+    db_root = root / "resultsdb"
+    db = ResultsDB(db_root)
+    db.ingest_cache_dir(cache)
+    db.update_golden()
+    return db_root
+
+
+def start_daemon(state_dir: Path, db_root: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", "--workers", "2",
+         "--results-db", str(db_root), "--backoff", "0.2",
+         "--max-retries", "3"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise SystemExit(f"daemon died on startup:\n{out}")
+        try:
+            url = service_endpoint(state_dir)
+            client = ServiceClient(url, timeout_s=5.0)
+            if client.healthz()["status"] == "ok":
+                return proc
+        except Exception:
+            pass
+        time.sleep(0.1)
+    raise SystemExit("daemon did not come up within 30s")
+
+
+def wait_state(client: ServiceClient, job_id: str, state: str,
+               timeout_s: float = 60.0) -> dict:
+    return client.wait(job_id, timeout_s=timeout_s,
+                       states=frozenset({state}))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--state-dir", default="service-smoke-state")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the state directory even on success")
+    args = parser.parse_args()
+
+    root = Path(args.state_dir).resolve()
+    if root.exists():
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+    state_dir = root / "daemon"
+
+    db_root = build_results_db(root)
+    print(f"results db seeded at {db_root}", flush=True)
+
+    proc = start_daemon(state_dir, db_root)
+    try:
+        client = ServiceClient(service_endpoint(state_dir), timeout_s=15.0)
+        h = client.healthz()
+        check("daemon up", h["status"] == "ok", f"pid {h['pid']}")
+
+        # 1. Golden fast path: zero evaluations, no pool entry.
+        golden = client.submit("tune", {"stencil": "j3d7pt"},
+                               key="smoke-golden")["job"]
+        final = client.wait(golden["id"], timeout_s=60.0)
+        res = client.result(golden["id"])
+        check("golden job done", final["state"] == "done",
+              str(final.get("error")))
+        check("golden served with zero evaluations",
+              res["result"]["golden_served"] is True
+              and res["result"]["evaluations"] == 0)
+        dedup = client.submit("tune", {"stencil": "j3d7pt"},
+                              key="smoke-golden")
+        check("idempotency key dedups", dedup["created"] is False
+              and dedup["job"]["id"] == golden["id"])
+
+        # 2. Full tune job with a worker SIGKILLed mid-run.
+        tune = client.submit("tune", {
+            "stencil": "j3d27pt", "budget_s": 20.0, "db_fastpath": False,
+        })["job"]
+        deadline = time.monotonic() + 60.0
+        victims: list[int] = []
+        while time.monotonic() < deadline and not victims:
+            state = client.job(tune["id"])["state"]
+            pids = client.healthz()["fleet_pids"]
+            if state == "running" and pids:
+                victims = list(pids)
+                break
+            time.sleep(0.1)
+        check("fleet engaged while tune job runs", bool(victims))
+        # Kill the whole fleet: worker death is observed on the pipe of
+        # the worker actually executing, so killing every pid guarantees
+        # the in-flight job sees it (killing one could hit an idle one).
+        for pid in victims:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        print(f"SIGKILLed workers {victims}", flush=True)
+        final = client.wait(tune["id"], timeout_s=180.0)
+        job = client.job(tune["id"])
+        check("tune job survives worker death", final["state"] == "done",
+              f"state={final['state']} error={final.get('error')}")
+        check("worker death was retried", job["retries"] >= 1,
+              f"retries={job['retries']}")
+        res = client.result(tune["id"])
+        check("retried job ran for real",
+              res["result"]["golden_served"] is False
+              and res["result"]["evaluations"] > 0)
+
+        # 3. Cancel-while-running.
+        victim_job = client.submit("sleep", {"seconds": 300.0})["job"]
+        deadline = time.monotonic() + 30.0
+        while client.job(victim_job["id"])["state"] != "running":
+            if time.monotonic() > deadline:
+                raise SystemExit("sleep job never started running")
+            time.sleep(0.05)
+        client.cancel(victim_job["id"])
+        final = client.wait(victim_job["id"], timeout_s=30.0)
+        check("cancel-while-running lands", final["state"] == "cancelled")
+
+        # 4. Kill the daemon with a job mid-flight; replay must requeue.
+        interrupted = client.submit("sleep", {"seconds": 1.5},
+                                    key="smoke-replay")["job"]
+        deadline = time.monotonic() + 30.0
+        while client.job(interrupted["id"])["state"] != "running":
+            if time.monotonic() > deadline:
+                raise SystemExit("replay job never started running")
+            time.sleep(0.05)
+        jobs_before = {j["id"]: j for j in client.jobs()}
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        check("daemon exited on SIGTERM", proc.returncode == 0,
+              f"rc={proc.returncode}")
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+        if proc.stdout:
+            print("--- daemon output ---", flush=True)
+            print(proc.stdout.read(), flush=True)
+        raise
+
+    proc = start_daemon(state_dir, db_root)
+    try:
+        client = ServiceClient(service_endpoint(state_dir), timeout_s=15.0)
+        h = client.healthz()
+        check("interrupted job requeued on replay",
+              h["requeued_on_replay"] >= 1,
+              f"requeued={h['requeued_on_replay']}")
+        check("journal replayed cleanly", h["bad_journal_lines"] == 0)
+        jobs_after = {j["id"]: j for j in client.jobs()}
+        check("no jobs lost or invented across restart",
+              set(jobs_after) == set(jobs_before),
+              f"{sorted(jobs_before)} vs {sorted(jobs_after)}")
+        dedup = client.submit("sleep", {"seconds": 1.5},
+                              key="smoke-replay")
+        check("idempotency key survives restart",
+              dedup["created"] is False
+              and dedup["job"]["id"] == interrupted["id"])
+        final = client.wait(interrupted["id"], timeout_s=60.0)
+        check("requeued job completes after restart",
+              final["state"] == "done", str(final.get("error")))
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+        if proc.stdout:
+            print("--- daemon output (restarted) ---", flush=True)
+            print(proc.stdout.read(), flush=True)
+        raise
+
+    print(f"\nservice smoke: all {len(CHECKS)} checks passed", flush=True)
+    if not args.keep:
+        shutil.rmtree(root, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
